@@ -1,0 +1,56 @@
+// Ablation: the "Gap" mechanism (§4.2.1).
+//
+// Non-CUDA CPU time (Python dispatch, framework glue) is invisible to CUPTI
+// but "indispensable to simulation accuracy". This bench quantifies the claim
+// on prediction quality, not just replay: the AMP prediction made from a
+// gap-less graph misses the CPU floor entirely and overestimates the speedup.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/graph_builder.h"
+#include "src/core/optimizations/amp.h"
+#include "src/core/predictor.h"
+#include "src/core/simulator.h"
+#include "src/runtime/ground_truth.h"
+#include "src/util/csv.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace daydream;
+
+int main() {
+  BenchHeader("Ablation: gap modeling (§4.2.1)",
+              "gaps carry the framework's CPU overhead; without them AMP predictions break");
+
+  TablePrinter table({"model", "AMP ground truth (ms)", "pred with gaps (ms)", "err",
+                      "pred without gaps (ms)", "err"});
+  CsvWriter csv(BenchOutPath("abl_gaps.csv"),
+                {"model", "gt_ms", "pred_ms", "err_pct", "pred_nogap_ms", "err_nogap_pct"});
+
+  for (ModelId model : {ModelId::kBertBase, ModelId::kBertLarge, ModelId::kResNet50}) {
+    const RunConfig config = DefaultRunConfig(model);
+    const Trace baseline = CollectBaselineTrace(config);
+    RunConfig amp = config;
+    amp.gt.amp = true;
+    const TimeNs gt = RunGroundTruth(amp).IterationTime();
+
+    Daydream with_gaps(baseline);
+    const TimeNs pred = with_gaps.Predict([](DependencyGraph* g) { WhatIfAmp(g); }).predicted;
+
+    DependencyGraph gapless = with_gaps.CloneGraph();
+    for (TaskId id : gapless.AliveTasks()) {
+      gapless.task(id).gap = 0;
+    }
+    WhatIfAmp(&gapless);
+    const TimeNs pred_nogap = Simulator().Run(gapless).makespan;
+
+    const double err = RelErrorPct(ToMs(pred), ToMs(gt));
+    const double err_nogap = RelErrorPct(ToMs(pred_nogap), ToMs(gt));
+    table.AddRow({ModelName(model), FmtMs(gt), FmtMs(pred), FmtPct(err), FmtMs(pred_nogap),
+                  FmtPct(err_nogap)});
+    csv.AddRow({ModelName(model), FmtMs(gt), FmtMs(pred), StrFormat("%.2f", err),
+                FmtMs(pred_nogap), StrFormat("%.2f", err_nogap)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "bench/bench_util.h"
+
+#include <filesystem>
+
+namespace daydream {
+
+std::string BenchOutPath(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories(kBenchOutDir, ec);
+  return std::string(kBenchOutDir) + "/" + name;
+}
+
+}  // namespace daydream

@@ -1,0 +1,27 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "src/util/string_util.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+inline std::string FmtMs(TimeNs t) { return StrFormat("%.1f", ToMs(t)); }
+inline std::string FmtPct(double pct) { return StrFormat("%.1f%%", pct); }
+
+inline void BenchHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "paper reference: " << paper_ref << "\n\n";
+}
+
+// Where benches drop machine-readable results.
+inline const char* kBenchOutDir = "bench_out";
+std::string BenchOutPath(const std::string& name);
+
+}  // namespace daydream
+
+#endif  // BENCH_BENCH_UTIL_H_

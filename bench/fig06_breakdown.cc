@@ -1,0 +1,42 @@
+// Figure 6: runtime breakdown (CPU-only / GPU-only / CPU+GPU) of the baseline
+// (FP32) and mixed-precision (FP16) runs.
+//
+// Paper: AMP shrinks GPU-only time; CPU time barely changes and becomes the
+// new bottleneck on models with limited speedup (e.g. BERT_LARGE).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/breakdown.h"
+#include "src/runtime/ground_truth.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+using namespace daydream;
+
+int main() {
+  BenchHeader("Figure 6: runtime breakdown FP32 vs FP16 (AMP)",
+              "CPU runtime barely changes under AMP; GPU-only shrinks");
+
+  TablePrinter table(
+      {"model", "precision", "total (ms)", "cpu-only (ms)", "gpu-only (ms)", "cpu+gpu (ms)"});
+  CsvWriter csv(BenchOutPath("fig06_breakdown.csv"),
+                {"model", "precision", "total_ms", "cpu_only_ms", "gpu_only_ms", "overlap_ms"});
+
+  for (ModelId model :
+       {ModelId::kResNet50, ModelId::kGnmt, ModelId::kBertBase, ModelId::kBertLarge}) {
+    for (bool amp : {false, true}) {
+      RunConfig config = DefaultRunConfig(model);
+      config.gt.amp = amp;
+      const ExecutionResult run = RunGroundTruth(config);
+      const RuntimeBreakdown b = ComputeBreakdown(run.trace);
+      const char* precision = amp ? "FP16" : "FP32";
+      table.AddRow({ModelName(model), precision, FmtMs(b.total), FmtMs(b.cpu_only),
+                    FmtMs(b.gpu_only), FmtMs(b.overlap)});
+      csv.AddRow({ModelName(model), precision, FmtMs(b.total), FmtMs(b.cpu_only),
+                  FmtMs(b.gpu_only), FmtMs(b.overlap)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 8 (a-d): distributed training predictions from a single-GPU profile.
+//
+// For each model, the ground truth runs PyTorch-DDP-style data parallelism
+// (NCCL ring allReduce per gradient bucket, with GPU interference on
+// overlapped collectives); Daydream predicts the same configurations by
+// inserting allReduce tasks into the single-GPU dependency graph
+// (Algorithm 6). Paper: prediction error at most ~10% in most configurations,
+// with a few exceptions at 20/40 Gbps.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/optimizations/distributed.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+#include "src/util/csv.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace daydream;
+
+namespace {
+
+struct Shape {
+  int machines;
+  int gpus;
+};
+
+}  // namespace
+
+int main() {
+  BenchHeader("Figure 8: distributed-training prediction from a 1-GPU profile",
+              "prediction error <= ~10% in most configurations");
+
+  const std::vector<Shape> shapes = {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2}, {3, 2}, {4, 2}};
+  const std::vector<double> bandwidths = {10.0, 20.0, 40.0};
+
+  CsvWriter csv(BenchOutPath("fig08_distributed.csv"),
+                {"model", "machines", "gpus_per_machine", "bandwidth_gbps", "ground_truth_ms",
+                 "prediction_ms", "error_pct"});
+
+  for (ModelId model :
+       {ModelId::kResNet50, ModelId::kGnmt, ModelId::kBertBase, ModelId::kBertLarge}) {
+    const RunConfig base_config = DefaultRunConfig(model);
+    const Trace baseline = CollectBaselineTrace(base_config);
+    Daydream daydream(baseline);
+
+    std::cout << "--- " << ModelName(model) << " ---\n";
+    TablePrinter table({"config", "bandwidth", "ground truth (ms)", "prediction (ms)", "error"});
+    RunningStats errors;
+
+    for (double gbps : bandwidths) {
+      for (const Shape& shape : shapes) {
+        if (shape.machines == 1 && gbps != bandwidths.front()) {
+          continue;  // single-GPU row is bandwidth-independent
+        }
+        ClusterConfig cluster;
+        cluster.machines = shape.machines;
+        cluster.gpus_per_machine = shape.gpus;
+        cluster.network.bandwidth_gbps = gbps;
+
+        TimeNs gt = 0;
+        if (cluster.total_gpus() == 1) {
+          gt = RunGroundTruth(base_config).IterationTime();
+        } else {
+          RunConfig dist = base_config;
+          dist.comm = CommBackend::kNccl;
+          dist.cluster = cluster;
+          gt = RunGroundTruth(dist).IterationTime();
+        }
+
+        DistributedWhatIf what_if;
+        what_if.cluster = cluster;
+        const PredictionResult pred = daydream.Predict([&](DependencyGraph* g) {
+          WhatIfDistributed(g, daydream.trace().gradients(), what_if);
+        });
+
+        const double err = RelErrorPct(ToMs(pred.predicted), ToMs(gt));
+        if (cluster.total_gpus() > 1) {
+          errors.Add(err);
+        }
+        table.AddRow({StrFormat("%dx%d", shape.machines, shape.gpus),
+                      StrFormat("%.0fGbps", gbps), FmtMs(gt), FmtMs(pred.predicted),
+                      FmtPct(err)});
+        csv.AddRow({ModelName(model), StrFormat("%d", shape.machines),
+                    StrFormat("%d", shape.gpus), StrFormat("%.0f", gbps), FmtMs(gt),
+                    FmtMs(pred.predicted), StrFormat("%.2f", err)});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << StrFormat("error over %zu distributed configs: mean %.1f%%, max %.1f%%\n\n",
+                           errors.count(), errors.mean(), errors.max());
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Performance microbenchmarks for Daydream's own machinery (google-benchmark):
+// trace generation, dependency-graph construction, layer mapping, simulation
+// and a full what-if round trip. The paper's workflow ("profile once, ask many
+// questions", §7.1) depends on transformations+simulation being cheap.
+#include <benchmark/benchmark.h>
+
+#include "src/core/graph_builder.h"
+#include "src/core/layer_map.h"
+#include "src/core/optimizations/amp.h"
+#include "src/core/optimizations/distributed.h"
+#include "src/core/predictor.h"
+#include "src/core/simulator.h"
+#include "src/runtime/ground_truth.h"
+
+namespace daydream {
+namespace {
+
+const Trace& BertTrace() {
+  static const Trace* trace =
+      new Trace(CollectBaselineTrace(DefaultRunConfig(ModelId::kBertLarge)));
+  return *trace;
+}
+
+void BM_ExecutorCollectTrace(benchmark::State& state) {
+  const RunConfig config = DefaultRunConfig(ModelId::kBertLarge);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollectBaselineTrace(config).size());
+  }
+}
+BENCHMARK(BM_ExecutorCollectTrace)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDependencyGraph(benchmark::State& state) {
+  const Trace& trace = BertTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildDependencyGraph(trace).num_alive());
+  }
+  state.counters["tasks"] = static_cast<double>(BuildDependencyGraph(trace).num_alive());
+}
+BENCHMARK(BM_BuildDependencyGraph)->Unit(benchmark::kMillisecond);
+
+void BM_LayerMapCompute(benchmark::State& state) {
+  const Trace& trace = BertTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerMap::Compute(trace).size());
+  }
+}
+BENCHMARK(BM_LayerMapCompute)->Unit(benchmark::kMillisecond);
+
+void BM_Simulate(benchmark::State& state) {
+  const DependencyGraph graph = BuildDependencyGraph(BertTrace());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Simulator().Run(graph).makespan);
+  }
+}
+BENCHMARK(BM_Simulate)->Unit(benchmark::kMillisecond);
+
+void BM_WhatIfAmpRoundTrip(benchmark::State& state) {
+  Daydream daydream(BertTrace());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        daydream.Predict([](DependencyGraph* g) { WhatIfAmp(g); }).predicted);
+  }
+}
+BENCHMARK(BM_WhatIfAmpRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_WhatIfDistributedRoundTrip(benchmark::State& state) {
+  Daydream daydream(BertTrace());
+  DistributedWhatIf opts;
+  opts.cluster.machines = 4;
+  opts.cluster.gpus_per_machine = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daydream
+                                 .Predict([&](DependencyGraph* g) {
+                                   WhatIfDistributed(g, daydream.trace().gradients(), opts);
+                                 })
+                                 .predicted);
+  }
+}
+BENCHMARK(BM_WhatIfDistributedRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace daydream
+
+BENCHMARK_MAIN();

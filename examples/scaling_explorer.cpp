@@ -1,0 +1,59 @@
+// Scaling explorer: "How will my workload scale with the number of GPUs?
+// Would upgrading to a faster network improve training throughput?" (§1).
+//
+// From ONE single-GPU profile, predicts the distributed iteration time for a
+// grid of cluster shapes and network bandwidths — no cluster needed (§2.2).
+#include <iostream>
+
+#include "src/core/optimizations/distributed.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+
+using namespace daydream;
+
+int main(int argc, char** argv) {
+  ModelId model = ModelId::kBertBase;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    for (ModelId id : AllModels()) {
+      if (arg == ModelName(id)) {
+        model = id;
+      }
+    }
+  }
+
+  std::cout << "Profiling one iteration of " << ModelName(model) << " on a single GPU...\n";
+  const Trace profile = CollectBaselineTrace(DefaultRunConfig(model));
+  Daydream daydream(profile);
+  std::cout << StrFormat("single-GPU iteration: %.1f ms (%zu trace events)\n\n",
+                         ToMs(daydream.BaselineSimTime()), profile.size());
+
+  const std::vector<int> workers = {1, 2, 4, 8};
+  const std::vector<double> bandwidths = {10.0, 25.0, 40.0, 100.0};
+
+  TablePrinter table({"workers", "10 Gbps", "25 Gbps", "40 Gbps", "100 Gbps"});
+  std::cout << "predicted iteration time (ms) / scaling efficiency:\n";
+  for (int n : workers) {
+    std::vector<std::string> row = {StrFormat("%d x 1", n)};
+    for (double gbps : bandwidths) {
+      DistributedWhatIf opts;
+      opts.cluster.machines = n;
+      opts.cluster.gpus_per_machine = 1;
+      opts.cluster.network.bandwidth_gbps = gbps;
+      const PredictionResult r = daydream.Predict([&](DependencyGraph* g) {
+        WhatIfDistributed(g, daydream.trace().gradients(), opts);
+      });
+      // Weak-scaling efficiency: single-GPU time / distributed time.
+      const double efficiency =
+          100.0 * static_cast<double>(r.baseline) / static_cast<double>(r.predicted);
+      row.push_back(StrFormat("%.1f (%.0f%%)", ToMs(r.predicted), efficiency));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n(efficiency = per-iteration slowdown vs 1 GPU; samples/s scales with "
+               "workers x efficiency)\n";
+  return 0;
+}

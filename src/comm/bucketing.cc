@@ -1,0 +1,44 @@
+#include "src/comm/bucketing.h"
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+std::vector<GradientBucket> ComputeBuckets(const ModelGraph& model, int64_t bucket_bytes) {
+  DD_CHECK_GT(bucket_bytes, 0);
+  std::vector<GradientBucket> buckets;
+  GradientBucket current;
+  current.id = 0;
+
+  // Parameter layers in the order their gradients become ready (reverse of
+  // forward order). DDP's first bucket is usually small (it fills fast and
+  // overlaps early); we follow the plain greedy policy.
+  for (int layer_id : model.ParamLayersInBackwardOrder()) {
+    const Layer& layer = model.layer(layer_id);
+    current.layer_ids.push_back(layer_id);
+    current.bytes += layer.param_bytes_fp32();
+    current.trigger_layer_id = layer_id;  // latest-ready layer so far
+    if (current.bytes >= bucket_bytes) {
+      buckets.push_back(std::move(current));
+      current = GradientBucket{};
+      current.id = static_cast<int>(buckets.size());
+    }
+  }
+  if (!current.layer_ids.empty()) {
+    buckets.push_back(std::move(current));
+  }
+  return buckets;
+}
+
+std::vector<int> LayerToBucket(const ModelGraph& model,
+                               const std::vector<GradientBucket>& buckets) {
+  std::vector<int> map(static_cast<size_t>(model.num_layers()), -1);
+  for (const GradientBucket& b : buckets) {
+    for (int layer_id : b.layer_ids) {
+      map[static_cast<size_t>(layer_id)] = b.id;
+    }
+  }
+  return map;
+}
+
+}  // namespace daydream

@@ -1,0 +1,40 @@
+// PyTorch-DDP-style gradient bucketing.
+//
+// PyTorch groups gradients from multiple layers into fixed-size buckets and
+// issues one NCCL allReduce per bucket as soon as the bucket's last gradient
+// is produced (wait-free backpropagation, §4.2.2 "Communication"). The paper
+// instruments the framework to extract exactly this layer->bucket mapping;
+// here we compute it from the model the same way DDP does: walk parameter
+// tensors in backward order and close a bucket when it exceeds the cap.
+#ifndef SRC_COMM_BUCKETING_H_
+#define SRC_COMM_BUCKETING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+inline constexpr int64_t kDefaultBucketBytes = 25 * 1024 * 1024;  // DDP default
+
+struct GradientBucket {
+  int id = -1;
+  std::vector<int> layer_ids;  // layers whose gradients land in this bucket
+  int64_t bytes = 0;
+  // The layer whose backward pass completes the bucket (the *earliest* layer
+  // in forward order, since backprop runs back-to-front). The bucket's
+  // allReduce depends on this layer's backward GPU tasks.
+  int trigger_layer_id = -1;
+};
+
+// Buckets in the order their allReduces are issued during backprop.
+std::vector<GradientBucket> ComputeBuckets(const ModelGraph& model,
+                                           int64_t bucket_bytes = kDefaultBucketBytes);
+
+// Map layer_id -> bucket_id (-1 for layers without parameters).
+std::vector<int> LayerToBucket(const ModelGraph& model, const std::vector<GradientBucket>& buckets);
+
+}  // namespace daydream
+
+#endif  // SRC_COMM_BUCKETING_H_

@@ -1,0 +1,57 @@
+// Collective-communication cost models.
+//
+// Implements the ring-algorithm formulas from the NCCL performance notes the
+// paper cites as its "Theoretical" series (Figure 9):
+//
+//   allReduce:      t = 2 * (n-1)/n * S / busBW
+//   reduceScatter:  t =     (n-1)/n * S / busBW
+//   allGather:      t =     (n-1)/n * S / busBW
+//
+// where busBW is the bandwidth of the bottleneck link along the ring: the NIC
+// for multi-machine rings (a well-constructed ring crosses each NIC exactly
+// once in each direction), PCIe for single-machine rings. A per-hop latency
+// term covers the 2(n-1) ring steps.
+#ifndef SRC_COMM_COLLECTIVES_H_
+#define SRC_COMM_COLLECTIVES_H_
+
+#include <cstdint>
+
+#include "src/comm/network_spec.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+// Bandwidth of the bottleneck link of a ring spanning the cluster, bytes/ns.
+double RingBusBandwidth(const ClusterConfig& cluster);
+
+// Per-hop latency of one ring step.
+TimeNs RingStepLatency(const ClusterConfig& cluster);
+
+// Time for one ring allReduce of `bytes` across all GPUs in the cluster.
+// Returns 0 when the cluster has a single GPU (no communication needed).
+TimeNs RingAllReduceTime(int64_t bytes, const ClusterConfig& cluster);
+
+// Reduce-scatter / all-gather over a subgroup of `group_size` ranks connected
+// by `bytes_per_ns` links (building blocks for BlueConnect's decomposition).
+TimeNs ReduceScatterTime(int64_t bytes, int group_size, double bytes_per_ns, TimeNs step_latency);
+TimeNs AllGatherTime(int64_t bytes, int group_size, double bytes_per_ns, TimeNs step_latency);
+
+// BlueConnect (Cho et al.): decompose one allReduce over an (m machines x g
+// GPUs) hierarchy into intra-node reduce-scatter, inter-node reduce-scatter,
+// inter-node all-gather, intra-node all-gather, with the inter-node phases
+// running on g parallel NIC channels (one per local GPU), each moving 1/g of
+// the data. Returns the end-to-end time.
+TimeNs BlueConnectAllReduceTime(int64_t bytes, const ClusterConfig& cluster);
+
+// Parameter-server transfer time for one slice over the worker NIC
+// (pure wire time; server-side processing is a ground-truth-only effect).
+TimeNs PsTransferTime(int64_t bytes, const NetworkSpec& network);
+
+// NCCL-kernel overhead over the theoretical ring time when a collective runs
+// exclusively (no compute interference). The paper's "Optimal" series in
+// Figure 9; also the calibration Daydream applies to predicted allReduces.
+TimeNs NcclExclusiveTime(TimeNs theoretical);
+
+}  // namespace daydream
+
+#endif  // SRC_COMM_COLLECTIVES_H_

@@ -1,0 +1,11 @@
+#include "src/comm/network_spec.h"
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+std::string ClusterConfig::Label() const {
+  return StrFormat("%dx%d @ %.0fGbps", machines, gpus_per_machine, network.bandwidth_gbps);
+}
+
+}  // namespace daydream

@@ -1,0 +1,55 @@
+#include "src/comm/param_server.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+std::vector<PsSlice> WholeTensorSlices(const ModelGraph& model, int num_servers) {
+  DD_CHECK_GE(num_servers, 1);
+  std::vector<PsSlice> slices;
+  int server = 0;
+  for (const Layer& layer : model.layers()) {
+    if (!layer.has_params()) {
+      continue;
+    }
+    PsSlice s;
+    s.layer_id = layer.id;
+    s.slice_index = 0;
+    s.bytes = layer.param_bytes_fp32();
+    s.server = server;
+    s.priority = model.num_layers() - layer.id;  // earlier layer => higher
+    slices.push_back(s);
+    server = (server + 1) % num_servers;
+  }
+  return slices;
+}
+
+std::vector<PsSlice> P3Slices(const ModelGraph& model, int num_servers, int64_t slice_bytes) {
+  DD_CHECK_GE(num_servers, 1);
+  DD_CHECK_GT(slice_bytes, 0);
+  std::vector<PsSlice> slices;
+  int server = 0;
+  for (const Layer& layer : model.layers()) {
+    if (!layer.has_params()) {
+      continue;
+    }
+    int64_t remaining = layer.param_bytes_fp32();
+    int index = 0;
+    while (remaining > 0) {
+      PsSlice s;
+      s.layer_id = layer.id;
+      s.slice_index = index++;
+      s.bytes = std::min(remaining, slice_bytes);
+      s.server = server;
+      s.priority = model.num_layers() - layer.id;
+      slices.push_back(s);
+      server = (server + 1) % num_servers;
+      remaining -= s.bytes;
+    }
+  }
+  return slices;
+}
+
+}  // namespace daydream

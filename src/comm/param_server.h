@@ -1,0 +1,45 @@
+// Parameter-server (MXNet kvstore) communication layout, used by the P3
+// experiments (Figure 10).
+//
+// Each parameter tensor is sharded across the server processes (one per
+// machine). Baseline MXNet sends whole tensors; P3 slices tensors into
+// fixed-size chunks and prioritizes slices needed earliest by the next
+// forward pass (Jayarajan et al.). This module computes the slice layout; the
+// scheduling itself lives in the executor (ground truth) and in the P3 graph
+// transformation (prediction).
+#ifndef SRC_COMM_PARAM_SERVER_H_
+#define SRC_COMM_PARAM_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+// P3's default slice granularity (the paper's implementation slices tensors
+// into sub-tensors of a few hundred KB to enable pipelining).
+inline constexpr int64_t kDefaultSliceBytes = 512 * 1024;
+
+struct PsSlice {
+  int layer_id = -1;
+  int slice_index = 0;   // within the layer
+  int64_t bytes = 0;
+  int server = 0;        // which server process owns this slice
+  // P3 priority: layers closer to the input get higher priority because the
+  // next iteration's forward pass needs them first. Higher value = higher
+  // priority.
+  int priority = 0;
+};
+
+// Whole-tensor-per-layer layout (baseline MXNet kvstore).
+std::vector<PsSlice> WholeTensorSlices(const ModelGraph& model, int num_servers);
+
+// P3 layout: every parameter layer's gradients split into `slice_bytes` chunks,
+// round-robined over servers, prioritized by distance from the output.
+std::vector<PsSlice> P3Slices(const ModelGraph& model, int num_servers,
+                              int64_t slice_bytes = kDefaultSliceBytes);
+
+}  // namespace daydream
+
+#endif  // SRC_COMM_PARAM_SERVER_H_

@@ -1,0 +1,124 @@
+#include "src/core/breakdown.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+constexpr int kLoaderThread = 1;
+
+// Sorts and merges intervals, returning the union length and the merged list.
+std::vector<std::pair<TimeNs, TimeNs>> MergeIntervals(std::vector<std::pair<TimeNs, TimeNs>> v) {
+  std::sort(v.begin(), v.end());
+  std::vector<std::pair<TimeNs, TimeNs>> merged;
+  for (const auto& [a, b] : v) {
+    if (a >= b) {
+      continue;
+    }
+    if (!merged.empty() && a <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, b);
+    } else {
+      merged.emplace_back(a, b);
+    }
+  }
+  return merged;
+}
+
+TimeNs UnionLength(const std::vector<std::pair<TimeNs, TimeNs>>& merged) {
+  TimeNs total = 0;
+  for (const auto& [a, b] : merged) {
+    total += b - a;
+  }
+  return total;
+}
+
+TimeNs IntersectionLength(const std::vector<std::pair<TimeNs, TimeNs>>& a,
+                          const std::vector<std::pair<TimeNs, TimeNs>>& b) {
+  TimeNs total = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const TimeNs lo = std::max(a[i].first, b[j].first);
+    const TimeNs hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+bool IsWaitApi(const TraceEvent& e) {
+  if (e.kind != EventKind::kRuntimeApi) {
+    return false;
+  }
+  if (e.api == ApiKind::kDeviceSynchronize || e.api == ApiKind::kStreamSynchronize) {
+    return true;
+  }
+  // Blocking DtoH read-backs carry long durations; treat them as waits.
+  return e.api == ApiKind::kMemcpyAsync && StrContains(e.name, "dtoh");
+}
+
+}  // namespace
+
+double RuntimeBreakdown::CpuOnlyPct() const {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(cpu_only) / static_cast<double>(total);
+}
+double RuntimeBreakdown::GpuOnlyPct() const {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(gpu_only) / static_cast<double>(total);
+}
+double RuntimeBreakdown::OverlapPct() const {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(overlap) / static_cast<double>(total);
+}
+
+std::string RuntimeBreakdown::Summary() const {
+  return StrFormat("total=%.1fms cpu_only=%.1fms (%.0f%%) gpu_only=%.1fms (%.0f%%) "
+                   "overlap=%.1fms (%.0f%%)",
+                   ToMs(total), ToMs(cpu_only), CpuOnlyPct(), ToMs(gpu_only), GpuOnlyPct(),
+                   ToMs(overlap), OverlapPct());
+}
+
+RuntimeBreakdown ComputeBreakdown(const Trace& trace) {
+  std::vector<std::pair<TimeNs, TimeNs>> gpu;
+  std::vector<std::pair<TimeNs, TimeNs>> waits;
+  TimeNs first = std::numeric_limits<TimeNs>::max();
+  TimeNs last = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.thread_id == kLoaderThread || e.kind == EventKind::kLayerMarker) {
+      continue;
+    }
+    first = std::min(first, e.start);
+    last = std::max(last, e.end());
+    if (e.is_gpu()) {
+      gpu.emplace_back(e.start, e.end());
+    } else if (IsWaitApi(e)) {
+      waits.emplace_back(e.start, e.end());
+    }
+  }
+
+  RuntimeBreakdown out;
+  if (last <= first) {
+    return out;
+  }
+  const auto gpu_merged = MergeIntervals(std::move(gpu));
+  const auto wait_merged = MergeIntervals(std::move(waits));
+  out.total = last - first;
+  const TimeNs gpu_busy = UnionLength(gpu_merged);
+  // Paper definitions: CPU-only = total - GPU busy; GPU-only = CPU waiting
+  // while the GPU works; CPU+GPU = the rest of the GPU-busy time.
+  out.cpu_only = out.total - gpu_busy;
+  out.gpu_only = IntersectionLength(gpu_merged, wait_merged);
+  out.overlap = gpu_busy - out.gpu_only;
+  return out;
+}
+
+}  // namespace daydream

@@ -1,0 +1,33 @@
+// Runtime breakdown analysis (Figure 6).
+//
+// Decomposes an iteration into the paper's three components:
+//   CPU-only:  CPU busy while no GPU kernel executes (total - GPU busy time),
+//   GPU-only:  CPU blocked waiting on the GPU (sync APIs / blocking DtoH),
+//   CPU+GPU:   both sides busy.
+#ifndef SRC_CORE_BREAKDOWN_H_
+#define SRC_CORE_BREAKDOWN_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct RuntimeBreakdown {
+  TimeNs total = 0;
+  TimeNs cpu_only = 0;
+  TimeNs gpu_only = 0;
+  TimeNs overlap = 0;
+
+  double CpuOnlyPct() const;
+  double GpuOnlyPct() const;
+  double OverlapPct() const;
+  std::string Summary() const;
+};
+
+// Computes the breakdown over the worker's events (loader thread excluded).
+RuntimeBreakdown ComputeBreakdown(const Trace& trace);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_BREAKDOWN_H_

@@ -1,0 +1,147 @@
+#include "src/core/critical_path.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+double Pct(TimeNs part, TimeNs total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double CriticalPathReport::CpuPct() const { return Pct(cpu_time, makespan); }
+double CriticalPathReport::GpuPct() const { return Pct(gpu_time, makespan); }
+double CriticalPathReport::CommPct() const { return Pct(comm_time, makespan); }
+double CriticalPathReport::GapPct() const { return Pct(gap_time, makespan); }
+
+std::string CriticalPathReport::Summary() const {
+  return StrFormat(
+      "critical path: %.1f ms over %zu tasks — gpu %.0f%%, cpu %.0f%%, comm %.0f%%, "
+      "gaps %.0f%%, other wait %.0f%%",
+      ToMs(makespan), path.size(), GpuPct(), CpuPct(), CommPct(), GapPct(),
+      Pct(wait_time, makespan));
+}
+
+CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph, const SimResult& sim) {
+  CriticalPathReport report;
+  report.makespan = sim.makespan;
+  if (graph.num_alive() == 0) {
+    return report;
+  }
+
+  // Walk backwards from the task that finishes last. At each step, pick the
+  // blocker: the dependency (or same-thread predecessor) whose completion
+  // determined this task's simulated start time.
+  TaskId current = kInvalidTask;
+  for (TaskId id : graph.AliveTasks()) {
+    if (current == kInvalidTask || sim.EndOf(id) > sim.EndOf(current)) {
+      current = id;
+    }
+  }
+
+  // Same-thread predecessor lookup.
+  std::map<ExecThread, std::vector<TaskId>> by_thread;
+  for (const ExecThread& thread : graph.Threads()) {
+    std::vector<TaskId> seq = graph.ThreadSequence(thread);
+    std::sort(seq.begin(), seq.end(), [&](TaskId a, TaskId b) {
+      return sim.start[static_cast<size_t>(a)] < sim.start[static_cast<size_t>(b)];
+    });
+    by_thread[thread] = std::move(seq);
+  }
+  auto thread_predecessor = [&](TaskId id) -> TaskId {
+    const std::vector<TaskId>& seq = by_thread[graph.task(id).thread];
+    auto pos = std::find(seq.begin(), seq.end(), id);
+    DD_CHECK(pos != seq.end());
+    return pos == seq.begin() ? kInvalidTask : *(pos - 1);
+  };
+
+  std::vector<TaskId> reversed;
+  while (current != kInvalidTask) {
+    reversed.push_back(current);
+    const TimeNs start = sim.start[static_cast<size_t>(current)];
+    if (start == 0) {
+      break;
+    }
+    // Candidate blockers: dependency parents and the thread predecessor.
+    TaskId blocker = kInvalidTask;
+    TimeNs blocker_release = -1;
+    auto consider = [&](TaskId candidate, TimeNs release) {
+      if (candidate == kInvalidTask) {
+        return;
+      }
+      if (release > blocker_release) {
+        blocker_release = release;
+        blocker = candidate;
+      }
+    };
+    for (TaskId p : graph.parents(current)) {
+      consider(p, sim.EndOf(p));
+    }
+    const TaskId prev = thread_predecessor(current);
+    if (prev != kInvalidTask) {
+      // Thread progress includes the predecessor's trailing gap.
+      consider(prev, sim.EndOf(prev) + graph.task(prev).gap);
+    }
+    if (blocker == kInvalidTask) {
+      break;
+    }
+    current = blocker;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  report.path = std::move(reversed);
+
+  // Attribution: task durations by type; the space between a path task's end
+  // and the next path task's start is either the gap (same thread) or an
+  // unexplained wait (scheduling artifacts).
+  TimeNs covered = 0;
+  for (size_t i = 0; i < report.path.size(); ++i) {
+    const Task& t = graph.task(report.path[i]);
+    switch (t.type) {
+      case TaskType::kCpu:
+      case TaskType::kDataLoad:
+        report.cpu_time += t.duration;
+        break;
+      case TaskType::kGpu:
+        report.gpu_time += t.duration;
+        break;
+      case TaskType::kComm:
+        report.comm_time += t.duration;
+        break;
+    }
+    covered += t.duration;
+    if (i + 1 < report.path.size()) {
+      const TimeNs hole = sim.start[static_cast<size_t>(report.path[i + 1])] -
+                          sim.EndOf(report.path[i]);
+      if (hole > 0) {
+        const bool same_thread = t.thread == graph.task(report.path[i + 1]).thread;
+        if (same_thread && hole <= t.gap) {
+          report.gap_time += hole;
+        } else if (same_thread) {
+          report.gap_time += t.gap;
+          report.wait_time += hole - t.gap;
+        } else {
+          report.wait_time += hole;
+        }
+        covered += hole;
+      }
+    }
+  }
+  // Leading idle time before the first path task (rare) counts as wait.
+  if (!report.path.empty()) {
+    report.wait_time += sim.start[static_cast<size_t>(report.path.front())];
+  }
+  return report;
+}
+
+CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph) {
+  return ComputeCriticalPath(graph, Simulator().Run(graph));
+}
+
+}  // namespace daydream

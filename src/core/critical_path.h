@@ -1,0 +1,46 @@
+// Critical-path analysis over the dependency graph.
+//
+// Answers the "why did my DNN training workload run slowly?" question (§1)
+// quantitatively: the longest dependency chain through the simulated
+// execution, attributed to CPU work, GPU kernels, communication and framework
+// gaps. Optimizations only help when they shorten this path — the attribution
+// tells a user which of the what-if families is worth exploring first.
+#ifndef SRC_CORE_CRITICAL_PATH_H_
+#define SRC_CORE_CRITICAL_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dependency_graph.h"
+#include "src/core/simulator.h"
+
+namespace daydream {
+
+struct CriticalPathReport {
+  // Task ids along the path, in execution order.
+  std::vector<TaskId> path;
+  TimeNs makespan = 0;
+  // Attribution of the makespan.
+  TimeNs cpu_time = 0;    // CPU task durations on the path
+  TimeNs gpu_time = 0;    // GPU task durations on the path
+  TimeNs comm_time = 0;   // communication task durations on the path
+  TimeNs gap_time = 0;    // framework gaps between consecutive path tasks
+  TimeNs wait_time = 0;   // idle time on the path not explained by gaps
+
+  double CpuPct() const;
+  double GpuPct() const;
+  double CommPct() const;
+  double GapPct() const;
+  std::string Summary() const;
+};
+
+// Computes the critical path of `graph` under the given simulation result
+// (the result must come from simulating exactly this graph).
+CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph, const SimResult& sim);
+
+// Convenience: simulate with the default scheduler, then analyze.
+CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_CRITICAL_PATH_H_

@@ -1,0 +1,354 @@
+#include "src/core/dependency_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+DependencyGraph::Node& DependencyGraph::node(TaskId id) {
+  DD_CHECK_GE(id, 0);
+  DD_CHECK_LT(id, static_cast<TaskId>(tasks_.size()));
+  return tasks_[static_cast<size_t>(id)];
+}
+
+const DependencyGraph::Node& DependencyGraph::node(TaskId id) const {
+  DD_CHECK_GE(id, 0);
+  DD_CHECK_LT(id, static_cast<TaskId>(tasks_.size()));
+  return tasks_[static_cast<size_t>(id)];
+}
+
+TaskId DependencyGraph::AddTask(Task task) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  task.id = id;
+  sequences_[task.thread].push_back(id);
+  Node n;
+  n.task = std::move(task);
+  tasks_.push_back(std::move(n));
+  return id;
+}
+
+void DependencyGraph::AddEdge(TaskId from, TaskId to) {
+  if (from == to) {
+    return;
+  }
+  DD_CHECK(alive(from)) << "edge from dead task " << from;
+  DD_CHECK(alive(to)) << "edge to dead task " << to;
+  auto& children = node(from).children;
+  if (std::find(children.begin(), children.end(), to) != children.end()) {
+    return;
+  }
+  children.push_back(to);
+  node(to).parents.push_back(from);
+}
+
+void DependencyGraph::RemoveEdge(TaskId from, TaskId to) {
+  auto& children = node(from).children;
+  auto cit = std::find(children.begin(), children.end(), to);
+  if (cit == children.end()) {
+    return;
+  }
+  children.erase(cit);
+  auto& parents = node(to).parents;
+  auto pit = std::find(parents.begin(), parents.end(), from);
+  DD_CHECK(pit != parents.end());
+  parents.erase(pit);
+}
+
+bool DependencyGraph::HasEdge(TaskId from, TaskId to) const {
+  const auto& children = node(from).children;
+  return std::find(children.begin(), children.end(), to) != children.end();
+}
+
+void DependencyGraph::LinkSequential() {
+  for (const auto& [thread, seq] : sequences_) {
+    TaskId prev = kInvalidTask;
+    for (TaskId id : seq) {
+      if (!alive(id)) {
+        continue;
+      }
+      if (prev != kInvalidTask) {
+        AddEdge(prev, id);
+      }
+      prev = id;
+    }
+  }
+}
+
+TaskId DependencyGraph::InsertAfter(TaskId anchor, Task task) {
+  DD_CHECK(alive(anchor));
+  const ExecThread thread = task.thread;  // may differ from the anchor's thread
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  task.id = id;
+  Node n;
+  n.task = std::move(task);
+  tasks_.push_back(std::move(n));
+
+  auto& seq = sequences_[thread];
+  // If the anchor lives on the same thread, splice right after it; otherwise
+  // append to the target thread's sequence tail.
+  auto pos = std::find(seq.begin(), seq.end(), anchor);
+  TaskId next = kInvalidTask;
+  if (pos != seq.end()) {
+    for (auto it = pos + 1; it != seq.end(); ++it) {
+      if (alive(*it)) {
+        next = *it;
+        break;
+      }
+    }
+    seq.insert(pos + 1, id);
+    if (next != kInvalidTask && HasEdge(anchor, next)) {
+      RemoveEdge(anchor, next);
+    }
+    AddEdge(anchor, id);
+    if (next != kInvalidTask) {
+      AddEdge(id, next);
+    }
+  } else {
+    // Cross-thread insertion: sequential edge from the thread's current tail.
+    TaskId tail = kInvalidTask;
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+      if (alive(*it)) {
+        tail = *it;
+        break;
+      }
+    }
+    seq.push_back(id);
+    if (tail != kInvalidTask) {
+      AddEdge(tail, id);
+    }
+    AddEdge(anchor, id);
+  }
+  return id;
+}
+
+TaskId DependencyGraph::InsertBefore(TaskId anchor, Task task) {
+  DD_CHECK(alive(anchor));
+  const ExecThread thread = task.thread;
+  DD_CHECK(thread == node(anchor).task.thread)
+      << "InsertBefore requires the anchor's thread";
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  task.id = id;
+  Node n;
+  n.task = std::move(task);
+  tasks_.push_back(std::move(n));
+
+  auto& seq = sequences_[thread];
+  auto pos = std::find(seq.begin(), seq.end(), anchor);
+  DD_CHECK(pos != seq.end());
+  TaskId prev = kInvalidTask;
+  for (auto it = seq.begin(); it != pos; ++it) {
+    if (alive(*it)) {
+      prev = *it;
+    }
+  }
+  seq.insert(pos, id);
+  if (prev != kInvalidTask && HasEdge(prev, anchor)) {
+    RemoveEdge(prev, anchor);
+  }
+  if (prev != kInvalidTask) {
+    AddEdge(prev, id);
+  }
+  AddEdge(id, anchor);
+  return id;
+}
+
+void DependencyGraph::Remove(TaskId id) {
+  DD_CHECK(alive(id));
+  Node& n = node(id);
+  const std::vector<TaskId> parents = n.parents;
+  const std::vector<TaskId> children = n.children;
+  for (TaskId p : parents) {
+    RemoveEdge(p, id);
+  }
+  for (TaskId c : children) {
+    RemoveEdge(id, c);
+  }
+  for (TaskId p : parents) {
+    for (TaskId c : children) {
+      AddEdge(p, c);
+    }
+  }
+  n.alive = false;
+  auto& seq = sequences_[n.task.thread];
+  auto pos = std::find(seq.begin(), seq.end(), id);
+  if (pos != seq.end()) {
+    seq.erase(pos);
+  }
+}
+
+std::vector<TaskId> DependencyGraph::Select(const TaskPredicate& predicate) const {
+  std::vector<TaskId> out;
+  for (const Node& n : tasks_) {
+    if (n.alive && predicate(n.task)) {
+      out.push_back(n.task.id);
+    }
+  }
+  return out;
+}
+
+Task& DependencyGraph::task(TaskId id) { return node(id).task; }
+const Task& DependencyGraph::task(TaskId id) const { return node(id).task; }
+
+bool DependencyGraph::alive(TaskId id) const {
+  if (id < 0 || id >= static_cast<TaskId>(tasks_.size())) {
+    return false;
+  }
+  return node(id).alive;
+}
+
+std::vector<TaskId> DependencyGraph::AliveTasks() const {
+  std::vector<TaskId> out;
+  out.reserve(tasks_.size());
+  for (const Node& n : tasks_) {
+    if (n.alive) {
+      out.push_back(n.task.id);
+    }
+  }
+  return out;
+}
+
+int DependencyGraph::num_alive() const {
+  int n = 0;
+  for (const Node& node : tasks_) {
+    if (node.alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const std::vector<TaskId>& DependencyGraph::parents(TaskId id) const { return node(id).parents; }
+const std::vector<TaskId>& DependencyGraph::children(TaskId id) const { return node(id).children; }
+
+std::vector<ExecThread> DependencyGraph::Threads() const {
+  std::vector<ExecThread> out;
+  for (const auto& [thread, seq] : sequences_) {
+    for (TaskId id : seq) {
+      if (alive(id)) {
+        out.push_back(thread);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> DependencyGraph::ThreadSequence(const ExecThread& thread) const {
+  std::vector<TaskId> out;
+  auto it = sequences_.find(thread);
+  if (it == sequences_.end()) {
+    return out;
+  }
+  for (TaskId id : it->second) {
+    if (alive(id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> DependencyGraph::TopologicalOrder() const {
+  std::vector<int> refs(tasks_.size(), 0);
+  std::queue<TaskId> ready;
+  int alive_count = 0;
+  for (const Node& n : tasks_) {
+    if (!n.alive) {
+      continue;
+    }
+    ++alive_count;
+    refs[static_cast<size_t>(n.task.id)] = static_cast<int>(n.parents.size());
+    if (n.parents.empty()) {
+      ready.push(n.task.id);
+    }
+  }
+  std::vector<TaskId> order;
+  order.reserve(static_cast<size_t>(alive_count));
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId c : node(id).children) {
+      if (--refs[static_cast<size_t>(c)] == 0) {
+        ready.push(c);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != alive_count) {
+    return {};  // cycle
+  }
+  return order;
+}
+
+bool DependencyGraph::Validate(std::string* error) const {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  for (const Node& n : tasks_) {
+    if (!n.alive) {
+      continue;
+    }
+    for (TaskId c : n.children) {
+      if (!alive(c)) {
+        return fail(StrFormat("task %d has dead child %d", n.task.id, c));
+      }
+      const auto& back = node(c).parents;
+      if (std::count(back.begin(), back.end(), n.task.id) != 1) {
+        return fail(StrFormat("asymmetric edge %d -> %d", n.task.id, c));
+      }
+    }
+    if (std::count(n.children.begin(), n.children.end(), n.task.id) > 0) {
+      return fail(StrFormat("self edge on %d", n.task.id));
+    }
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      for (size_t j = i + 1; j < n.children.size(); ++j) {
+        if (n.children[i] == n.children[j]) {
+          return fail(StrFormat("duplicate edge %d -> %d", n.task.id, n.children[i]));
+        }
+      }
+    }
+  }
+  for (const auto& [thread, seq] : sequences_) {
+    for (TaskId id : seq) {
+      if (alive(id) && !(node(id).task.thread == thread)) {
+        return fail(StrFormat("task %d filed under the wrong thread", id));
+      }
+    }
+  }
+  if (TopologicalOrder().empty() && num_alive() > 0) {
+    return fail("graph contains a cycle");
+  }
+  return true;
+}
+
+DependencyGraph::Stats DependencyGraph::ComputeStats() const {
+  Stats s;
+  for (const Node& n : tasks_) {
+    if (!n.alive) {
+      continue;
+    }
+    ++s.tasks;
+    s.edges += static_cast<int>(n.children.size());
+    switch (n.task.type) {
+      case TaskType::kCpu:
+      case TaskType::kDataLoad:
+        ++s.cpu_tasks;
+        break;
+      case TaskType::kGpu:
+        ++s.gpu_tasks;
+        break;
+      case TaskType::kComm:
+        ++s.comm_tasks;
+        break;
+    }
+  }
+  s.threads = static_cast<int>(Threads().size());
+  return s;
+}
+
+}  // namespace daydream

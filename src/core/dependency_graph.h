@@ -1,0 +1,109 @@
+// The kernel-granularity dependency graph (§4.2).
+//
+// Tasks live in per-thread sequences (CPU threads, GPU streams, communication
+// channels); edges encode the five dependency types of §4.2.2 plus whatever a
+// graph transformation adds. The graph supports the paper's mutation
+// primitives: task insertion into a thread sequence, task removal with
+// predecessor->successor rewiring (Figure 4), duration scaling, and edge
+// surgery.
+#ifndef SRC_CORE_DEPENDENCY_GRAPH_H_
+#define SRC_CORE_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/task.h"
+
+namespace daydream {
+
+class DependencyGraph {
+ public:
+  DependencyGraph() = default;
+
+  // ---- Construction ----
+
+  // Adds a task and appends it to its thread's sequence. Does NOT add the
+  // sequential edge; call LinkSequential() or AddEdge() explicitly (the
+  // builder does this so tests can exercise dependency types separately).
+  TaskId AddTask(Task task);
+
+  // Adds edge from -> to (ignored if it already exists or from == to).
+  void AddEdge(TaskId from, TaskId to);
+  void RemoveEdge(TaskId from, TaskId to);
+  bool HasEdge(TaskId from, TaskId to) const;
+
+  // Adds the sequential-order edges along every thread sequence (§4.2.2
+  // dependency types 1 and 2, and the same rule for communication channels).
+  void LinkSequential();
+
+  // ---- Mutation primitives (§4.4) ----
+
+  // Splices `task` into the thread sequence of `anchor`, right after it, and
+  // rewires the sequential edge anchor -> old-next to anchor -> task -> next.
+  // Extra semantic edges (e.g. a launch correlation) are the caller's job.
+  TaskId InsertAfter(TaskId anchor, Task task);
+  // Same, but before `anchor` (useful for inserting at a thread's head).
+  TaskId InsertBefore(TaskId anchor, Task task);
+
+  // Removes a task, wiring every parent to every child (Figure 4) and
+  // splicing it out of its thread sequence.
+  void Remove(TaskId id);
+
+  // Select: ids of all alive tasks matching the predicate.
+  std::vector<TaskId> Select(const TaskPredicate& predicate) const;
+
+  // ---- Access ----
+
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+  bool alive(TaskId id) const;
+  // All ids ever allocated; iterate with alive() checks, or use AliveTasks().
+  int capacity() const { return static_cast<int>(tasks_.size()); }
+  std::vector<TaskId> AliveTasks() const;
+  int num_alive() const;
+
+  const std::vector<TaskId>& parents(TaskId id) const;
+  const std::vector<TaskId>& children(TaskId id) const;
+
+  // Thread sequences (alive tasks, in order).
+  std::vector<ExecThread> Threads() const;
+  std::vector<TaskId> ThreadSequence(const ExecThread& thread) const;
+
+  // ---- Validation & stats ----
+
+  // Checks: edges reference alive tasks, no duplicate edges, acyclic,
+  // parent/child symmetry, thread sequences consistent.
+  bool Validate(std::string* error = nullptr) const;
+
+  // Topological order of alive tasks (empty when cyclic).
+  std::vector<TaskId> TopologicalOrder() const;
+
+  struct Stats {
+    int tasks = 0;
+    int edges = 0;
+    int cpu_tasks = 0;
+    int gpu_tasks = 0;
+    int comm_tasks = 0;
+    int threads = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  struct Node {
+    Task task;
+    std::vector<TaskId> parents;
+    std::vector<TaskId> children;
+    bool alive = true;
+  };
+
+  Node& node(TaskId id);
+  const Node& node(TaskId id) const;
+
+  std::vector<Node> tasks_;
+  std::map<ExecThread, std::vector<TaskId>> sequences_;  // includes dead ids; filtered on read
+};
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_DEPENDENCY_GRAPH_H_

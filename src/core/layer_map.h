@@ -1,0 +1,43 @@
+// Synchronization-free task-to-layer mapping (§4.3, Figure 3).
+//
+// CUPTI events carry no application knowledge. The framework instrumentation
+// stamps begin/end timestamps around each layer phase on the CPU; every CUDA
+// launch that falls inside a layer's CPU window belongs to that layer, and the
+// correlation id carries the assignment to the GPU kernel the launch triggers.
+// No CUDA synchronization is needed, so profiling does not perturb the run.
+#ifndef SRC_CORE_LAYER_MAP_H_
+#define SRC_CORE_LAYER_MAP_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct LayerAssignment {
+  int layer_id = -1;
+  Phase phase = Phase::kUnknown;
+};
+
+class LayerMap {
+ public:
+  // Computes the mapping for every event in `trace`, using only the layer
+  // markers, event timestamps and correlation ids (never the layer fields the
+  // executor may have stamped on kernel events).
+  static LayerMap Compute(const Trace& trace);
+
+  // Assignment for the event at `event_index` in trace.events().
+  const LayerAssignment& assignment(size_t event_index) const;
+
+  size_t size() const { return assignments_.size(); }
+
+  // Fraction of GPU events that received a layer assignment (diagnostics).
+  double GpuCoverage(const Trace& trace) const;
+
+ private:
+  std::vector<LayerAssignment> assignments_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_LAYER_MAP_H_

@@ -1,0 +1,90 @@
+#include "src/core/layer_report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/layer_map.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+
+namespace daydream {
+
+TimeNs LayerReport::GpuBusy(Phase phase) const {
+  TimeNs total = 0;
+  for (const LayerPhaseStats& row : rows) {
+    if (row.phase == phase) {
+      total += row.gpu_busy;
+    }
+  }
+  return total;
+}
+
+std::vector<LayerPhaseStats> LayerReport::TopByGpuTime(size_t k) const {
+  std::vector<LayerPhaseStats> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [](const LayerPhaseStats& a, const LayerPhaseStats& b) {
+    if (a.gpu_busy != b.gpu_busy) {
+      return a.gpu_busy > b.gpu_busy;
+    }
+    return a.layer_id < b.layer_id;
+  });
+  if (sorted.size() > k) {
+    sorted.resize(k);
+  }
+  return sorted;
+}
+
+std::string LayerReport::ToString(size_t top_k) const {
+  TablePrinter table({"layer", "phase", "gpu busy (ms)", "kernels", "cpu span (ms)", "launches"});
+  for (const LayerPhaseStats& row : TopByGpuTime(top_k)) {
+    table.AddRow({row.layer_name, daydream::ToString(row.phase),
+                  StrFormat("%.2f", ToMs(row.gpu_busy)),
+                  StrFormat("%d", row.kernels), StrFormat("%.2f", ToMs(row.cpu_span)),
+                  StrFormat("%d", row.launches)});
+  }
+  return table.ToString();
+}
+
+LayerReport BuildLayerReport(const Trace& trace) {
+  LayerReport report;
+  const LayerMap map = LayerMap::Compute(trace);
+
+  // Key: (layer, phase) -> row index, in first-appearance order.
+  std::map<std::pair<int, int>, size_t> index;
+  auto row_for = [&](int layer, Phase phase) -> LayerPhaseStats& {
+    const auto key = std::make_pair(layer, static_cast<int>(phase));
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, report.rows.size()).first;
+      LayerPhaseStats row;
+      row.layer_id = layer;
+      row.phase = phase;
+      report.rows.push_back(row);
+    }
+    return report.rows[it->second];
+  };
+
+  for (const LayerSpan& span : trace.ExtractLayerSpans()) {
+    LayerPhaseStats& row = row_for(span.layer_id, span.phase);
+    row.layer_name = span.layer_name;
+    row.cpu_span += span.end - span.begin;
+  }
+
+  const std::vector<TraceEvent>& events = trace.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const LayerAssignment& a = map.assignment(i);
+    if (a.layer_id < 0) {
+      continue;
+    }
+    const TraceEvent& e = events[i];
+    LayerPhaseStats& row = row_for(a.layer_id, a.phase);
+    if (e.is_gpu()) {
+      row.gpu_busy += e.duration;
+      ++row.kernels;
+    } else if (e.kind == EventKind::kRuntimeApi && e.api == ApiKind::kLaunchKernel) {
+      ++row.launches;
+    }
+  }
+  return report;
+}
+
+}  // namespace daydream

@@ -1,0 +1,44 @@
+// Per-layer profiler report — the "framework built-in tool" view (§2.3).
+//
+// The paper argues that layer-level summaries are intuitive for "where does
+// the time go" questions but insufficient for prediction. Daydream subsumes
+// them: this module folds the kernel-level trace back up to layers using the
+// synchronization-free mapping, giving per-layer CPU/GPU time per phase.
+#ifndef SRC_CORE_LAYER_REPORT_H_
+#define SRC_CORE_LAYER_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct LayerPhaseStats {
+  int layer_id = -1;
+  std::string layer_name;
+  Phase phase = Phase::kUnknown;
+  TimeNs cpu_span = 0;   // begin->end window on the control thread
+  TimeNs gpu_busy = 0;   // sum of mapped GPU kernel durations
+  int kernels = 0;       // mapped GPU kernels
+  int launches = 0;      // CPU launch APIs in the window
+};
+
+struct LayerReport {
+  std::vector<LayerPhaseStats> rows;  // ordered by first occurrence
+
+  // Aggregate GPU-busy time per phase across all layers.
+  TimeNs GpuBusy(Phase phase) const;
+  // Top-k rows by GPU busy time (ties by layer id), across all phases.
+  std::vector<LayerPhaseStats> TopByGpuTime(size_t k) const;
+  // ASCII rendering of the top-k table.
+  std::string ToString(size_t top_k = 15) const;
+};
+
+// Builds the report from a profiled trace (uses the §4.3 mapping, so it works
+// on any trace with layer markers — including reloaded ones).
+LayerReport BuildLayerReport(const Trace& trace);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_LAYER_REPORT_H_

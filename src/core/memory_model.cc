@@ -1,0 +1,116 @@
+#include "src/core/memory_model.h"
+
+#include <algorithm>
+
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+namespace {
+
+constexpr int64_t kFp32 = 4;
+
+// Layers whose forward outputs autograd keeps for the backward pass. Dropout
+// masks and pooling indices are folded into the activation term coarsely.
+bool RetainsActivation(const Layer& layer) {
+  switch (layer.kind) {
+    case LayerKind::kConcat:  // views over already-counted producers
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::string MemoryEstimate::Summary() const {
+  auto gib = [](int64_t bytes) { return static_cast<double>(bytes) / kGiB; };
+  return StrFormat(
+      "total %.2f GiB = weights %.2f + grads %.2f + optimizer %.2f + activations %.2f "
+      "+ workspace %.2f",
+      gib(total()), gib(weights), gib(gradients), gib(optimizer_state), gib(activations),
+      gib(workspace));
+}
+
+MemoryEstimate EstimateTrainingMemory(const ModelGraph& model, OptimizerKind optimizer) {
+  MemoryEstimate estimate;
+  estimate.weights = model.TotalParamBytes();
+  estimate.gradients = model.TotalParamBytes();
+  switch (optimizer) {
+    case OptimizerKind::kSgdMomentum:
+      estimate.optimizer_state = model.TotalParamBytes();  // momentum buffer
+      break;
+    case OptimizerKind::kAdam:
+      estimate.optimizer_state = 2 * model.TotalParamBytes();  // exp_avg + exp_avg_sq
+      break;
+  }
+  int64_t max_conv_workspace = 0;
+  for (const Layer& layer : model.layers()) {
+    if (RetainsActivation(layer)) {
+      estimate.activations += layer.output_elems * kFp32;
+    }
+    if (layer.kind == LayerKind::kConv2d) {
+      // Implicit-gemm workspace roughly tracks the output tile.
+      max_conv_workspace = std::max(max_conv_workspace, layer.output_elems * kFp32 / 4);
+    }
+  }
+  estimate.workspace = max_conv_workspace;
+  return estimate;
+}
+
+int64_t VdnnActivationSavings(const ModelGraph& model) {
+  int64_t saved = 0;
+  for (const Layer& layer : model.layers()) {
+    if (layer.kind == LayerKind::kConv2d) {
+      saved += layer.output_elems * kFp32;
+    }
+  }
+  return saved;
+}
+
+int64_t GistActivationSavings(const ModelGraph& model, bool lossy) {
+  int64_t saved = 0;
+  for (const Layer& layer : model.layers()) {
+    if (layer.kind == LayerKind::kReLU) {
+      // 32-bit feature map -> 1-bit binarized map: 31/32 of the bytes freed.
+      saved += layer.output_elems * kFp32 * 31 / 32;
+    } else if (lossy &&
+               (layer.kind == LayerKind::kMaxPool || layer.kind == LayerKind::kAvgPool)) {
+      saved += layer.output_elems * kFp32 / 2;  // delayed precision reduction
+    }
+  }
+  return saved;
+}
+
+int64_t MaxBatchForCapacity(ModelId model, OptimizerKind optimizer, int64_t capacity_bytes) {
+  int64_t best = 0;
+  // Exponential probe then binary search over batch sizes.
+  int64_t lo = 1;
+  int64_t hi = 1;
+  auto fits = [&](int64_t batch) {
+    const ModelGraph g = BuildModel(model, batch);
+    return EstimateTrainingMemory(g, optimizer).total() <= capacity_bytes;
+  };
+  if (!fits(1)) {
+    return 0;
+  }
+  while (fits(hi) && hi < (1 << 14)) {
+    best = hi;
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const int64_t mid = (lo + hi) / 2;
+    if (fits(mid)) {
+      best = mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace daydream

@@ -1,0 +1,53 @@
+// GPU memory-footprint estimation.
+//
+// "Does GPU memory capacity limit the performance of my model?" is one of the
+// paper's motivating what-if questions (§1), and vDNN/Gist trade runtime for
+// exactly this footprint. This module estimates training memory from the
+// model graph — weights, gradients, optimizer state, and the forward
+// activations autograd must keep alive until the backward pass — and the
+// savings under the vDNN / Gist policies, so their time overhead (predicted
+// by the graph transformations) can be weighed against the bytes they free.
+#ifndef SRC_CORE_MEMORY_MODEL_H_
+#define SRC_CORE_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/kernels/layer_kernels.h"
+#include "src/models/model_graph.h"
+#include "src/models/model_zoo.h"
+
+namespace daydream {
+
+struct MemoryEstimate {
+  int64_t weights = 0;          // parameters (fp32)
+  int64_t gradients = 0;        // one gradient per parameter
+  int64_t optimizer_state = 0;  // momentum (SGD) or exp_avg + exp_avg_sq (Adam)
+  int64_t activations = 0;      // forward outputs retained for backward
+  int64_t workspace = 0;        // cuDNN scratch (coarse)
+
+  int64_t total() const {
+    return weights + gradients + optimizer_state + activations + workspace;
+  }
+  std::string Summary() const;
+};
+
+// Baseline training footprint.
+MemoryEstimate EstimateTrainingMemory(const ModelGraph& model, OptimizerKind optimizer);
+
+// Activation bytes freed by offloading every convolution feature map to host
+// memory (the vDNN_conv policy modeled by WhatIfVdnn).
+int64_t VdnnActivationSavings(const ModelGraph& model);
+
+// Activation bytes freed by Gist's encodings: ReLU outputs stored as 1-bit
+// maps (lossless) and, in lossy mode, pooling outputs at half precision.
+int64_t GistActivationSavings(const ModelGraph& model, bool lossy);
+
+// Largest batch size whose estimated footprint fits in `capacity_bytes`
+// (activations scale with batch; weights/optimizer do not). Returns 0 when
+// even batch 1 does not fit.
+int64_t MaxBatchForCapacity(ModelId model, OptimizerKind optimizer, int64_t capacity_bytes);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_MEMORY_MODEL_H_

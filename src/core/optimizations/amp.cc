@@ -1,0 +1,19 @@
+#include "src/core/optimizations/amp.h"
+
+#include "src/core/transform.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+void WhatIfAmp(DependencyGraph* graph, const AmpWhatIf& options) {
+  for (TaskId id : graph->Select(IsOnGpu())) {
+    Task& task = graph->task(id);
+    const bool compute_bound =
+        StrContains(task.name, "sgemm") || StrContains(task.name, "scudnn");
+    const double divisor =
+        compute_bound ? options.compute_bound_divisor : options.memory_bound_divisor;
+    task.duration = static_cast<TimeNs>(static_cast<double>(task.duration) / divisor);
+  }
+}
+
+}  // namespace daydream

@@ -1,0 +1,23 @@
+// What-if model for Automatic Mixed Precision (appendix Algorithm 3, §5.1).
+//
+// Select every GPU task; compute-intensive kernels (name contains "sgemm" or
+// "scudnn") shrink 3x (tensor cores), everything else 2x (halved memory
+// traffic). CPU tasks are untouched — which is exactly why AMP's end-to-end
+// speedup is far below 2-3x on CPU-bound models (Figure 6).
+#ifndef SRC_CORE_OPTIMIZATIONS_AMP_H_
+#define SRC_CORE_OPTIMIZATIONS_AMP_H_
+
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+struct AmpWhatIf {
+  double compute_bound_divisor = 3.0;  // kernels with sgemm/scudnn in the name
+  double memory_bound_divisor = 2.0;   // all other GPU kernels
+};
+
+void WhatIfAmp(DependencyGraph* graph, const AmpWhatIf& options = AmpWhatIf{});
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_AMP_H_

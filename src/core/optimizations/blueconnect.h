@@ -1,0 +1,20 @@
+// What-if model for BlueConnect (Algorithm 8, §5.2).
+//
+// BlueConnect decomposes each allReduce into an intra-node reduce-scatter, an
+// inter-node reduce-scatter, an inter-node all-gather and an intra-node
+// all-gather, running the inter-node phases on one parallel channel per local
+// GPU. Applied on top of WhatIfDistributed: each inserted allReduce task is
+// replaced by the decomposed task pipeline on its own set of channels.
+#ifndef SRC_CORE_OPTIMIZATIONS_BLUECONNECT_H_
+#define SRC_CORE_OPTIMIZATIONS_BLUECONNECT_H_
+
+#include "src/comm/network_spec.h"
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+void WhatIfBlueConnect(DependencyGraph* graph, const ClusterConfig& cluster);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_BLUECONNECT_H_

@@ -1,0 +1,35 @@
+// What-if model for Deep Gradient Compression (Algorithm 12, §5.2).
+//
+// DGC compresses gradients before transmission (to ~0.1-1% of their size) and
+// decompresses them before the weight update. Applied on top of
+// WhatIfDistributed: every allReduce task's duration is rescaled to the
+// compressed payload, and compression/decompression GPU kernels (estimated
+// from existing elementwise kernels) are inserted around it.
+#ifndef SRC_CORE_OPTIMIZATIONS_DGC_H_
+#define SRC_CORE_OPTIMIZATIONS_DGC_H_
+
+#include "src/comm/network_spec.h"
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+struct DgcWhatIf {
+  ClusterConfig cluster;
+  double compression_ratio = 0.01;  // compressed bytes / original bytes
+  // Compression makes ~3 passes over the gradients (threshold + select +
+  // pack); decompression one sparse scatter.
+  double compress_passes = 3.0;
+  double decompress_passes = 1.0;
+};
+
+void WhatIfDgc(DependencyGraph* graph, const DgcWhatIf& options);
+
+// Estimates an elementwise-kernel duration for `bytes` of traffic from the
+// existing elementwise kernels in the graph (paper: "can be estimated
+// according to the compression rate and duration of existing element-wise GPU
+// kernels"). Exposed for tests.
+TimeNs EstimateElementwiseDuration(const DependencyGraph& graph, int64_t bytes);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_DGC_H_

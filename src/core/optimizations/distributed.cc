@@ -1,0 +1,87 @@
+#include "src/core/optimizations/distributed.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/comm/collectives.h"
+#include "src/core/transform.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+TimeNs PredictAllReduceDuration(int64_t bytes, const DistributedWhatIf& options) {
+  const TimeNs theoretical = RingAllReduceTime(bytes, options.cluster);
+  if (!options.calibrate_nccl_overhead) {
+    return theoretical;
+  }
+  return NcclExclusiveTime(theoretical);
+}
+
+void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& gradients,
+                       const DistributedWhatIf& options) {
+  if (options.cluster.total_gpus() <= 1) {
+    return;
+  }
+
+  struct Bucket {
+    int64_t bytes = 0;
+    std::vector<int> layer_ids;
+  };
+  std::map<int, Bucket> buckets;
+  for (const GradientInfo& g : gradients) {
+    DD_CHECK_GE(g.bucket_id, 0) << "trace lacks the layer->bucket instrumentation";
+    buckets[g.bucket_id].bytes += g.bytes;
+    buckets[g.bucket_id].layer_ids.push_back(g.layer_id);
+  }
+
+  // First weight-update task: every allReduce must finish before it
+  // (Algorithm 6 line 7: AddDependencies(AllReduceTask -> WU)).
+  const std::vector<TaskId> wu = graph->Select(PhaseIs(Phase::kWeightUpdate));
+  TaskId first_wu = kInvalidTask;
+  for (TaskId id : wu) {
+    if (first_wu == kInvalidTask || graph->task(id).start < graph->task(first_wu).start) {
+      first_wu = id;
+    }
+  }
+  DD_CHECK_NE(first_wu, kInvalidTask) << "no weight-update phase in the profile";
+
+  // Last backward GPU task per layer (the moment that layer's gradients are
+  // ready, per the synchronization-free layer mapping).
+  std::map<int, TaskId> last_bwd_gpu;
+  for (TaskId id : graph->Select(All(IsOnGpu(), PhaseIs(Phase::kBackward)))) {
+    const Task& t = graph->task(id);
+    auto it = last_bwd_gpu.find(t.layer_id);
+    if (it == last_bwd_gpu.end() || graph->task(it->second).start < t.start) {
+      last_bwd_gpu[t.layer_id] = id;
+    }
+  }
+
+  TaskId previous_comm = kInvalidTask;
+  for (const auto& [bucket_id, bucket] : buckets) {
+    Task comm;
+    comm.type = TaskType::kComm;
+    comm.comm = CommKind::kAllReduce;
+    comm.name = StrFormat("allReduce_bucket%d", bucket_id);
+    comm.thread = ExecThread::Comm(kAllReduceChannel);
+    comm.duration = PredictAllReduceDuration(bucket.bytes, options);
+    comm.bytes = bucket.bytes;
+    comm.phase = Phase::kBackward;
+    const TaskId comm_id = graph->AddTask(std::move(comm));
+
+    for (int layer_id : bucket.layer_ids) {
+      auto it = last_bwd_gpu.find(layer_id);
+      if (it != last_bwd_gpu.end()) {
+        graph->AddEdge(it->second, comm_id);
+      }
+    }
+    graph->AddEdge(comm_id, first_wu);
+    if (previous_comm != kInvalidTask) {
+      // NCCL serializes collectives on one communicator/stream.
+      graph->AddEdge(previous_comm, comm_id);
+    }
+    previous_comm = comm_id;
+  }
+}
+
+}  // namespace daydream

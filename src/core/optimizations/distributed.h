@@ -1,0 +1,40 @@
+// What-if model for distributed data-parallel training (Algorithm 6, §6.5).
+//
+// From a *single-GPU* profile, predicts multi-machine iteration time: one
+// allReduce communication task is inserted per DDP gradient bucket (the
+// instrumented layer->bucket grouping travels with the trace), depending on
+// the backward GPU tasks of the bucket's layers and feeding the first
+// weight-update task. AllReduce durations come from the ring formula,
+// calibrated by the NCCL-kernel overhead measured in exclusive runs — the
+// GPU-interference slowdown of overlapped execution is deliberately unknown
+// to the prediction (it is the main source of Figure 8's error).
+#ifndef SRC_CORE_OPTIMIZATIONS_DISTRIBUTED_H_
+#define SRC_CORE_OPTIMIZATIONS_DISTRIBUTED_H_
+
+#include <vector>
+
+#include "src/comm/network_spec.h"
+#include "src/core/dependency_graph.h"
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct DistributedWhatIf {
+  ClusterConfig cluster;
+  // Apply the exclusive-execution calibration (ring formula * NCCL kernel
+  // overhead). Off = raw theoretical formula (the Figure 9 comparison).
+  bool calibrate_nccl_overhead = true;
+};
+
+// The communication channel inserted allReduce tasks run on.
+inline constexpr int kAllReduceChannel = 0;
+
+void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& gradients,
+                       const DistributedWhatIf& options);
+
+// Predicted duration of one allReduce under `options` (exposed for Figure 9).
+TimeNs PredictAllReduceDuration(int64_t bytes, const DistributedWhatIf& options);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_DISTRIBUTED_H_

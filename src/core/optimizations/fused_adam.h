@@ -1,0 +1,19 @@
+// What-if model for the Apex FusedAdam optimizer (Algorithm 4, §5.1/§6.3).
+//
+// Uses the kernel-to-layer mapping to find every CPU/GPU task of the weight-
+// update phase, removes them all, and inserts a single fused GPU kernel whose
+// duration is the sum of the removed GPU kernels. Removing the thousands of
+// cudaLaunchKernel calls (2.6k/5.2k for BERT base/large) is where the real
+// speedup comes from.
+#ifndef SRC_CORE_OPTIMIZATIONS_FUSED_ADAM_H_
+#define SRC_CORE_OPTIMIZATIONS_FUSED_ADAM_H_
+
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+void WhatIfFusedAdam(DependencyGraph* graph);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_FUSED_ADAM_H_

@@ -1,0 +1,98 @@
+#include "src/core/optimizations/gist.h"
+
+#include <algorithm>
+
+#include "src/core/transform.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+std::vector<TaskId> SortedLayerGpu(const DependencyGraph& graph, int layer_id, Phase phase) {
+  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    return graph.task(a).start < graph.task(b).start;
+  });
+  return ids;
+}
+
+TaskId LaunchOf(const DependencyGraph& graph, TaskId gpu) {
+  for (TaskId p : graph.parents(gpu)) {
+    const Task& t = graph.task(p);
+    if (t.is_cpu() && t.api == ApiKind::kLaunchKernel) {
+      return p;
+    }
+  }
+  return kInvalidTask;
+}
+
+}  // namespace
+
+void WhatIfGist(DependencyGraph* graph, const ModelGraph& model, const GistWhatIf& options) {
+  for (const Layer& layer : model.layers()) {
+    const bool relu_target = layer.kind == LayerKind::kReLU;
+    const bool dpr_target = options.lossy && (layer.kind == LayerKind::kMaxPool ||
+                                              layer.kind == LayerKind::kAvgPool);
+    if (!relu_target && !dpr_target) {
+      continue;
+    }
+    const std::vector<TaskId> fwd = SortedLayerGpu(*graph, layer.id, Phase::kForward);
+    const std::vector<TaskId> bwd = SortedLayerGpu(*graph, layer.id, Phase::kBackward);
+    if (fwd.empty() || bwd.empty()) {
+      continue;
+    }
+    // Estimate codec cost from this layer's own (elementwise) forward kernel:
+    // encode/decode make one extra pass over the same activation data.
+    const TimeNs codec = static_cast<TimeNs>(static_cast<double>(graph->task(fwd.back()).duration) *
+                                             options.codec_cost_factor);
+    const char* scheme = relu_target ? (options.lossy ? "binarize" : "ssdc") : "dpr";
+
+    Task encode;
+    encode.type = TaskType::kGpu;
+    encode.name = StrFormat("elementwise_kernel_gist_encode_%s", scheme);
+    encode.thread = graph->task(fwd.back()).thread;
+    encode.duration = codec;
+    encode.layer_id = layer.id;
+    encode.phase = Phase::kForward;
+    const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
+    const InsertedKernel enc = InsertKernelAfter(
+        graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, fwd.back(),
+        std::move(encode));
+    graph->AddEdge(fwd.back(), enc.kernel);
+
+    Task decode;
+    decode.type = TaskType::kGpu;
+    decode.name = StrFormat("elementwise_kernel_gist_decode_%s", scheme);
+    decode.thread = graph->task(bwd.front()).thread;
+    decode.duration = codec;
+    decode.layer_id = layer.id;
+    decode.phase = Phase::kBackward;
+    const TaskId bwd_launch = LaunchOf(*graph, bwd.front());
+    // Decode immediately before the backward task: splice the GPU task before
+    // it on the stream so the backward consumes decoded data.
+    const TaskId launch_anchor = bwd_launch == kInvalidTask ? bwd.front() : bwd_launch;
+    Task decode_launch;
+    decode_launch.type = TaskType::kCpu;
+    decode_launch.api = ApiKind::kLaunchKernel;
+    decode_launch.name = StrFormat("cudaLaunchKernel(%s)", decode.name.c_str());
+    decode_launch.thread = graph->task(launch_anchor).is_cpu()
+                               ? graph->task(launch_anchor).thread
+                               : ExecThread::Cpu(0);
+    decode_launch.duration = 7 * kMicrosecond;
+    decode_launch.layer_id = layer.id;
+    decode_launch.phase = Phase::kBackward;
+    TaskId dl;
+    if (graph->task(launch_anchor).is_cpu()) {
+      dl = graph->InsertBefore(launch_anchor, std::move(decode_launch));
+    } else {
+      dl = graph->InsertAfter(launch_anchor, std::move(decode_launch));
+    }
+    const TaskId dk = graph->InsertBefore(bwd.front(), std::move(decode));
+    graph->AddEdge(dl, dk);
+    graph->AddEdge(enc.kernel, dk);
+    graph->AddEdge(dk, bwd.front());
+  }
+}
+
+}  // namespace daydream

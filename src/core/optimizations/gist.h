@@ -1,0 +1,30 @@
+// What-if model for Gist (Algorithm 11, §5.2).
+//
+// Gist stores encoded intermediate feature maps and decodes them before use,
+// trading extra encode/decode kernels for memory footprint. Modeled by
+// inserting an encode kernel after each targeted activation's forward tasks
+// and a decode kernel before its backward tasks; durations are estimated from
+// the layer's existing elementwise kernels, as the paper prescribes.
+#ifndef SRC_CORE_OPTIMIZATIONS_GIST_H_
+#define SRC_CORE_OPTIMIZATIONS_GIST_H_
+
+#include "src/core/dependency_graph.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+struct GistWhatIf {
+  // Lossy mode additionally inserts Delayed-Precision-Reduction kernels on
+  // non-ReLU activations.
+  bool lossy = false;
+  // Cost of one encode/decode pass relative to the layer's own elementwise
+  // forward kernel (they touch the same data once).
+  double codec_cost_factor = 1.0;
+};
+
+void WhatIfGist(DependencyGraph* graph, const ModelGraph& model,
+                const GistWhatIf& options = GistWhatIf{});
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_GIST_H_

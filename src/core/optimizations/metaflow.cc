@@ -1,0 +1,32 @@
+#include "src/core/optimizations/metaflow.h"
+
+#include "src/core/transform.h"
+
+namespace daydream {
+
+void MetaFlowRemoveLayer(DependencyGraph* graph, int layer_id) {
+  RemoveAll(graph, graph->Select(All(IsOnGpu(), LayerIs(layer_id))));
+  RemoveAll(graph,
+            graph->Select(All(All(IsOnCpu(), LayerIs(layer_id)), ApiIs(ApiKind::kLaunchKernel))));
+}
+
+void MetaFlowScaleLayer(DependencyGraph* graph, int layer_id, double factor) {
+  ScaleBy(graph, graph->Select(All(IsOnGpu(), LayerIs(layer_id))), factor);
+}
+
+void WhatIfMetaFlowFuseConvBn(DependencyGraph* graph, const ModelGraph& model,
+                              double conv_scale) {
+  for (const Layer& layer : model.layers()) {
+    if (layer.kind != LayerKind::kBatchNorm || layer.inputs.empty()) {
+      continue;
+    }
+    const Layer& producer = model.layer(layer.inputs[0]);
+    if (producer.kind != LayerKind::kConv2d) {
+      continue;
+    }
+    MetaFlowRemoveLayer(graph, layer.id);
+    MetaFlowScaleLayer(graph, producer.id, conv_scale);
+  }
+}
+
+}  // namespace daydream

@@ -1,0 +1,27 @@
+// What-if model for MetaFlow's relaxed graph substitutions (Algorithm 9, §5.2).
+//
+// A MetaFlow policy ultimately removes layers or rescales their kernels; the
+// paper models a given policy with the layer-wise Remove/Scale operations and
+// notes Daydream can serve as the search's cost model. WhatIfMetaFlowFuseConvBn
+// is a concrete demo policy: fold every BatchNorm that directly follows a
+// convolution into the convolution (a classic MetaFlow/TASO substitution).
+#ifndef SRC_CORE_OPTIMIZATIONS_METAFLOW_H_
+#define SRC_CORE_OPTIMIZATIONS_METAFLOW_H_
+
+#include "src/core/dependency_graph.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+// Algorithm 9's two building blocks.
+void MetaFlowRemoveLayer(DependencyGraph* graph, int layer_id);
+void MetaFlowScaleLayer(DependencyGraph* graph, int layer_id, double factor);
+
+// Demo policy: fuse conv+BN pairs (BN removed, conv kernels scaled slightly
+// up for the folded affine math).
+void WhatIfMetaFlowFuseConvBn(DependencyGraph* graph, const ModelGraph& model,
+                              double conv_scale = 1.05);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_METAFLOW_H_

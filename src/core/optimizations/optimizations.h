@@ -1,0 +1,16 @@
+// Umbrella header: all what-if optimization models (paper §5, appendix A).
+#ifndef SRC_CORE_OPTIMIZATIONS_OPTIMIZATIONS_H_
+#define SRC_CORE_OPTIMIZATIONS_OPTIMIZATIONS_H_
+
+#include "src/core/optimizations/amp.h"
+#include "src/core/optimizations/blueconnect.h"
+#include "src/core/optimizations/dgc.h"
+#include "src/core/optimizations/distributed.h"
+#include "src/core/optimizations/fused_adam.h"
+#include "src/core/optimizations/gist.h"
+#include "src/core/optimizations/metaflow.h"
+#include "src/core/optimizations/p3.h"
+#include "src/core/optimizations/restructured_batchnorm.h"
+#include "src/core/optimizations/vdnn.h"
+
+#endif  // SRC_CORE_OPTIMIZATIONS_OPTIMIZATIONS_H_

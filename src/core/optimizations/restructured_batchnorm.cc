@@ -1,0 +1,21 @@
+#include "src/core/optimizations/restructured_batchnorm.h"
+
+#include "src/core/transform.h"
+
+namespace daydream {
+
+void WhatIfRestructuredBatchnorm(DependencyGraph* graph, const ModelGraph& model) {
+  for (const Layer& layer : model.layers()) {
+    const bool fused_relu = layer.kind == LayerKind::kReLU && !layer.inputs.empty() &&
+                            model.layer(layer.inputs[0]).kind == LayerKind::kBatchNorm;
+    if (fused_relu) {
+      RemoveAll(graph, graph->Select(All(IsOnGpu(), LayerIs(layer.id))));
+      RemoveAll(graph, graph->Select(All(All(IsOnCpu(), LayerIs(layer.id)),
+                                         ApiIs(ApiKind::kLaunchKernel))));
+    } else if (layer.kind == LayerKind::kBatchNorm) {
+      ShrinkBy(graph, graph->Select(All(IsOnGpu(), LayerIs(layer.id))), 2.0);
+    }
+  }
+}
+
+}  // namespace daydream

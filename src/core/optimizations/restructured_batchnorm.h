@@ -1,0 +1,20 @@
+// What-if model for Restructuring Batch Normalization (Algorithm 5, §6.4).
+//
+// Jung et al. split each BN layer and fuse its halves with the neighbouring
+// convolution/activation layers. Modeled as: remove the GPU tasks (and their
+// launches) of every ReLU layer that directly follows a BN layer — those are
+// memory-bound kernels now fused into the convolutions — and shrink BN kernels
+// 2x because the reconstructed layers load half the data from GPU memory.
+#ifndef SRC_CORE_OPTIMIZATIONS_RESTRUCTURED_BATCHNORM_H_
+#define SRC_CORE_OPTIMIZATIONS_RESTRUCTURED_BATCHNORM_H_
+
+#include "src/core/dependency_graph.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+void WhatIfRestructuredBatchnorm(DependencyGraph* graph, const ModelGraph& model);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_RESTRUCTURED_BATCHNORM_H_

@@ -1,0 +1,103 @@
+#include "src/core/optimizations/vdnn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/transform.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+std::vector<TaskId> SortedLayerGpu(const DependencyGraph& graph, int layer_id, Phase phase) {
+  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    return graph.task(a).start < graph.task(b).start;
+  });
+  return ids;
+}
+
+// The CPU launch task of a GPU task (its launching parent).
+TaskId LaunchOf(const DependencyGraph& graph, TaskId gpu) {
+  for (TaskId p : graph.parents(gpu)) {
+    const Task& t = graph.task(p);
+    if (t.is_cpu() && t.api == ApiKind::kLaunchKernel) {
+      return p;
+    }
+  }
+  return kInvalidTask;
+}
+
+Task CopyTask(const Layer& layer, const char* what, Phase phase, const VdnnWhatIf& options) {
+  const int64_t bytes = layer.output_elems * 4;
+  Task t;
+  t.type = TaskType::kGpu;
+  t.name = StrFormat("memcpy_%s_vdnn_%s_%s", phase == Phase::kForward ? "dtoh" : "htod",
+                     phase == Phase::kForward ? "offload" : "prefetch", what);
+  t.thread = ExecThread::Gpu(options.copy_stream);
+  t.duration = static_cast<TimeNs>(static_cast<double>(bytes) / options.pcie_bytes_per_ns) +
+               2 * kMicrosecond;
+  t.bytes = bytes;
+  t.layer_id = layer.id;
+  t.phase = phase;
+  return t;
+}
+
+}  // namespace
+
+void WhatIfVdnn(DependencyGraph* graph, const ModelGraph& model, const VdnnWhatIf& options) {
+  // Copy-stream order matters: offloads issue during the forward pass (layer
+  // order), prefetches during the backward pass (reverse layer order). The
+  // copy stream serializes them in exactly that order.
+  TaskId copy_tail = kInvalidTask;
+  std::map<int, TaskId> offload_of_layer;
+
+  for (const Layer& layer : model.layers()) {
+    if (layer.kind != LayerKind::kConv2d) {
+      continue;  // vDNN_conv policy: offload only convolution feature maps
+    }
+    const std::vector<TaskId> fwd = SortedLayerGpu(*graph, layer.id, Phase::kForward);
+    if (fwd.empty()) {
+      continue;
+    }
+    Task offload = CopyTask(layer, layer.name.c_str(), Phase::kForward, options);
+    const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
+    const TaskId gpu_anchor = copy_tail == kInvalidTask ? fwd.back() : copy_tail;
+    const InsertedKernel off = InsertKernelAfter(
+        graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, gpu_anchor,
+        std::move(offload));
+    graph->AddEdge(fwd.back(), off.kernel);  // the feature map must exist first
+    copy_tail = off.kernel;
+    offload_of_layer[layer.id] = off.kernel;
+  }
+
+  // Prefetches run one conv layer ahead (vDNN's findPrefetchLayer policy):
+  // while layer L+1's backward computes, layer L's feature map streams back,
+  // hiding most of the PCIe latency behind compute.
+  TaskId previous_bwd_launch = kInvalidTask;
+  for (auto it = model.layers().rbegin(); it != model.layers().rend(); ++it) {
+    const Layer& layer = *it;
+    auto off = offload_of_layer.find(layer.id);
+    if (off == offload_of_layer.end()) {
+      continue;
+    }
+    const std::vector<TaskId> bwd = SortedLayerGpu(*graph, layer.id, Phase::kBackward);
+    if (bwd.empty()) {
+      continue;
+    }
+    Task prefetch = CopyTask(layer, layer.name.c_str(), Phase::kBackward, options);
+    const TaskId own_launch = LaunchOf(*graph, bwd.front());
+    TaskId anchor = previous_bwd_launch;  // one layer of lookahead
+    if (anchor == kInvalidTask) {
+      anchor = own_launch == kInvalidTask ? bwd.front() : own_launch;
+    }
+    const InsertedKernel pre = InsertKernelAfter(graph, anchor, copy_tail, std::move(prefetch));
+    graph->AddEdge(off->second, pre.kernel);  // can only prefetch offloaded data
+    graph->AddEdge(pre.kernel, bwd.front());  // the backward needs the feature map
+    copy_tail = pre.kernel;
+    previous_bwd_launch = own_launch == kInvalidTask ? bwd.front() : own_launch;
+  }
+}
+
+}  // namespace daydream

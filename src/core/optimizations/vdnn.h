@@ -1,0 +1,26 @@
+// What-if model for vDNN (Algorithm 10, §5.2).
+//
+// Virtualized DNN offloads convolution-layer feature maps to host memory
+// during the forward pass and prefetches them back before the corresponding
+// backward pass. Modeled by inserting DtoH/HtoD memory-copy tasks (with their
+// CPU launch calls) on a dedicated copy stream: the cost of the what-if is the
+// PCIe traffic and any late prefetch stalling a backward layer.
+#ifndef SRC_CORE_OPTIMIZATIONS_VDNN_H_
+#define SRC_CORE_OPTIMIZATIONS_VDNN_H_
+
+#include "src/core/dependency_graph.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+struct VdnnWhatIf {
+  double pcie_bytes_per_ns = 12.0;  // effective PCIe 3.0 x16 bandwidth
+  int copy_stream = 2;              // dedicated memcpy stream
+};
+
+void WhatIfVdnn(DependencyGraph* graph, const ModelGraph& model,
+                const VdnnWhatIf& options = VdnnWhatIf{});
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_VDNN_H_

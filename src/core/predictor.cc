@@ -1,0 +1,49 @@
+#include "src/core/predictor.h"
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+double PredictionResult::SpeedupPct() const {
+  if (baseline == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(baseline - predicted) / static_cast<double>(baseline);
+}
+
+double PredictionResult::SpeedupRatio() const {
+  if (predicted == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(baseline) / static_cast<double>(predicted);
+}
+
+Daydream::Daydream(Trace trace, GraphBuildOptions options)
+    : trace_(std::move(trace)), graph_(BuildDependencyGraph(trace_, options)) {
+  std::string error;
+  DD_CHECK(graph_.Validate(&error)) << "invalid dependency graph: " << error;
+  baseline_sim_ = Simulator().Run(graph_).makespan;
+}
+
+TimeNs Daydream::BaselineSimTime() const { return baseline_sim_; }
+
+PredictionResult Daydream::Predict(const std::function<void(DependencyGraph*)>& transform,
+                                   std::shared_ptr<Scheduler> scheduler) const {
+  DependencyGraph transformed = graph_;
+  transform(&transformed);
+  return Evaluate(transformed, std::move(scheduler));
+}
+
+PredictionResult Daydream::Evaluate(const DependencyGraph& transformed,
+                                    std::shared_ptr<Scheduler> scheduler) const {
+  std::string error;
+  DD_CHECK(transformed.Validate(&error)) << "transformed graph invalid: " << error;
+  Simulator simulator =
+      scheduler == nullptr ? Simulator() : Simulator(std::move(scheduler));
+  PredictionResult result;
+  result.baseline = baseline_sim_;
+  result.predicted = simulator.Run(transformed).makespan;
+  return result;
+}
+
+}  // namespace daydream

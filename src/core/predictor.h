@@ -1,0 +1,58 @@
+// Daydream's top-level what-if API (Figure 2 workflow).
+//
+//   Trace trace = ...;                       // Phase 1: collected profile
+//   Daydream dd(trace);                      // Phase 2: dependency graph
+//   PredictionResult r = dd.Predict([](DependencyGraph& g) {
+//     WhatIfAmp(&g);                         // Phase 3: graph transformation
+//   });                                      // Phase 4: simulation
+//   r.predicted / r.SpeedupPct() ...
+#ifndef SRC_CORE_PREDICTOR_H_
+#define SRC_CORE_PREDICTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/core/dependency_graph.h"
+#include "src/core/graph_builder.h"
+#include "src/core/simulator.h"
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct PredictionResult {
+  TimeNs baseline = 0;   // simulated makespan of the untransformed graph
+  TimeNs predicted = 0;  // simulated makespan after the transformation
+
+  double SpeedupPct() const;   // (baseline - predicted) / baseline * 100
+  double SpeedupRatio() const; // baseline / predicted
+};
+
+class Daydream {
+ public:
+  explicit Daydream(Trace trace, GraphBuildOptions options = GraphBuildOptions{});
+
+  const Trace& trace() const { return trace_; }
+  const DependencyGraph& graph() const { return graph_; }
+  DependencyGraph CloneGraph() const { return graph_; }
+
+  // Simulated makespan of the baseline graph — should reproduce the measured
+  // iteration time (validated in tests).
+  TimeNs BaselineSimTime() const;
+
+  // Applies `transform` to a copy of the graph and simulates it.
+  PredictionResult Predict(const std::function<void(DependencyGraph*)>& transform,
+                           std::shared_ptr<Scheduler> scheduler = nullptr) const;
+
+  // Simulates an already-transformed graph against this baseline.
+  PredictionResult Evaluate(const DependencyGraph& transformed,
+                            std::shared_ptr<Scheduler> scheduler = nullptr) const;
+
+ private:
+  Trace trace_;
+  DependencyGraph graph_;
+  TimeNs baseline_sim_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_PREDICTOR_H_

@@ -1,0 +1,81 @@
+// Runtime simulation over the dependency graph — the paper's Algorithm 1.
+//
+// Traverses the graph, dispatching ready ("frontier") tasks onto their
+// execution threads, advancing per-thread progress by duration + gap, and
+// propagating completion times to children. The schedule() choice of which
+// frontier task to dispatch first is pluggable: the default picks the task
+// that can start earliest (the paper's default); optimizations like P3 and
+// vDNN install custom policies (§4.4 "Schedule", appendix Algorithms 7/10).
+#ifndef SRC_CORE_SIMULATOR_H_
+#define SRC_CORE_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+struct SimResult {
+  TimeNs makespan = 0;
+  // Simulated start/end time per task id (dead tasks keep -1). Indexable by
+  // graph.capacity().
+  std::vector<TimeNs> start;
+  std::vector<TimeNs> end;
+  // Per-thread busy time (sum of durations) and final progress.
+  std::map<ExecThread, TimeNs> thread_busy;
+  std::map<ExecThread, TimeNs> thread_end;
+  int dispatched = 0;
+
+  TimeNs EndOf(TaskId id) const;
+};
+
+// Scheduling policy: given the frontier (ready tasks), pick which to dispatch.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  struct Context {
+    const DependencyGraph* graph = nullptr;
+    // Current progress of each execution thread.
+    const std::map<ExecThread, TimeNs>* progress = nullptr;
+    // Current earliest-start bound per task (updated by finished parents).
+    const std::vector<TimeNs>* earliest = nullptr;
+
+    // Feasible dispatch time of a task: max(thread progress, earliest bound).
+    TimeNs FeasibleTime(TaskId id) const;
+  };
+
+  // Returns an index into `frontier`.
+  virtual size_t Pick(const std::vector<TaskId>& frontier, const Context& context) = 0;
+};
+
+// Default policy: dispatch the frontier task with the earliest feasible start;
+// ties broken by task id for determinism.
+class EarliestStartScheduler : public Scheduler {
+ public:
+  size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
+};
+
+// P3-style policy (appendix Algorithm 7): earliest feasible start, but among
+// communication tasks that tie, the higher Task::priority wins.
+class PriorityCommScheduler : public Scheduler {
+ public:
+  size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
+};
+
+class Simulator {
+ public:
+  Simulator();
+  explicit Simulator(std::shared_ptr<Scheduler> scheduler);
+
+  SimResult Run(const DependencyGraph& graph) const;
+
+ private:
+  std::shared_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_SIMULATOR_H_

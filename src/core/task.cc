@@ -1,0 +1,39 @@
+#include "src/core/task.h"
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+const char* ToString(TaskType type) {
+  switch (type) {
+    case TaskType::kCpu:
+      return "cpu";
+    case TaskType::kGpu:
+      return "gpu";
+    case TaskType::kDataLoad:
+      return "dataload";
+    case TaskType::kComm:
+      return "comm";
+  }
+  return "?";
+}
+
+std::string ExecThread::Label() const {
+  switch (kind) {
+    case Kind::kCpuThread:
+      return StrFormat("cpu:%d", id);
+    case Kind::kGpuStream:
+      return StrFormat("gpu:%d", id);
+    case Kind::kCommChannel:
+      return StrFormat("comm:%d", id);
+  }
+  return "?";
+}
+
+std::string Task::DebugString() const {
+  return StrFormat("[#%d %s '%s' %s start=%.3fus dur=%.3fus gap=%.3fus layer=%d %s]", id,
+                   ToString(type), name.c_str(), thread.Label().c_str(), ToUs(start),
+                   ToUs(duration), ToUs(gap), layer_id, ToString(phase));
+}
+
+}  // namespace daydream

@@ -1,0 +1,90 @@
+// Task: one node of Daydream's kernel-granularity dependency graph (§4.2.1).
+//
+// A task is the smallest unit of execution: one GPU kernel, one CUDA memory
+// copy, one CPU-side API call, one data-loading job or one communication
+// primitive. Every task carries its execution thread (CPU thread / GPU stream
+// / communication channel), measured duration, the trailing "gap" that models
+// non-CUDA CPU time, and the DNN layer it maps back to.
+#ifndef SRC_CORE_TASK_H_
+#define SRC_CORE_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/trace/trace_event.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+enum class TaskType {
+  kCpu,       // CUDA API call or other CPU work
+  kGpu,       // GPU kernel or memory copy
+  kDataLoad,  // mini-batch loading
+  kComm,      // communication primitive (allReduce / push / pull)
+};
+
+const char* ToString(TaskType type);
+
+// Execution lane of a task (§4.2.1 "ExecutionThread").
+struct ExecThread {
+  enum class Kind { kCpuThread, kGpuStream, kCommChannel };
+  Kind kind = Kind::kCpuThread;
+  int id = 0;
+
+  bool operator==(const ExecThread& other) const = default;
+  // Total order so ExecThread can key maps.
+  bool operator<(const ExecThread& other) const {
+    if (kind != other.kind) {
+      return static_cast<int>(kind) < static_cast<int>(other.kind);
+    }
+    return id < other.id;
+  }
+  std::string Label() const;
+
+  static ExecThread Cpu(int id) { return {Kind::kCpuThread, id}; }
+  static ExecThread Gpu(int id) { return {Kind::kGpuStream, id}; }
+  static ExecThread Comm(int id) { return {Kind::kCommChannel, id}; }
+};
+
+using TaskId = int;
+inline constexpr TaskId kInvalidTask = -1;
+
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskType type = TaskType::kCpu;
+  std::string name;
+  ExecThread thread;
+
+  // Measured placement. `start` doubles as the earliest-start lower bound in
+  // Algorithm 1 (initialized to 0 before simulation).
+  TimeNs start = 0;
+  TimeNs duration = 0;
+  // Idle CPU time between this task and the next one on the same thread that
+  // CUPTI cannot see (Python, framework dispatch) — §4.2.1 "Gap".
+  TimeNs gap = 0;
+
+  // Provenance / domain knowledge.
+  ApiKind api = ApiKind::kNone;
+  CommKind comm = CommKind::kNone;
+  int64_t correlation_id = 0;
+  int layer_id = -1;
+  Phase phase = Phase::kUnknown;
+  int64_t bytes = 0;
+
+  // Free-form priority used by custom schedulers (P3's prioritization).
+  int priority = 0;
+
+  bool is_gpu() const { return type == TaskType::kGpu; }
+  bool is_cpu() const { return type == TaskType::kCpu || type == TaskType::kDataLoad; }
+  bool is_comm() const { return type == TaskType::kComm; }
+
+  TimeNs end() const { return start + duration; }
+  std::string DebugString() const;
+};
+
+using TaskPredicate = std::function<bool(const Task&)>;
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_TASK_H_

@@ -1,0 +1,104 @@
+#include "src/core/transform.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+TaskPredicate IsOnGpu() {
+  return [](const Task& t) { return t.is_gpu(); };
+}
+
+TaskPredicate IsOnCpu() {
+  return [](const Task& t) { return t.is_cpu(); };
+}
+
+TaskPredicate IsComm() {
+  return [](const Task& t) { return t.is_comm(); };
+}
+
+TaskPredicate NameContains(std::string needle) {
+  return [needle = std::move(needle)](const Task& t) { return StrContains(t.name, needle); };
+}
+
+TaskPredicate PhaseIs(Phase phase) {
+  return [phase](const Task& t) { return t.phase == phase; };
+}
+
+TaskPredicate LayerIs(int layer_id) {
+  return [layer_id](const Task& t) { return t.layer_id == layer_id; };
+}
+
+TaskPredicate ApiIs(ApiKind api) {
+  return [api](const Task& t) { return t.api == api; };
+}
+
+TaskPredicate All(TaskPredicate a, TaskPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Task& t) { return a(t) && b(t); };
+}
+
+TaskPredicate Any(TaskPredicate a, TaskPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Task& t) { return a(t) || b(t); };
+}
+
+TaskPredicate Not(TaskPredicate a) {
+  return [a = std::move(a)](const Task& t) { return !a(t); };
+}
+
+void ShrinkBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double divisor) {
+  DD_CHECK_GT(divisor, 0.0);
+  for (TaskId id : ids) {
+    Task& t = graph->task(id);
+    t.duration = static_cast<TimeNs>(static_cast<double>(t.duration) / divisor);
+  }
+}
+
+void ScaleBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double factor) {
+  DD_CHECK_GT(factor, 0.0);
+  ShrinkBy(graph, ids, 1.0 / factor);
+}
+
+void SetDurations(DependencyGraph* graph, const std::vector<TaskId>& ids, TimeNs duration) {
+  DD_CHECK_GE(duration, 0);
+  for (TaskId id : ids) {
+    graph->task(id).duration = duration;
+  }
+}
+
+void RemoveAll(DependencyGraph* graph, const std::vector<TaskId>& ids) {
+  for (TaskId id : ids) {
+    if (graph->alive(id)) {
+      graph->Remove(id);
+    }
+  }
+}
+
+InsertedKernel InsertKernelAfter(DependencyGraph* graph, TaskId cpu_anchor, TaskId gpu_anchor,
+                                 Task gpu_task, TimeNs launch_overhead) {
+  DD_CHECK(gpu_task.thread.kind == ExecThread::Kind::kGpuStream);
+  Task launch;
+  launch.type = TaskType::kCpu;
+  launch.api = ApiKind::kLaunchKernel;
+  launch.name = StrFormat("cudaLaunchKernel(%s)", gpu_task.name.c_str());
+  launch.thread = graph->task(cpu_anchor).thread;
+  launch.duration = launch_overhead;
+  launch.layer_id = gpu_task.layer_id;
+  launch.phase = gpu_task.phase;
+
+  InsertedKernel out;
+  out.launch = graph->InsertAfter(cpu_anchor, std::move(launch));
+  gpu_task.type = TaskType::kGpu;
+  out.kernel = graph->InsertAfter(gpu_anchor, std::move(gpu_task));
+  graph->AddEdge(out.launch, out.kernel);
+  return out;
+}
+
+TimeNs TotalDuration(const DependencyGraph& graph, const std::vector<TaskId>& ids) {
+  TimeNs total = 0;
+  for (TaskId id : ids) {
+    total += graph.task(id).duration;
+  }
+  return total;
+}
+
+}  // namespace daydream

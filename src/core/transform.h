@@ -1,0 +1,58 @@
+// Graph-transformation primitives (§4.4).
+//
+// The paper's what-if interface: Select tasks of interest, Scale/Shrink their
+// durations, Insert or Remove tasks, and override the scheduler. Optimization
+// models (src/core/optimizations) are built exclusively from these.
+#ifndef SRC_CORE_TRANSFORM_H_
+#define SRC_CORE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dependency_graph.h"
+
+namespace daydream {
+
+// ---- Select predicates ----
+
+TaskPredicate IsOnGpu();
+TaskPredicate IsOnCpu();
+TaskPredicate IsComm();
+TaskPredicate NameContains(std::string needle);
+TaskPredicate PhaseIs(Phase phase);
+TaskPredicate LayerIs(int layer_id);
+TaskPredicate ApiIs(ApiKind api);
+TaskPredicate All(TaskPredicate a, TaskPredicate b);
+TaskPredicate Any(TaskPredicate a, TaskPredicate b);
+TaskPredicate Not(TaskPredicate a);
+
+// ---- Scale / shrink ----
+
+// Divides the duration of each selected task by `divisor` (> 0). A divisor of
+// 2 is the paper's "shrink by 2x"; a divisor of 0.5 doubles the duration.
+void ShrinkBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double divisor);
+// Multiplies durations by `factor`.
+void ScaleBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double factor);
+void SetDurations(DependencyGraph* graph, const std::vector<TaskId>& ids, TimeNs duration);
+
+// ---- Remove / insert ----
+
+void RemoveAll(DependencyGraph* graph, const std::vector<TaskId>& ids);
+
+// Inserts a GPU task together with its launching CPU task (Figure 4b):
+// the CPU launch is spliced after `cpu_anchor` on its CPU thread, the GPU
+// task after `gpu_anchor`'s position on `stream`, plus the correlation edge.
+// Returns the new GPU task id.
+struct InsertedKernel {
+  TaskId launch = kInvalidTask;
+  TaskId kernel = kInvalidTask;
+};
+InsertedKernel InsertKernelAfter(DependencyGraph* graph, TaskId cpu_anchor, TaskId gpu_anchor,
+                                 Task gpu_task, TimeNs launch_overhead = 7 * kMicrosecond);
+
+// Total duration of the selected tasks (used to size fused replacements).
+TimeNs TotalDuration(const DependencyGraph& graph, const std::vector<TaskId>& ids);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_TRANSFORM_H_

@@ -1,0 +1,77 @@
+#include "src/kernels/cost_model.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+CostModel::CostModel(GpuSpec spec) : spec_(std::move(spec)) {
+  DD_CHECK_GT(spec_.fp32_tflops, 0.0);
+  DD_CHECK_GT(spec_.mem_bw_gbps, 0.0);
+}
+
+double CostModel::ComputeEfficiency(KernelClass cls, int64_t flops) {
+  double peak_fraction = 0.30;  // memory-bound classes rarely hit compute limits
+  if (cls == KernelClass::kGemm) {
+    peak_fraction = 0.68;
+  } else if (cls == KernelClass::kConv) {
+    peak_fraction = 0.58;
+  } else {
+    return peak_fraction;
+  }
+  // Utilization ramp: tiny problems are launch/occupancy limited.
+  if (flops < 500'000'000LL) {
+    peak_fraction *= 0.45;
+  } else if (flops < 5'000'000'000LL) {
+    peak_fraction *= 0.75;
+  }
+  return peak_fraction;
+}
+
+double CostModel::MemoryEfficiency(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kGemm:
+    case KernelClass::kConv:
+      return 0.80;
+    case KernelClass::kElementwise:
+      return 0.75;
+    case KernelClass::kBatchNorm:
+      return 0.85;  // cuDNN's persistent BN kernels are close to streaming
+    case KernelClass::kReduction:
+      return 0.65;
+    case KernelClass::kSoftmax:
+      return 0.55;
+    case KernelClass::kEmbedding:
+      return 0.25;  // irregular gathers
+    case KernelClass::kPooling:
+      return 0.60;
+    case KernelClass::kMemcpy:
+      return 0.90;
+  }
+  return 0.5;
+}
+
+TimeNs CostModel::KernelDuration(const KernelSpec& kernel, Precision precision) const {
+  const bool tensor_core =
+      precision == Precision::kFp16 && spec_.has_tensor_cores && IsComputeBound(kernel.cls);
+  const double peak_tflops = tensor_core ? spec_.fp16_tflops : spec_.fp32_tflops;
+  const double flops_per_ns = peak_tflops * 1e3 * ComputeEfficiency(kernel.cls, kernel.flops);
+
+  // FP16 halves DRAM traffic for every kernel class.
+  const double bytes = precision == Precision::kFp16
+                           ? static_cast<double>(kernel.bytes) * 0.5
+                           : static_cast<double>(kernel.bytes);
+  const double bytes_per_ns = spec_.mem_bw_gbps * MemoryEfficiency(kernel.cls);
+
+  const double compute_ns = static_cast<double>(kernel.flops) / flops_per_ns;
+  const double memory_ns = bytes / bytes_per_ns;
+  return kKernelFloorNs + static_cast<TimeNs>(std::max(compute_ns, memory_ns));
+}
+
+TimeNs CostModel::MemcpyDuration(int64_t bytes) const {
+  const double bytes_per_ns = spec_.pcie_gbps;  // GB/s == bytes/ns
+  return kKernelFloorNs + static_cast<TimeNs>(static_cast<double>(bytes) / bytes_per_ns);
+}
+
+}  // namespace daydream

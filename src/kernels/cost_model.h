@@ -1,0 +1,48 @@
+// Roofline kernel cost model.
+//
+// duration = max(flops / effective_compute, bytes / effective_bandwidth) + floor
+//
+// Effective rates apply a per-class efficiency to the GPU peaks (GEMMs hit
+// ~65% of peak, convolutions ~55%, elementwise kernels ~75% of DRAM bandwidth,
+// gathers much less). The floor models fixed kernel startup/teardown, which is
+// what makes thousands-of-tiny-kernel phases (BERT's Adam step) launch-bound.
+//
+// FP16 pricing is only used by the ground-truth executor; Daydream's AMP
+// prediction scales FP32 durations by name class exactly as the paper does.
+#ifndef SRC_KERNELS_COST_MODEL_H_
+#define SRC_KERNELS_COST_MODEL_H_
+
+#include "src/kernels/gpu_spec.h"
+#include "src/kernels/kernel_spec.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+class CostModel {
+ public:
+  explicit CostModel(GpuSpec spec);
+
+  const GpuSpec& gpu() const { return spec_; }
+
+  // Duration of one kernel at the given precision.
+  TimeNs KernelDuration(const KernelSpec& kernel, Precision precision) const;
+
+  // Duration of a host<->device memory copy of `bytes` over PCIe.
+  TimeNs MemcpyDuration(int64_t bytes) const;
+
+  // Per-class efficiency factors (exposed for tests). Compute efficiency is
+  // size-dependent: small GEMMs/convolutions cannot fill the SMs and reach a
+  // fraction of peak (tile quantization, low occupancy).
+  static double ComputeEfficiency(KernelClass cls, int64_t flops);
+  static double MemoryEfficiency(KernelClass cls);
+
+  // Fixed per-kernel device-side overhead.
+  static constexpr TimeNs kKernelFloorNs = 1500;
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_KERNELS_COST_MODEL_H_

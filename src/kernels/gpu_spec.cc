@@ -1,0 +1,37 @@
+#include "src/kernels/gpu_spec.h"
+
+namespace daydream {
+
+const char* ToString(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "FP32";
+    case Precision::kFp16:
+      return "FP16";
+  }
+  return "?";
+}
+
+GpuSpec GpuSpec::Rtx2080Ti() {
+  GpuSpec spec;
+  spec.name = "RTX 2080 Ti";
+  spec.fp32_tflops = 13.45;
+  spec.fp16_tflops = 53.8;  // tensor cores with FP32 accumulate
+  spec.mem_bw_gbps = 616.0;
+  spec.pcie_gbps = 12.0;  // PCIe 3.0 x16 effective
+  spec.has_tensor_cores = true;
+  return spec;
+}
+
+GpuSpec GpuSpec::P4000() {
+  GpuSpec spec;
+  spec.name = "Quadro P4000";
+  spec.fp32_tflops = 5.3;
+  spec.fp16_tflops = 5.3;  // Pascal: no tensor cores, FP16 at FP32 rate
+  spec.mem_bw_gbps = 243.0;
+  spec.pcie_gbps = 12.0;
+  spec.has_tensor_cores = false;
+  return spec;
+}
+
+}  // namespace daydream

@@ -1,0 +1,32 @@
+// GPU hardware descriptions for the kernel cost model.
+//
+// Presets match the two devices in the paper's evaluation: RTX 2080 Ti
+// (Figures 5-9) and Quadro P4000 (the P3 experiments, Figure 10).
+#ifndef SRC_KERNELS_GPU_SPEC_H_
+#define SRC_KERNELS_GPU_SPEC_H_
+
+#include <string>
+
+namespace daydream {
+
+enum class Precision { kFp32, kFp16 };
+
+const char* ToString(Precision precision);
+
+struct GpuSpec {
+  std::string name;
+  double fp32_tflops = 0.0;   // peak FP32 throughput
+  double fp16_tflops = 0.0;   // peak FP16 (tensor core) throughput
+  double mem_bw_gbps = 0.0;   // GB/s device memory bandwidth
+  double pcie_gbps = 0.0;     // GB/s effective host<->device bandwidth
+  bool has_tensor_cores = false;
+
+  // Turing consumer flagship used for the main evaluation.
+  static GpuSpec Rtx2080Ti();
+  // Pascal workstation card used for the P3 experiments (no tensor cores).
+  static GpuSpec P4000();
+};
+
+}  // namespace daydream
+
+#endif  // SRC_KERNELS_GPU_SPEC_H_

@@ -1,0 +1,33 @@
+#include "src/kernels/kernel_spec.h"
+
+namespace daydream {
+
+const char* ToString(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kGemm:
+      return "gemm";
+    case KernelClass::kConv:
+      return "conv";
+    case KernelClass::kElementwise:
+      return "elementwise";
+    case KernelClass::kBatchNorm:
+      return "batchnorm";
+    case KernelClass::kReduction:
+      return "reduction";
+    case KernelClass::kSoftmax:
+      return "softmax";
+    case KernelClass::kEmbedding:
+      return "embedding";
+    case KernelClass::kPooling:
+      return "pooling";
+    case KernelClass::kMemcpy:
+      return "memcpy";
+  }
+  return "?";
+}
+
+bool IsComputeBound(KernelClass cls) {
+  return cls == KernelClass::kGemm || cls == KernelClass::kConv;
+}
+
+}  // namespace daydream

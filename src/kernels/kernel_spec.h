@@ -1,0 +1,48 @@
+// Kernel descriptions: what the cost model prices and what the executor runs.
+//
+// Names follow cuDNN / cuBLAS / PyTorch conventions ("volta_sgemm_*",
+// "scudnn_*", "elementwise_kernel_*", "batch_norm_*"), because Daydream's
+// optimization models select kernels by name substring exactly as the paper's
+// Select primitive does (e.g. AMP: "sgemm" or "scudnn" in name -> 3x).
+#ifndef SRC_KERNELS_KERNEL_SPEC_H_
+#define SRC_KERNELS_KERNEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace_event.h"
+
+namespace daydream {
+
+enum class KernelClass {
+  kGemm,         // cuBLAS sgemm — compute bound
+  kConv,         // cuDNN convolution (fprop/dgrad/wgrad) — compute bound
+  kElementwise,  // pointwise arithmetic — memory bound
+  kBatchNorm,    // statistics / normalize — memory bound
+  kReduction,    // sums, loss reductions — memory bound
+  kSoftmax,      // warp softmax — memory bound
+  kEmbedding,    // gather / scatter-add — memory bound, poor locality
+  kPooling,      // cuDNN pooling — memory bound
+  kMemcpy,       // cuda memcpy (priced by PCIe/DRAM bandwidth)
+};
+
+const char* ToString(KernelClass cls);
+
+// True for kernel classes that use tensor cores under mixed precision and thus
+// get the ~3x AMP speedup; the rest are memory bound and get ~2x (§5.1).
+bool IsComputeBound(KernelClass cls);
+
+struct KernelSpec {
+  std::string name;
+  KernelClass cls = KernelClass::kElementwise;
+  int64_t flops = 0;
+  int64_t bytes = 0;  // DRAM traffic
+
+  // Provenance, copied into trace events for the layer mapping.
+  int layer_id = -1;
+  Phase phase = Phase::kForward;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_KERNELS_KERNEL_SPEC_H_

@@ -1,0 +1,324 @@
+#include "src/kernels/layer_kernels.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+constexpr int64_t kFp32 = 4;
+
+KernelSpec Make(std::string name, KernelClass cls, int64_t flops, int64_t bytes, int layer_id,
+                Phase phase) {
+  KernelSpec k;
+  k.name = std::move(name);
+  k.cls = cls;
+  k.flops = flops;
+  k.bytes = bytes;
+  k.layer_id = layer_id;
+  k.phase = phase;
+  return k;
+}
+
+void ExpandConv(const Layer& l, LayerKernelSet* out) {
+  // 3x3 convolutions typically pick Winograd; others implicit GEMM.
+  const bool small_filter = l.fwd_flops > 0 && l.param_tensor_elems[0] % 9 == 0;
+  const char* algo = small_filter ? "scudnn_winograd_128x128" : "scudnn_128x64_implicit_gemm";
+  out->forward.push_back(Make(StrFormat("%s_fprop", algo), KernelClass::kConv, l.fwd_flops,
+                              l.fwd_bytes, l.id, Phase::kForward));
+  const bool has_bias = l.param_tensor_elems.size() > 1;
+  if (has_bias) {
+    out->forward.push_back(Make("elementwise_kernel_bias_add", KernelClass::kElementwise,
+                                l.output_elems, 2 * l.output_elems * kFp32, l.id,
+                                Phase::kForward));
+  }
+  out->backward.push_back(Make(StrFormat("%s_dgrad", algo), KernelClass::kConv, l.fwd_flops,
+                               l.fwd_bytes, l.id, Phase::kBackward));
+  out->backward.push_back(Make(StrFormat("%s_wgrad", algo), KernelClass::kConv, l.fwd_flops,
+                               l.fwd_bytes, l.id, Phase::kBackward));
+  if (has_bias) {
+    out->backward.push_back(Make("reduce_kernel_bias_grad", KernelClass::kReduction,
+                                 l.output_elems, l.output_elems * kFp32, l.id, Phase::kBackward));
+  }
+}
+
+void ExpandBatchNorm(const Layer& l, LayerKernelSet* out) {
+  const int64_t e = l.output_elems;
+  out->forward.push_back(Make("batch_norm_collect_statistics_kernel", KernelClass::kBatchNorm,
+                              4 * e, e * kFp32, l.id, Phase::kForward));
+  out->forward.push_back(Make("batch_norm_transform_input_kernel", KernelClass::kBatchNorm, 4 * e,
+                              2 * e * kFp32, l.id, Phase::kForward));
+  out->backward.push_back(Make("batch_norm_backward_reduce_kernel", KernelClass::kBatchNorm,
+                               4 * e, 2 * e * kFp32, l.id, Phase::kBackward));
+  out->backward.push_back(Make("batch_norm_backward_elemt_kernel", KernelClass::kBatchNorm, 4 * e,
+                               2 * e * kFp32, l.id, Phase::kBackward));
+}
+
+void ExpandElementwise(const Layer& l, const char* op, int64_t fwd_flops_per_elem,
+                       LayerKernelSet* out) {
+  const int64_t e = l.output_elems;
+  out->forward.push_back(Make(StrFormat("elementwise_kernel_%s_fwd", op),
+                              KernelClass::kElementwise, fwd_flops_per_elem * e, 2 * e * kFp32,
+                              l.id, Phase::kForward));
+  out->backward.push_back(Make(StrFormat("elementwise_kernel_%s_bwd", op),
+                               KernelClass::kElementwise, fwd_flops_per_elem * e, 3 * e * kFp32,
+                               l.id, Phase::kBackward));
+}
+
+void ExpandPool(const Layer& l, LayerKernelSet* out) {
+  out->forward.push_back(Make("pooling_fwd_4d_kernel", KernelClass::kPooling, l.fwd_flops,
+                              l.fwd_bytes, l.id, Phase::kForward));
+  out->backward.push_back(Make("pooling_bwd_4d_kernel", KernelClass::kPooling, l.fwd_flops,
+                               2 * l.fwd_bytes, l.id, Phase::kBackward));
+}
+
+void ExpandLinear(const Layer& l, LayerKernelSet* out) {
+  const int64_t m = l.batch;        // rows
+  const int64_t k = l.aux_in;
+  const int64_t n = l.aux_out;
+  const int64_t gemm_flops = 2 * m * k * n;
+  const int64_t gemm_bytes = (m * k + k * n + m * n) * kFp32;
+  out->forward.push_back(Make("volta_sgemm_128x64_nn", KernelClass::kGemm, gemm_flops, gemm_bytes,
+                              l.id, Phase::kForward));
+  const bool has_bias = l.param_tensor_elems.size() > 1;
+  if (has_bias) {
+    out->forward.push_back(Make("elementwise_kernel_bias_add", KernelClass::kElementwise, m * n,
+                                2 * m * n * kFp32, l.id, Phase::kForward));
+  }
+  out->backward.push_back(Make("volta_sgemm_128x64_nt", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  out->backward.push_back(Make("volta_sgemm_128x64_tn", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  if (has_bias) {
+    out->backward.push_back(Make("reduce_kernel_bias_grad", KernelClass::kReduction, m * n,
+                                 m * n * kFp32, l.id, Phase::kBackward));
+  }
+}
+
+void ExpandEmbedding(const Layer& l, LayerKernelSet* out) {
+  out->forward.push_back(Make("indexSelectLargeIndex", KernelClass::kEmbedding, 0,
+                              2 * l.output_elems * kFp32, l.id, Phase::kForward));
+  out->backward.push_back(Make("embedding_dense_backward_kernel", KernelClass::kEmbedding, 0,
+                               3 * l.output_elems * kFp32, l.id, Phase::kBackward));
+}
+
+void ExpandLstm(const Layer& l, LayerKernelSet* out) {
+  const int64_t b = l.batch;
+  const int64_t s = l.seq_len;
+  const int64_t in = l.aux_in;
+  const int64_t h = l.aux_out;
+  const int dirs = l.bidirectional ? 2 : 1;
+
+  const int64_t ih_flops = 2 * b * s * 4 * h * in;
+  const int64_t ih_bytes = (b * s * in + 4 * h * in + b * s * 4 * h) * kFp32;
+  const int64_t hh_flops = 2 * b * 4 * h * h;
+  const int64_t hh_bytes = (b * h + 4 * h * h + b * 4 * h) * kFp32;
+  const int64_t cell_elems = b * h;
+
+  for (int d = 0; d < dirs; ++d) {
+    // Input projection for the whole sequence in one gemm (cuDNN-style).
+    out->forward.push_back(Make("volta_sgemm_128x64_nn_lstm_ih", KernelClass::kGemm, ih_flops,
+                                ih_bytes, l.id, Phase::kForward));
+    for (int64_t t = 0; t < s; ++t) {
+      out->forward.push_back(Make("volta_sgemm_128x64_nn_lstm_hh", KernelClass::kGemm, hh_flops,
+                                  hh_bytes, l.id, Phase::kForward));
+      out->forward.push_back(Make("elementwise_kernel_lstm_cell_fwd", KernelClass::kElementwise,
+                                  10 * cell_elems, 10 * cell_elems * kFp32, l.id,
+                                  Phase::kForward));
+    }
+    for (int64_t t = 0; t < s; ++t) {
+      out->backward.push_back(Make("elementwise_kernel_lstm_cell_bwd", KernelClass::kElementwise,
+                                   12 * cell_elems, 12 * cell_elems * kFp32, l.id,
+                                   Phase::kBackward));
+      out->backward.push_back(Make("volta_sgemm_128x64_nt_lstm_hh", KernelClass::kGemm, hh_flops,
+                                   hh_bytes, l.id, Phase::kBackward));
+    }
+    out->backward.push_back(Make("volta_sgemm_128x64_nt_lstm_ih", KernelClass::kGemm, ih_flops,
+                                 ih_bytes, l.id, Phase::kBackward));
+    out->backward.push_back(Make("volta_sgemm_128x64_tn_lstm_wgrad_ih", KernelClass::kGemm,
+                                 ih_flops, ih_bytes, l.id, Phase::kBackward));
+    out->backward.push_back(Make("volta_sgemm_128x64_tn_lstm_wgrad_hh", KernelClass::kGemm,
+                                 hh_flops * s, hh_bytes, l.id, Phase::kBackward));
+  }
+}
+
+void ExpandAttention(const Layer& l, LayerKernelSet* out) {
+  const int64_t b = l.batch;
+  const int64_t a = l.heads;
+  const int64_t s = l.seq_len;
+  const int64_t d = l.aux_out;
+  const int64_t gemm_flops = 2 * b * a * s * s * d;
+  const int64_t gemm_bytes = (2 * b * a * s * d + b * a * s * s) * kFp32;
+  const int64_t score_elems = b * a * s * s;
+  const int64_t ctx_elems = b * a * s * d;
+
+  // Framework glue around the batched gemms: head split/merge permutes,
+  // score scaling, attention-mask add, contiguous copies. Individually tiny,
+  // but there are many of them per block — a large share of the CPU launch
+  // overhead in transformer training scripts.
+  auto glue = [&](const char* op, Phase phase) {
+    return Make(StrFormat("elementwise_kernel_%s", op), KernelClass::kElementwise, ctx_elems,
+                2 * ctx_elems * kFp32, l.id, phase);
+  };
+
+  for (const char* op : {"permute_q", "permute_k", "permute_v"}) {
+    out->forward.push_back(glue(op, Phase::kForward));
+  }
+  out->forward.push_back(Make("volta_sgemm_128x64_nt_batched", KernelClass::kGemm, gemm_flops,
+                              gemm_bytes, l.id, Phase::kForward));
+  out->forward.push_back(glue("scores_scale", Phase::kForward));
+  out->forward.push_back(glue("attention_mask_add", Phase::kForward));
+  out->forward.push_back(Make("softmax_warp_fwd", KernelClass::kSoftmax, 5 * score_elems,
+                              2 * score_elems * kFp32, l.id, Phase::kForward));
+  out->forward.push_back(glue("attention_dropout", Phase::kForward));
+  out->forward.push_back(Make("volta_sgemm_128x64_nn_batched", KernelClass::kGemm, gemm_flops,
+                              gemm_bytes, l.id, Phase::kForward));
+  out->forward.push_back(glue("permute_context", Phase::kForward));
+  out->forward.push_back(glue("contiguous_context", Phase::kForward));
+
+  out->backward.push_back(glue("contiguous_context_bwd", Phase::kBackward));
+  out->backward.push_back(glue("permute_context_bwd", Phase::kBackward));
+  out->backward.push_back(Make("volta_sgemm_128x64_nt_batched", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  out->backward.push_back(Make("volta_sgemm_128x64_tn_batched", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  out->backward.push_back(glue("attention_dropout_bwd", Phase::kBackward));
+  out->backward.push_back(Make("softmax_warp_bwd", KernelClass::kSoftmax, 5 * score_elems,
+                               3 * score_elems * kFp32, l.id, Phase::kBackward));
+  out->backward.push_back(glue("attention_mask_add_bwd", Phase::kBackward));
+  out->backward.push_back(glue("scores_scale_bwd", Phase::kBackward));
+  out->backward.push_back(Make("volta_sgemm_128x64_nt_batched", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  out->backward.push_back(Make("volta_sgemm_128x64_tn_batched", KernelClass::kGemm, gemm_flops,
+                               gemm_bytes, l.id, Phase::kBackward));
+  for (const char* op : {"permute_q_bwd", "permute_k_bwd", "permute_v_bwd", "accum_qkv_grad"}) {
+    out->backward.push_back(glue(op, Phase::kBackward));
+  }
+}
+
+void ExpandLayerNorm(const Layer& l, LayerKernelSet* out) {
+  const int64_t e = l.output_elems;
+  out->forward.push_back(Make("layer_norm_fwd_kernel", KernelClass::kBatchNorm, 8 * e,
+                              2 * e * kFp32, l.id, Phase::kForward));
+  out->backward.push_back(Make("layer_norm_bwd_kernel", KernelClass::kBatchNorm, 8 * e,
+                               3 * e * kFp32, l.id, Phase::kBackward));
+}
+
+void ExpandSoftmaxLoss(const Layer& l, LayerKernelSet* out) {
+  out->forward.push_back(Make("softmax_cross_entropy_fwd", KernelClass::kSoftmax, l.fwd_flops,
+                              l.fwd_bytes, l.id, Phase::kForward));
+  out->forward.push_back(Make("reduce_kernel_loss", KernelClass::kReduction, l.batch,
+                              l.batch * kFp32, l.id, Phase::kForward));
+  out->backward.push_back(Make("softmax_cross_entropy_bwd", KernelClass::kSoftmax, l.fwd_flops,
+                               l.fwd_bytes, l.id, Phase::kBackward));
+}
+
+}  // namespace
+
+const char* ToString(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgdMomentum:
+      return "sgd_momentum";
+    case OptimizerKind::kAdam:
+      return "adam";
+  }
+  return "?";
+}
+
+LayerKernelSet ExpandLayer(const Layer& layer) {
+  LayerKernelSet out;
+  switch (layer.kind) {
+    case LayerKind::kConv2d:
+      ExpandConv(layer, &out);
+      break;
+    case LayerKind::kBatchNorm:
+      ExpandBatchNorm(layer, &out);
+      break;
+    case LayerKind::kReLU:
+      ExpandElementwise(layer, "relu", 1, &out);
+      break;
+    case LayerKind::kGelu:
+      ExpandElementwise(layer, "gelu", 8, &out);
+      break;
+    case LayerKind::kDropout:
+      ExpandElementwise(layer, "dropout", 2, &out);
+      break;
+    case LayerKind::kAdd:
+      ExpandElementwise(layer, "add", 1, &out);
+      break;
+    case LayerKind::kConcat: {
+      const int64_t e = layer.output_elems;
+      out.forward.push_back(Make("cat_array_batched_copy", KernelClass::kElementwise, 0,
+                                 2 * e * kFp32, layer.id, Phase::kForward));
+      out.backward.push_back(Make("cat_array_batched_copy_bwd", KernelClass::kElementwise, 0,
+                                  2 * e * kFp32, layer.id, Phase::kBackward));
+      break;
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+      ExpandPool(layer, &out);
+      break;
+    case LayerKind::kLinear:
+      ExpandLinear(layer, &out);
+      break;
+    case LayerKind::kEmbedding:
+      ExpandEmbedding(layer, &out);
+      break;
+    case LayerKind::kLstm:
+      ExpandLstm(layer, &out);
+      break;
+    case LayerKind::kAttention:
+      ExpandAttention(layer, &out);
+      break;
+    case LayerKind::kLayerNorm:
+      ExpandLayerNorm(layer, &out);
+      break;
+    case LayerKind::kSoftmaxLoss:
+      ExpandSoftmaxLoss(layer, &out);
+      break;
+  }
+  return out;
+}
+
+std::vector<KernelSpec> ExpandWeightUpdate(const Layer& layer, OptimizerKind optimizer) {
+  std::vector<KernelSpec> out;
+  if (!layer.has_params()) {
+    return out;
+  }
+  for (int64_t elems : layer.param_tensor_elems) {
+    switch (optimizer) {
+      case OptimizerKind::kSgdMomentum:
+        out.push_back(Make("elementwise_kernel_sgd_momentum", KernelClass::kElementwise, 2 * elems,
+                           3 * elems * kFp32, layer.id, Phase::kWeightUpdate));
+        out.push_back(Make("elementwise_kernel_sgd_apply", KernelClass::kElementwise, elems,
+                           3 * elems * kFp32, layer.id, Phase::kWeightUpdate));
+        break;
+      case OptimizerKind::kAdam:
+        // PyTorch's unfused Adam: a chain of pointwise tensor ops per tensor
+        // (exp_avg mul/add, exp_avg_sq mul/addcmul, sqrt, div, bias
+        // corrections, addcdiv, ...). Each pass reads/writes ~2 tensors.
+        for (int i = 0; i < kAdamKernelsPerTensor; ++i) {
+          out.push_back(Make(StrFormat("elementwise_kernel_adam_op%d", i),
+                             KernelClass::kElementwise, elems, 2 * elems * kFp32, layer.id,
+                             Phase::kWeightUpdate));
+        }
+        if (elems >= kWeightDecayMinElems) {
+          out.push_back(Make("elementwise_kernel_adam_weight_decay", KernelClass::kElementwise,
+                             elems, 2 * elems * kFp32, layer.id, Phase::kWeightUpdate));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int CountWeightUpdateKernels(const ModelGraph& model, OptimizerKind optimizer) {
+  int n = 0;
+  for (const Layer& l : model.layers()) {
+    n += static_cast<int>(ExpandWeightUpdate(l, optimizer).size());
+  }
+  return n;
+}
+
+}  // namespace daydream

@@ -1,0 +1,51 @@
+// Layer -> kernel-sequence expansion.
+//
+// Expands each Layer of a ModelGraph into the cuDNN/cuBLAS-style kernel
+// sequences a framework would actually launch for the forward pass, the
+// backward pass and the optimizer step. The expansion reproduces the
+// structural facts the paper's results hinge on, most importantly the
+// per-parameter-tensor unfused Adam kernels (13 pointwise ops per tensor plus
+// a weight-decay op for matrix tensors), which yield ~2.6k/5.2k weight-update
+// kernels for BERT base/large (§6.3).
+#ifndef SRC_KERNELS_LAYER_KERNELS_H_
+#define SRC_KERNELS_LAYER_KERNELS_H_
+
+#include <vector>
+
+#include "src/kernels/kernel_spec.h"
+#include "src/models/layer.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+enum class OptimizerKind {
+  kSgdMomentum,  // CNNs (ResNet / VGG / DenseNet)
+  kAdam,         // GNMT / BERT (which is what makes FusedAdam applicable, §6.3)
+};
+
+const char* ToString(OptimizerKind kind);
+
+struct LayerKernelSet {
+  std::vector<KernelSpec> forward;
+  std::vector<KernelSpec> backward;  // in backward execution order
+};
+
+// Number of pointwise kernels an unfused Adam step launches per parameter
+// tensor (mul/add/addcmul/sqrt/div/bias-correction/... chain).
+inline constexpr int kAdamKernelsPerTensor = 13;
+// Tensors at least this large additionally get a decoupled weight-decay kernel
+// (matrices yes; biases / norm scales no).
+inline constexpr int64_t kWeightDecayMinElems = 16384;
+
+// Forward + backward kernels of one layer. layer_id/phase fields are filled in.
+LayerKernelSet ExpandLayer(const Layer& layer);
+
+// Optimizer-step kernels of one layer (empty if the layer has no parameters).
+std::vector<KernelSpec> ExpandWeightUpdate(const Layer& layer, OptimizerKind optimizer);
+
+// Convenience: total weight-update kernel count for a whole model.
+int CountWeightUpdateKernels(const ModelGraph& model, OptimizerKind optimizer);
+
+}  // namespace daydream
+
+#endif  // SRC_KERNELS_LAYER_KERNELS_H_

@@ -1,0 +1,71 @@
+// BERT (Devlin et al., 2018) for SQuAD fine-tuning.
+//
+//   base:  12 transformer blocks, hidden 768,  12 heads, FFN 3072  (~109 M params)
+//   large: 24 transformer blocks, hidden 1024, 16 heads, FFN 4096  (~335 M params)
+//
+// Per block there are 16 parameter tensors (4 attention linears, 2 layernorms,
+// 2 FFN linears — each weight+bias), which is what produces the thousands of
+// tiny Adam weight-update kernels the paper measures (2633 for base, 5164 for
+// large; §6.3).
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+ModelGraph BuildBert(const std::string& name, int64_t batch, int64_t seq_len, int num_blocks,
+                     int64_t hidden, int heads, int64_t ffn) {
+  ModelGraph g(name, batch);
+  const int64_t vocab = 30522;
+  const int64_t rows = batch * seq_len;
+  const int64_t head_dim = hidden / heads;
+
+  // Embeddings: word + position + token-type tables, then layernorm + dropout.
+  int prev = g.AddLayer(MakeEmbedding("embeddings.word", rows, vocab, hidden,
+                                      /*extra_tables_elems=*/(512 + 2) * hidden),
+                        {});
+  prev = g.AddLayer(MakeLayerNorm("embeddings.layernorm", rows, hidden), {prev});
+  prev = g.AddLayer(MakeDropout("embeddings.dropout", rows * hidden), {prev});
+
+  for (int b = 0; b < num_blocks; ++b) {
+    const std::string p = StrFormat("encoder.layer%d", b);
+    const int block_in = prev;
+
+    const int q = g.AddLayer(MakeLinear(p + ".attention.query", rows, hidden, hidden), {block_in});
+    const int k = g.AddLayer(MakeLinear(p + ".attention.key", rows, hidden, hidden), {block_in});
+    const int v = g.AddLayer(MakeLinear(p + ".attention.value", rows, hidden, hidden), {block_in});
+    const int att =
+        g.AddLayer(MakeAttention(p + ".attention.self", batch, heads, seq_len, head_dim),
+                   {q, k, v});
+    prev = g.AddLayer(MakeLinear(p + ".attention.output", rows, hidden, hidden), {att});
+    prev = g.AddLayer(MakeDropout(p + ".attention.dropout", rows * hidden), {prev});
+    prev = g.AddLayer(MakeAdd(p + ".attention.residual", rows * hidden), {prev, block_in});
+    prev = g.AddLayer(MakeLayerNorm(p + ".attention.layernorm", rows, hidden), {prev});
+    const int att_out = prev;
+
+    prev = g.AddLayer(MakeLinear(p + ".intermediate", rows, hidden, ffn), {att_out});
+    prev = g.AddLayer(MakeGelu(p + ".gelu", rows * ffn), {prev});
+    prev = g.AddLayer(MakeLinear(p + ".output", rows, ffn, hidden), {prev});
+    prev = g.AddLayer(MakeDropout(p + ".output.dropout", rows * hidden), {prev});
+    prev = g.AddLayer(MakeAdd(p + ".output.residual", rows * hidden), {prev, att_out});
+    prev = g.AddLayer(MakeLayerNorm(p + ".output.layernorm", rows, hidden), {prev});
+  }
+
+  // SQuAD span-prediction head: hidden -> 2 logits per token.
+  const int qa = g.AddLayer(MakeLinear("qa_outputs", rows, hidden, 2), {prev});
+  g.AddLayer(MakeSoftmaxLoss("loss", rows, 2), {qa});
+  return g;
+}
+
+}  // namespace
+
+ModelGraph BuildBertBase(int64_t batch, int64_t seq_len) {
+  return BuildBert("BERT_Base", batch, seq_len, 12, 768, 12, 3072);
+}
+
+ModelGraph BuildBertLarge(int64_t batch, int64_t seq_len) {
+  return BuildBert("BERT_Large", batch, seq_len, 24, 1024, 16, 4096);
+}
+
+}  // namespace daydream

@@ -1,0 +1,83 @@
+// DenseNet-121 (Huang et al., 2017), ImageNet configuration.
+//
+// Growth rate 32, block config {6, 12, 24, 16}; each dense layer is
+// BN-ReLU-Conv1x1(4k)-BN-ReLU-Conv3x3(k); transitions halve channels and
+// spatial dims. ~7.98 M parameters, 121 weighted layers (120 conv + 1 fc).
+//
+// DenseNet is the paper's Reconstructing-Batchnorm workload (§6.4): it is
+// dominated by many small BN/ReLU layers, exactly what that optimization
+// targets.
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+struct T {
+  int id;
+  int64_t c;
+  int64_t hw;
+};
+
+}  // namespace
+
+ModelGraph BuildDenseNet121(int64_t batch) {
+  ModelGraph g("DenseNet-121", batch);
+  const int64_t growth = 32;
+  const std::vector<int> blocks = {6, 12, 24, 16};
+
+  auto conv = [&](const std::string& name, T in, int64_t c_out, int64_t k, int64_t stride,
+                  int64_t pad) -> T {
+    const int id = g.AddLayer(MakeConv2d(name, batch, in.c, in.hw, in.hw, c_out, k, stride, pad),
+                              in.id >= 0 ? std::vector<int>{in.id} : std::vector<int>{});
+    return {id, c_out, (in.hw + 2 * pad - k) / stride + 1};
+  };
+  auto bn = [&](const std::string& name, T in) -> T {
+    return {g.AddLayer(MakeBatchNorm(name, batch, in.c, in.hw, in.hw), {in.id}), in.c, in.hw};
+  };
+  auto relu = [&](const std::string& name, T in) -> T {
+    return {g.AddLayer(MakeReLU(name, batch * in.c * in.hw * in.hw), {in.id}), in.c, in.hw};
+  };
+
+  T x = conv("conv0", {-1, 3, 224}, 64, 7, 2, 3);
+  x = bn("bn0", x);
+  x = relu("relu0", x);
+  x = {g.AddLayer(MakeMaxPool("pool0", batch, x.c, x.hw, x.hw, 2, 2), {x.id}), x.c, x.hw / 2};
+
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    // Dense block: each layer consumes the concatenation of all previous
+    // feature maps in the block and emits `growth` channels.
+    for (int l = 0; l < blocks[b]; ++l) {
+      const std::string p = StrFormat("dense%zu.layer%d", b + 1, l + 1);
+      T y = bn(p + ".bn1", x);
+      y = relu(p + ".relu1", y);
+      y = conv(p + ".conv1", y, 4 * growth, 1, 1, 0);
+      y = bn(p + ".bn2", y);
+      y = relu(p + ".relu2", y);
+      y = conv(p + ".conv2", y, growth, 3, 1, 1);
+      const int64_t c_cat = x.c + growth;
+      const int cat =
+          g.AddLayer(MakeConcat(p + ".concat", batch * c_cat * x.hw * x.hw), {x.id, y.id});
+      x = {cat, c_cat, x.hw};
+    }
+    if (b + 1 < blocks.size()) {
+      const std::string p = StrFormat("transition%zu", b + 1);
+      T y = bn(p + ".bn", x);
+      y = relu(p + ".relu", y);
+      y = conv(p + ".conv", y, x.c / 2, 1, 1, 0);
+      const int pool =
+          g.AddLayer(MakeAvgPool(p + ".pool", batch, y.c, y.hw, y.hw, 2, 2), {y.id});
+      x = {pool, y.c, y.hw / 2};
+    }
+  }
+
+  x = bn("bn_final", x);
+  x = relu("relu_final", x);
+  const int pool = g.AddLayer(MakeAvgPool("global_pool", batch, x.c, x.hw, x.hw, x.hw, 1), {x.id});
+  const int fc = g.AddLayer(MakeLinear("classifier", batch, x.c, 1000), {pool});
+  g.AddLayer(MakeSoftmaxLoss("loss", batch, 1000), {fc});
+  return g;
+}
+
+}  // namespace daydream

@@ -1,0 +1,65 @@
+// GNMT (Wu et al., 2016) — the paper's "Seq2Seq" machine-translation model,
+// in the GNMT-v2 configuration used by MLPerf and the paper's GNMT runs:
+// 4-layer LSTM encoder (first layer bidirectional), 4-layer LSTM decoder with
+// additive attention, hidden 1024, vocab 32k. ~160 M parameters.
+//
+// The LSTM layers dominate runtime with seq_len x (2 gemm + pointwise) small
+// kernels; the classifier (1024x32k projection) is the largest single gemm.
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+ModelGraph BuildGnmt(int64_t batch, int64_t seq_len) {
+  ModelGraph g("GNMT", batch);
+  const int64_t hidden = 1024;
+  const int64_t vocab = 32000;
+  const int64_t rows = batch * seq_len;
+
+  // Encoder.
+  int enc_embed = g.AddLayer(MakeEmbedding("encoder.embedding", rows, vocab, hidden), {});
+  int prev = g.AddLayer(
+      MakeLstm("encoder.lstm0(bidir)", batch, seq_len, hidden, hidden, /*bidirectional=*/true),
+      {enc_embed});
+  // Bidirectional output is 2*hidden wide; subsequent layers take it back to hidden.
+  int64_t in_size = 2 * hidden;
+  for (int l = 1; l < 4; ++l) {
+    prev = g.AddLayer(
+        MakeLstm(StrFormat("encoder.lstm%d", l), batch, seq_len, in_size, hidden), {prev});
+    in_size = hidden;
+    if (l >= 2) {
+      // Residual connections from layer 2 on (GNMT v2).
+      prev = g.AddLayer(MakeAdd(StrFormat("encoder.residual%d", l), rows * hidden), {prev});
+    }
+  }
+  const int encoder_out = prev;
+
+  // Decoder.
+  int dec_embed = g.AddLayer(MakeEmbedding("decoder.embedding", rows, vocab, hidden), {});
+  prev = g.AddLayer(MakeLstm("decoder.lstm0", batch, seq_len, hidden, hidden), {dec_embed});
+
+  // Additive (Bahdanau) attention over encoder states, queried once per step.
+  const int att_q =
+      g.AddLayer(MakeLinear("attention.linear_q", rows, hidden, hidden, /*bias=*/false), {prev});
+  const int att_k = g.AddLayer(
+      MakeLinear("attention.linear_k", rows, hidden, hidden, /*bias=*/false), {encoder_out});
+  const int att = g.AddLayer(MakeAttention("attention.score", batch, 1, seq_len, hidden),
+                             {att_q, att_k});
+  prev = g.AddLayer(MakeConcat("decoder.att_concat", rows * 2 * hidden), {att, prev});
+
+  in_size = 2 * hidden;
+  for (int l = 1; l < 4; ++l) {
+    prev = g.AddLayer(
+        MakeLstm(StrFormat("decoder.lstm%d", l), batch, seq_len, in_size, hidden), {prev});
+    in_size = hidden;
+    if (l >= 2) {
+      prev = g.AddLayer(MakeAdd(StrFormat("decoder.residual%d", l), rows * hidden), {prev});
+    }
+  }
+
+  const int classifier = g.AddLayer(MakeLinear("classifier", rows, hidden, vocab), {prev});
+  g.AddLayer(MakeSoftmaxLoss("loss", rows, vocab), {classifier});
+  return g;
+}
+
+}  // namespace daydream

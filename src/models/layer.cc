@@ -1,0 +1,271 @@
+#include "src/models/layer.h"
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+namespace {
+constexpr int64_t kFp32 = 4;  // bytes per element
+}
+
+const char* ToString(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return "conv2d";
+    case LayerKind::kBatchNorm:
+      return "batchnorm";
+    case LayerKind::kReLU:
+      return "relu";
+    case LayerKind::kMaxPool:
+      return "maxpool";
+    case LayerKind::kAvgPool:
+      return "avgpool";
+    case LayerKind::kLinear:
+      return "linear";
+    case LayerKind::kAdd:
+      return "add";
+    case LayerKind::kConcat:
+      return "concat";
+    case LayerKind::kEmbedding:
+      return "embedding";
+    case LayerKind::kLstm:
+      return "lstm";
+    case LayerKind::kAttention:
+      return "attention";
+    case LayerKind::kLayerNorm:
+      return "layernorm";
+    case LayerKind::kGelu:
+      return "gelu";
+    case LayerKind::kDropout:
+      return "dropout";
+    case LayerKind::kSoftmaxLoss:
+      return "softmax_loss";
+  }
+  return "?";
+}
+
+int64_t Layer::param_elems() const {
+  int64_t total = 0;
+  for (int64_t t : param_tensor_elems) {
+    total += t;
+  }
+  return total;
+}
+
+Layer MakeConv2d(std::string name, int64_t batch, int64_t c_in, int64_t h_in, int64_t w_in,
+                 int64_t c_out, int64_t kernel, int64_t stride, int64_t pad, bool bias) {
+  DD_CHECK_GT(stride, 0);
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2d;
+  l.batch = batch;
+  const int64_t h_out = (h_in + 2 * pad - kernel) / stride + 1;
+  const int64_t w_out = (w_in + 2 * pad - kernel) / stride + 1;
+  DD_CHECK_GT(h_out, 0);
+  DD_CHECK_GT(w_out, 0);
+  l.output_elems = batch * c_out * h_out * w_out;
+  l.fwd_flops = 2 * l.output_elems * c_in * kernel * kernel;
+  const int64_t in_elems = batch * c_in * h_in * w_in;
+  const int64_t weight_elems = c_out * c_in * kernel * kernel;
+  l.fwd_bytes = (in_elems + l.output_elems + weight_elems) * kFp32;
+  l.param_tensor_elems.push_back(weight_elems);
+  if (bias) {
+    l.param_tensor_elems.push_back(c_out);
+  }
+  return l;
+}
+
+Layer MakeBatchNorm(std::string name, int64_t batch, int64_t channels, int64_t h, int64_t w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kBatchNorm;
+  l.batch = batch;
+  l.output_elems = batch * channels * h * w;
+  // Two passes over the data in training mode (statistics + normalize).
+  l.fwd_flops = 8 * l.output_elems;
+  l.fwd_bytes = 3 * l.output_elems * kFp32;
+  l.param_tensor_elems = {channels, channels};  // gamma, beta
+  return l;
+}
+
+Layer MakeReLU(std::string name, int64_t elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kReLU;
+  l.output_elems = elems;
+  l.fwd_flops = elems;
+  l.fwd_bytes = 2 * elems * kFp32;
+  return l;
+}
+
+namespace {
+Layer MakePool(std::string name, LayerKind kind, int64_t batch, int64_t channels, int64_t h_in,
+               int64_t w_in, int64_t kernel, int64_t stride) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = kind;
+  l.batch = batch;
+  const int64_t h_out = (h_in - kernel) / stride + 1;
+  const int64_t w_out = (w_in - kernel) / stride + 1;
+  l.output_elems = batch * channels * std::max<int64_t>(h_out, 1) * std::max<int64_t>(w_out, 1);
+  l.fwd_flops = l.output_elems * kernel * kernel;
+  l.fwd_bytes = (batch * channels * h_in * w_in + l.output_elems) * kFp32;
+  return l;
+}
+}  // namespace
+
+Layer MakeMaxPool(std::string name, int64_t batch, int64_t channels, int64_t h_in, int64_t w_in,
+                  int64_t kernel, int64_t stride) {
+  return MakePool(std::move(name), LayerKind::kMaxPool, batch, channels, h_in, w_in, kernel,
+                  stride);
+}
+
+Layer MakeAvgPool(std::string name, int64_t batch, int64_t channels, int64_t h_in, int64_t w_in,
+                  int64_t kernel, int64_t stride) {
+  return MakePool(std::move(name), LayerKind::kAvgPool, batch, channels, h_in, w_in, kernel,
+                  stride);
+}
+
+Layer MakeLinear(std::string name, int64_t rows, int64_t in_features, int64_t out_features,
+                 bool bias) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLinear;
+  l.batch = rows;
+  l.output_elems = rows * out_features;
+  l.fwd_flops = 2 * rows * in_features * out_features;
+  l.fwd_bytes = (rows * in_features + l.output_elems + in_features * out_features) * kFp32;
+  l.aux_in = in_features;
+  l.aux_out = out_features;
+  l.param_tensor_elems.push_back(in_features * out_features);
+  if (bias) {
+    l.param_tensor_elems.push_back(out_features);
+  }
+  return l;
+}
+
+Layer MakeAdd(std::string name, int64_t elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAdd;
+  l.output_elems = elems;
+  l.fwd_flops = elems;
+  l.fwd_bytes = 3 * elems * kFp32;
+  return l;
+}
+
+Layer MakeConcat(std::string name, int64_t elems_out) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConcat;
+  l.output_elems = elems_out;
+  l.fwd_flops = 0;
+  l.fwd_bytes = 2 * elems_out * kFp32;
+  return l;
+}
+
+Layer MakeEmbedding(std::string name, int64_t rows, int64_t vocab, int64_t hidden,
+                    int64_t extra_tables_elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kEmbedding;
+  l.batch = rows;
+  l.output_elems = rows * hidden;
+  l.fwd_flops = 0;  // gather
+  l.fwd_bytes = 2 * l.output_elems * kFp32;
+  l.param_tensor_elems.push_back(vocab * hidden);
+  if (extra_tables_elems > 0) {
+    l.param_tensor_elems.push_back(extra_tables_elems);
+  }
+  return l;
+}
+
+Layer MakeLstm(std::string name, int64_t batch, int64_t seq_len, int64_t input_size,
+               int64_t hidden, bool bidirectional) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLstm;
+  l.batch = batch;
+  l.seq_len = static_cast<int>(seq_len);
+  const int64_t dirs = bidirectional ? 2 : 1;
+  l.output_elems = batch * seq_len * hidden * dirs;
+  // Per timestep per direction: input gemm (4h x in) + recurrent gemm (4h x h)
+  // + pointwise gate math.
+  const int64_t per_step =
+      2 * batch * 4 * hidden * (input_size + hidden) + 10 * batch * hidden;
+  l.fwd_flops = per_step * seq_len * dirs;
+  l.fwd_bytes =
+      (batch * seq_len * (input_size + hidden * dirs) + 4 * hidden * (input_size + hidden)) * kFp32;
+  l.aux_in = input_size;
+  l.aux_out = hidden;
+  l.bidirectional = bidirectional;
+  // PyTorch LSTM parameter layout: weight_ih, weight_hh, bias_ih, bias_hh per direction.
+  for (int64_t d = 0; d < dirs; ++d) {
+    l.param_tensor_elems.push_back(4 * hidden * input_size);
+    l.param_tensor_elems.push_back(4 * hidden * hidden);
+    l.param_tensor_elems.push_back(4 * hidden);
+    l.param_tensor_elems.push_back(4 * hidden);
+  }
+  return l;
+}
+
+Layer MakeAttention(std::string name, int64_t batch, int64_t heads, int64_t seq_len,
+                    int64_t head_dim) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAttention;
+  l.batch = batch;
+  l.heads = static_cast<int>(heads);
+  l.seq_len = static_cast<int>(seq_len);
+  l.output_elems = batch * heads * seq_len * head_dim;
+  // QK^T and PV batched gemms + softmax over scores.
+  l.fwd_flops = 2 * batch * heads * seq_len * seq_len * head_dim * 2 +
+                5 * batch * heads * seq_len * seq_len;
+  l.fwd_bytes = (2 * batch * heads * seq_len * seq_len + 3 * l.output_elems) * kFp32;
+  l.aux_out = head_dim;
+  return l;
+}
+
+Layer MakeLayerNorm(std::string name, int64_t rows, int64_t hidden) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLayerNorm;
+  l.output_elems = rows * hidden;
+  l.fwd_flops = 8 * l.output_elems;
+  l.fwd_bytes = 2 * l.output_elems * kFp32;
+  l.param_tensor_elems = {hidden, hidden};
+  return l;
+}
+
+Layer MakeGelu(std::string name, int64_t elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kGelu;
+  l.output_elems = elems;
+  l.fwd_flops = 8 * elems;
+  l.fwd_bytes = 2 * elems * kFp32;
+  return l;
+}
+
+Layer MakeDropout(std::string name, int64_t elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDropout;
+  l.output_elems = elems;
+  l.fwd_flops = elems;
+  l.fwd_bytes = 2 * elems * kFp32;
+  return l;
+}
+
+Layer MakeSoftmaxLoss(std::string name, int64_t batch, int64_t classes) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kSoftmaxLoss;
+  l.batch = batch;
+  l.output_elems = batch;
+  l.fwd_flops = 5 * batch * classes;
+  l.fwd_bytes = 2 * batch * classes * kFp32;
+  return l;
+}
+
+}  // namespace daydream

@@ -1,0 +1,98 @@
+// Layer intermediate representation for the model zoo.
+//
+// A Layer records everything the kernel cost model (src/kernels) needs to
+// expand it into cuDNN/cuBLAS-style kernel sequences, and everything the
+// communication substrate needs for gradient bucketing: forward FLOPs,
+// forward memory traffic, activation size and the list of parameter tensors.
+#ifndef SRC_MODELS_LAYER_H_
+#define SRC_MODELS_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daydream {
+
+enum class LayerKind {
+  kConv2d,
+  kBatchNorm,
+  kReLU,
+  kMaxPool,
+  kAvgPool,
+  kLinear,
+  kAdd,         // residual addition
+  kConcat,      // DenseNet feature concatenation
+  kEmbedding,
+  kLstm,        // one full (multi-timestep) LSTM layer
+  kAttention,   // scaled dot-product attention (scores + softmax + context)
+  kLayerNorm,
+  kGelu,
+  kDropout,
+  kSoftmaxLoss, // classifier softmax + loss
+};
+
+const char* ToString(LayerKind kind);
+
+struct Layer {
+  int id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kConv2d;
+  std::vector<int> inputs;  // ids of producer layers (empty for the first layer)
+
+  int64_t batch = 1;
+  // Forward-pass compute characteristics. Backward is derived by the kernel
+  // expansion (dgrad + wgrad for parameterized layers, ~2x the traffic for
+  // elementwise layers).
+  int64_t fwd_flops = 0;
+  int64_t fwd_bytes = 0;      // DRAM traffic of the forward pass
+  int64_t output_elems = 0;   // activation elements produced
+
+  // Parameter tensors (element counts), e.g. {weight, bias}. Drives the
+  // per-tensor Adam kernel counts and the DDP gradient sizes.
+  std::vector<int64_t> param_tensor_elems;
+
+  // Recurrence / attention shape extras.
+  int seq_len = 1;
+  int heads = 1;
+  // Generic shape carriers used by the kernel expansion:
+  //   linear:    aux_in = in_features,  aux_out = out_features
+  //   lstm:      aux_in = input_size,   aux_out = hidden (per direction)
+  //   attention: aux_out = head_dim
+  int64_t aux_in = 0;
+  int64_t aux_out = 0;
+  bool bidirectional = false;
+
+  int64_t param_elems() const;
+  int64_t param_bytes_fp32() const { return param_elems() * 4; }
+  bool has_params() const { return !param_tensor_elems.empty(); }
+};
+
+// Factory helpers. All of them compute fwd_flops / fwd_bytes / output_elems /
+// param tensors from the shape arguments; `inputs` wiring is left to the
+// builder. Sizes follow the usual conventions (NCHW, fp32 = 4 bytes).
+Layer MakeConv2d(std::string name, int64_t batch, int64_t c_in, int64_t h_in, int64_t w_in,
+                 int64_t c_out, int64_t kernel, int64_t stride, int64_t pad, bool bias = false);
+Layer MakeBatchNorm(std::string name, int64_t batch, int64_t channels, int64_t h, int64_t w);
+Layer MakeReLU(std::string name, int64_t elems);
+Layer MakeMaxPool(std::string name, int64_t batch, int64_t channels, int64_t h_in, int64_t w_in,
+                  int64_t kernel, int64_t stride);
+Layer MakeAvgPool(std::string name, int64_t batch, int64_t channels, int64_t h_in, int64_t w_in,
+                  int64_t kernel, int64_t stride);
+Layer MakeLinear(std::string name, int64_t rows, int64_t in_features, int64_t out_features,
+                 bool bias = true);
+Layer MakeAdd(std::string name, int64_t elems);
+Layer MakeConcat(std::string name, int64_t elems_out);
+Layer MakeEmbedding(std::string name, int64_t rows, int64_t vocab, int64_t hidden,
+                    int64_t extra_tables_elems = 0);
+Layer MakeLstm(std::string name, int64_t batch, int64_t seq_len, int64_t input_size,
+               int64_t hidden, bool bidirectional = false);
+Layer MakeAttention(std::string name, int64_t batch, int64_t heads, int64_t seq_len,
+                    int64_t head_dim);
+Layer MakeLayerNorm(std::string name, int64_t rows, int64_t hidden);
+Layer MakeGelu(std::string name, int64_t elems);
+Layer MakeDropout(std::string name, int64_t elems);
+Layer MakeSoftmaxLoss(std::string name, int64_t batch, int64_t classes);
+
+}  // namespace daydream
+
+#endif  // SRC_MODELS_LAYER_H_

@@ -1,0 +1,90 @@
+#include "src/models/model_graph.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+int ModelGraph::AddLayer(Layer layer, std::vector<int> inputs) {
+  const int id = static_cast<int>(layers_.size());
+  layer.id = id;
+  layer.inputs = std::move(inputs);
+  for (int in : layer.inputs) {
+    DD_CHECK_GE(in, 0);
+    DD_CHECK_LT(in, id) << "layer '" << layer.name << "' wired to a non-existing producer";
+  }
+  layers_.push_back(std::move(layer));
+  return id;
+}
+
+const Layer& ModelGraph::layer(int id) const {
+  DD_CHECK_GE(id, 0);
+  DD_CHECK_LT(id, static_cast<int>(layers_.size()));
+  return layers_[static_cast<size_t>(id)];
+}
+
+int64_t ModelGraph::TotalParamElems() const {
+  int64_t total = 0;
+  for (const Layer& l : layers_) {
+    total += l.param_elems();
+  }
+  return total;
+}
+
+int ModelGraph::TotalParamTensors() const {
+  int total = 0;
+  for (const Layer& l : layers_) {
+    total += static_cast<int>(l.param_tensor_elems.size());
+  }
+  return total;
+}
+
+int64_t ModelGraph::TotalFwdFlops() const {
+  int64_t total = 0;
+  for (const Layer& l : layers_) {
+    total += l.fwd_flops;
+  }
+  return total;
+}
+
+int ModelGraph::CountKind(LayerKind kind) const {
+  int n = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<int> ModelGraph::ParamLayersInBackwardOrder() const {
+  std::vector<int> ids;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if (it->has_params()) {
+      ids.push_back(it->id);
+    }
+  }
+  return ids;
+}
+
+bool ModelGraph::Validate(std::string* error) const {
+  for (const Layer& l : layers_) {
+    for (int in : l.inputs) {
+      if (in < 0 || in >= l.id) {
+        if (error != nullptr) {
+          *error = StrFormat("layer %d ('%s') has invalid input %d", l.id, l.name.c_str(), in);
+        }
+        return false;
+      }
+    }
+    if (l.id != &l - layers_.data()) {
+      if (error != nullptr) {
+        *error = StrFormat("layer id %d does not match position", l.id);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace daydream

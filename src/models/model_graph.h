@@ -1,0 +1,47 @@
+// ModelGraph: a DAG of layers in topological order.
+#ifndef SRC_MODELS_MODEL_GRAPH_H_
+#define SRC_MODELS_MODEL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/models/layer.h"
+
+namespace daydream {
+
+class ModelGraph {
+ public:
+  ModelGraph(std::string name, int64_t batch) : name_(std::move(name)), batch_(batch) {}
+
+  // Appends a layer wired to the given producer ids and returns its id.
+  // Producers must already exist (topological insertion order).
+  int AddLayer(Layer layer, std::vector<int> inputs = {});
+
+  const std::string& name() const { return name_; }
+  int64_t batch() const { return batch_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  const Layer& layer(int id) const;
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  int64_t TotalParamElems() const;
+  int64_t TotalParamBytes() const { return TotalParamElems() * 4; }
+  int TotalParamTensors() const;
+  int64_t TotalFwdFlops() const;
+  int CountKind(LayerKind kind) const;
+
+  // Ids of layers that own parameters, in reverse order (the order their
+  // gradients become ready during backprop — used by gradient bucketing).
+  std::vector<int> ParamLayersInBackwardOrder() const;
+
+  // Checks topological wiring: every input id is a smaller, existing id.
+  bool Validate(std::string* error = nullptr) const;
+
+ private:
+  std::string name_;
+  int64_t batch_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_MODELS_MODEL_GRAPH_H_

@@ -1,0 +1,120 @@
+// ResNet-50 (He et al., 2015), ImageNet configuration.
+//
+// Structure check: 53 convolutions (1 stem + 48 bottleneck + 4 downsample),
+// 53 batchnorms, ~25.56 M parameters.
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+struct Tensor4d {
+  int layer_id;
+  int64_t c;
+  int64_t h;
+  int64_t w;
+};
+
+class ResNetBuilder {
+ public:
+  explicit ResNetBuilder(int64_t batch) : graph_("ResNet-50", batch), batch_(batch) {}
+
+  ModelGraph Build() {
+    // Stem: 7x7/2 conv, bn, relu, 3x3/2 maxpool.
+    Tensor4d x = Conv("conv1", {/*layer_id=*/-1, 3, 224, 224}, 64, 7, 2, 3, {});
+    x = Bn("bn1", x);
+    x = Relu("relu1", x);
+    x = MaxPool("maxpool", x, 3, 2);
+
+    x = Stage("layer1", x, /*planes=*/64, /*blocks=*/3, /*stride=*/1);
+    x = Stage("layer2", x, 128, 4, 2);
+    x = Stage("layer3", x, 256, 6, 2);
+    x = Stage("layer4", x, 512, 3, 2);
+
+    x = AvgPool("avgpool", x, static_cast<int>(x.h), 1);
+    const int fc =
+        graph_.AddLayer(MakeLinear("fc", batch_, x.c, 1000, /*bias=*/true), {x.layer_id});
+    graph_.AddLayer(MakeSoftmaxLoss("loss", batch_, 1000), {fc});
+    return std::move(graph_);
+  }
+
+ private:
+  Tensor4d Conv(const std::string& name, Tensor4d in, int64_t c_out, int64_t k, int64_t stride,
+                int64_t pad, std::vector<int> producer_override) {
+    std::vector<int> inputs =
+        producer_override.empty()
+            ? (in.layer_id >= 0 ? std::vector<int>{in.layer_id} : std::vector<int>{})
+            : producer_override;
+    const int id = graph_.AddLayer(MakeConv2d(name, batch_, in.c, in.h, in.w, c_out, k, stride,
+                                              pad, /*bias=*/false),
+                                   std::move(inputs));
+    const int64_t h_out = (in.h + 2 * pad - k) / stride + 1;
+    const int64_t w_out = (in.w + 2 * pad - k) / stride + 1;
+    return {id, c_out, h_out, w_out};
+  }
+
+  Tensor4d Bn(const std::string& name, Tensor4d in) {
+    const int id =
+        graph_.AddLayer(MakeBatchNorm(name, batch_, in.c, in.h, in.w), {in.layer_id});
+    return {id, in.c, in.h, in.w};
+  }
+
+  Tensor4d Relu(const std::string& name, Tensor4d in) {
+    const int id = graph_.AddLayer(MakeReLU(name, batch_ * in.c * in.h * in.w), {in.layer_id});
+    return {id, in.c, in.h, in.w};
+  }
+
+  Tensor4d MaxPool(const std::string& name, Tensor4d in, int64_t k, int64_t stride) {
+    const int id =
+        graph_.AddLayer(MakeMaxPool(name, batch_, in.c, in.h, in.w, k, stride), {in.layer_id});
+    return {id, in.c, (in.h - k) / stride + 1, (in.w - k) / stride + 1};
+  }
+
+  Tensor4d AvgPool(const std::string& name, Tensor4d in, int64_t k, int64_t stride) {
+    const int id =
+        graph_.AddLayer(MakeAvgPool(name, batch_, in.c, in.h, in.w, k, stride), {in.layer_id});
+    return {id, in.c, (in.h - k) / stride + 1, (in.w - k) / stride + 1};
+  }
+
+  Tensor4d Bottleneck(const std::string& prefix, Tensor4d in, int64_t planes, int64_t stride,
+                      bool downsample) {
+    const int64_t expansion = 4;
+    Tensor4d x = Conv(prefix + ".conv1", in, planes, 1, 1, 0, {});
+    x = Bn(prefix + ".bn1", x);
+    x = Relu(prefix + ".relu1", x);
+    x = Conv(prefix + ".conv2", x, planes, 3, stride, 1, {});
+    x = Bn(prefix + ".bn2", x);
+    x = Relu(prefix + ".relu2", x);
+    x = Conv(prefix + ".conv3", x, planes * expansion, 1, 1, 0, {});
+    x = Bn(prefix + ".bn3", x);
+
+    Tensor4d identity = in;
+    if (downsample) {
+      identity = Conv(prefix + ".downsample.conv", in, planes * expansion, 1, stride, 0, {});
+      identity = Bn(prefix + ".downsample.bn", identity);
+    }
+    const int add = graph_.AddLayer(MakeAdd(prefix + ".add", batch_ * x.c * x.h * x.w),
+                                    {x.layer_id, identity.layer_id});
+    Tensor4d out = {add, x.c, x.h, x.w};
+    return Relu(prefix + ".relu3", out);
+  }
+
+  Tensor4d Stage(const std::string& prefix, Tensor4d in, int64_t planes, int blocks, int stride) {
+    Tensor4d x = Bottleneck(StrFormat("%s.0", prefix.c_str()), in, planes, stride,
+                            /*downsample=*/true);
+    for (int b = 1; b < blocks; ++b) {
+      x = Bottleneck(StrFormat("%s.%d", prefix.c_str(), b), x, planes, 1, /*downsample=*/false);
+    }
+    return x;
+  }
+
+  ModelGraph graph_;
+  int64_t batch_;
+};
+
+}  // namespace
+
+ModelGraph BuildResNet50(int64_t batch) { return ResNetBuilder(batch).Build(); }
+
+}  // namespace daydream

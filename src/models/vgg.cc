@@ -1,0 +1,46 @@
+// VGG-19 (Simonyan & Zisserman, 2014), ImageNet configuration "E".
+//
+// 16 convolutions + 3 fully-connected layers, ~143.67 M parameters. The three
+// huge FC layers (25088x4096, 4096x4096, 4096x1000) dominate the gradient
+// volume, which is what makes VGG the communication-bound model in the
+// paper's P3 evaluation (Figure 10b).
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+ModelGraph BuildVgg19(int64_t batch) {
+  ModelGraph g("VGG-19", batch);
+  // Configuration E: 64,64,M,128,128,M,256x4,M,512x4,M,512x4,M.
+  const std::vector<std::vector<int64_t>> stages = {
+      {64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512}, {512, 512, 512, 512}};
+
+  int64_t c = 3;
+  int64_t hw = 224;
+  int prev = -1;
+  int conv_idx = 0;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    for (int64_t c_out : stages[s]) {
+      const std::string name = StrFormat("conv%d", ++conv_idx);
+      prev = g.AddLayer(MakeConv2d(name, batch, c, hw, hw, c_out, 3, 1, 1, /*bias=*/true),
+                        prev >= 0 ? std::vector<int>{prev} : std::vector<int>{});
+      prev = g.AddLayer(MakeReLU(name + ".relu", batch * c_out * hw * hw), {prev});
+      c = c_out;
+    }
+    prev = g.AddLayer(MakeMaxPool(StrFormat("pool%zu", s + 1), batch, c, hw, hw, 2, 2), {prev});
+    hw /= 2;
+  }
+
+  // Classifier: 512*7*7 -> 4096 -> 4096 -> 1000.
+  prev = g.AddLayer(MakeLinear("fc6", batch, c * hw * hw, 4096), {prev});
+  prev = g.AddLayer(MakeReLU("fc6.relu", batch * 4096), {prev});
+  prev = g.AddLayer(MakeDropout("fc6.dropout", batch * 4096), {prev});
+  prev = g.AddLayer(MakeLinear("fc7", batch, 4096, 4096), {prev});
+  prev = g.AddLayer(MakeReLU("fc7.relu", batch * 4096), {prev});
+  prev = g.AddLayer(MakeDropout("fc7.dropout", batch * 4096), {prev});
+  prev = g.AddLayer(MakeLinear("fc8", batch, 4096, 1000), {prev});
+  g.AddLayer(MakeSoftmaxLoss("loss", batch, 1000), {prev});
+  return g;
+}
+
+}  // namespace daydream

@@ -1,0 +1,103 @@
+#include "src/runtime/config.h"
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+FrameworkProfile FrameworkProfile::PyTorch() {
+  FrameworkProfile p;
+  p.name = "pytorch";
+  return p;  // defaults are calibrated for PyTorch v1.0-era overheads
+}
+
+FrameworkProfile FrameworkProfile::Mxnet() {
+  FrameworkProfile p;
+  p.name = "mxnet";
+  // MXNet's imperative frontend drives a C++ dependency engine; per-op gaps
+  // are lower but the engine adds scheduling overhead per op.
+  p.fwd_op_gap = Us(35);
+  p.bwd_op_gap = Us(30);
+  p.wu_op_gap = Us(15);
+  p.layer_glue = Us(10);
+  return p;
+}
+
+FrameworkProfile FrameworkProfile::Caffe() {
+  FrameworkProfile p;
+  p.name = "caffe";
+  // Caffe is a static C++ graph: tiny gaps, no Python in the loop.
+  p.fwd_op_gap = Us(8);
+  p.bwd_op_gap = Us(8);
+  p.wu_op_gap = Us(6);
+  p.layer_glue = Us(3);
+  return p;
+}
+
+OptimizerKind DefaultOptimizer(ModelId model) {
+  switch (model) {
+    case ModelId::kResNet50:
+    case ModelId::kVgg19:
+    case ModelId::kDenseNet121:
+      return OptimizerKind::kSgdMomentum;
+    case ModelId::kGnmt:
+    case ModelId::kBertBase:
+    case ModelId::kBertLarge:
+      return OptimizerKind::kAdam;
+  }
+  return OptimizerKind::kSgdMomentum;
+}
+
+RunConfig DefaultRunConfig(ModelId model) {
+  RunConfig config;
+  config.model = model;
+  config.batch = DefaultBatch(model);
+  config.optimizer = DefaultOptimizer(model);
+  config.grad_clipping = config.optimizer == OptimizerKind::kAdam;
+  switch (model) {
+    case ModelId::kResNet50:
+      config.cpu_scale = 1.4;  // torchvision + Python data pipeline
+      break;
+    case ModelId::kVgg19:
+      config.cpu_scale = 1.0;  // few, large layers
+      break;
+    case ModelId::kDenseNet121:
+      config.framework = FrameworkProfile::Caffe();  // paper §6.4 uses Caffe
+      config.cpu_scale = 1.0;
+      break;
+    case ModelId::kGnmt:
+      config.cpu_scale = 0.8;  // tight fused LSTM loops
+      break;
+    case ModelId::kBertBase:
+      config.cpu_scale = 1.3;  // HuggingFace-style per-op overhead
+      config.wu_gap_scale = 0.8;
+      break;
+    case ModelId::kBertLarge:
+      config.cpu_scale = 1.13;
+      config.wu_gap_scale = 1.3;
+      break;
+  }
+  return config;
+}
+
+std::string RunConfig::Label() const {
+  std::string label = StrFormat("%s b=%lld %s", ModelName(model),
+                                static_cast<long long>(batch), framework.name.c_str());
+  if (gt.amp) {
+    label += " +amp";
+  }
+  if (gt.fused_adam) {
+    label += " +fused_adam";
+  }
+  if (gt.restructured_bn) {
+    label += " +rbn";
+  }
+  if (comm == CommBackend::kNccl) {
+    label += " ddp[" + cluster.Label() + "]";
+  }
+  if (comm == CommBackend::kPs) {
+    label += std::string(" ps[") + cluster.Label() + "]" + (gt.p3 ? "+p3" : "");
+  }
+  return label;
+}
+
+}  // namespace daydream

@@ -1,0 +1,93 @@
+// Run configuration for the ground-truth executor.
+//
+// FrameworkProfile models the CPU-side cost structure of a DNN framework:
+// CUDA API durations plus the "gaps" between consecutive CUDA calls that the
+// paper identifies as indispensable for simulation accuracy (§4.2.1 "Gap") —
+// Python dispatch, autograd bookkeeping, optimizer-loop overhead. The paper's
+// testbed pairs fast GPUs (RTX 2080 Ti) with a low-clocked AMD EPYC 7601,
+// which is why CPU overheads of tens of microseconds per op matter so much
+// (Figure 6's CPU-bound FP16 BERT).
+#ifndef SRC_RUNTIME_CONFIG_H_
+#define SRC_RUNTIME_CONFIG_H_
+
+#include <string>
+
+#include "src/comm/network_spec.h"
+#include "src/kernels/gpu_spec.h"
+#include "src/kernels/layer_kernels.h"
+#include "src/models/model_zoo.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+struct FrameworkProfile {
+  std::string name;
+  TimeNs launch_api = Us(7);        // cudaLaunchKernel duration
+  TimeNs memcpy_api = Us(9);        // cudaMemcpyAsync CPU-side duration
+  TimeNs sync_api_floor = Us(4);    // minimum duration of a sync API
+  TimeNs fwd_op_gap = Us(55);       // framework gap before each forward launch
+  TimeNs bwd_op_gap = Us(45);       // gap in the (C++) autograd engine
+  TimeNs wu_op_gap = Us(22);        // gap in the optimizer loop
+  TimeNs layer_glue = Us(18);       // per-layer module-call overhead (nn.Module.__call__)
+  TimeNs allreduce_launch = Us(12); // DDP hook + ncclAllReduce enqueue
+
+  static FrameworkProfile PyTorch();
+  static FrameworkProfile Mxnet();
+  static FrameworkProfile Caffe();
+};
+
+// Which ground-truth optimization the executor applies (the "real"
+// implementation Daydream's prediction is judged against).
+struct GroundTruthOptions {
+  bool amp = false;                 // Apex automatic mixed precision
+  bool fused_adam = false;          // Apex FusedAdam (single multi-tensor kernel)
+  bool restructured_bn = false;     // Jung et al. batchnorm restructuring
+  bool sync_before_allreduce = false;  // Figure 9's "Sync" variant
+  bool p3 = false;                  // priority-based parameter propagation (PS only)
+};
+
+enum class CommBackend {
+  kNone,   // single GPU
+  kNccl,   // PyTorch DDP + NCCL allReduce (Figures 8 and 9)
+  kPs,     // MXNet parameter server (Figure 10)
+};
+
+struct RunConfig {
+  ModelId model = ModelId::kResNet50;
+  int64_t batch = 0;                // 0 = DefaultBatch(model)
+  GpuSpec gpu = GpuSpec::Rtx2080Ti();
+  FrameworkProfile framework = FrameworkProfile::PyTorch();
+  OptimizerKind optimizer = OptimizerKind::kSgdMomentum;
+  // Model-specific multiplier on framework gaps (a HuggingFace BERT script has
+  // very different Python overhead than torchvision ResNet).
+  double cpu_scale = 1.0;
+  // Extra multiplier on the optimizer-loop gap only: the flat Python loop over
+  // parameter tensors is cheaper per op than module forward/backward calls.
+  double wu_gap_scale = 1.0;
+  // Gradient-norm clipping before the optimizer step (standard in BERT/GNMT
+  // training scripts): per-tensor norm reductions plus a blocking .item()
+  // read-back of the total norm. Set by DefaultRunConfig for Adam models.
+  bool grad_clipping = false;
+
+  CommBackend comm = CommBackend::kNone;
+  ClusterConfig cluster;            // used when comm != kNone
+
+  GroundTruthOptions gt;
+
+  // Extra salt so different experiments draw independent deterministic noise.
+  std::string seed_salt = "default";
+
+  std::string Label() const;
+};
+
+// Paper-matching defaults per model: batch size, optimizer (CNNs use SGD with
+// momentum; GNMT/BERT use Adam — a precondition for FusedAdam, §6.3),
+// framework and CPU-overhead scale.
+RunConfig DefaultRunConfig(ModelId model);
+
+// Default optimizer choice per model.
+OptimizerKind DefaultOptimizer(ModelId model);
+
+}  // namespace daydream
+
+#endif  // SRC_RUNTIME_CONFIG_H_

@@ -1,0 +1,122 @@
+// The ground-truth machine: a discrete-event executor for op programs.
+//
+// Simulates CPU threads issuing CUDA APIs, FIFO CUDA streams, asynchronous
+// kernel launches, blocking synchronizations, the NCCL stream,
+// parameter-server communication channels, and the second-order effects the
+// paper attributes prediction error to:
+//   - per-kernel AMP speedup variance (vs the uniform 3x/2x model),
+//   - FP32-pinned optimizer kernels under AMP (master weights),
+//   - implementation overhead of newly written kernels (restructured BN),
+//   - GPU-resource interference on NCCL kernels that overlap compute (Fig. 9),
+//   - PS server-side processing overhead (why P3 predictions overestimate at
+//     high bandwidth, Fig. 10).
+//
+// The executor emits a CUPTI-style Trace; Daydream's prediction side consumes
+// only that trace and never reads executor internals.
+#ifndef SRC_RUNTIME_EXECUTOR_H_
+#define SRC_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "src/kernels/cost_model.h"
+#include "src/runtime/config.h"
+#include "src/runtime/op_program.h"
+#include "src/trace/trace.h"
+#include "src/util/rng.h"
+
+namespace daydream {
+
+// Per-allReduce-call accounting for the Figure 9 comparison.
+struct AllReduceRecord {
+  int bucket_id = -1;
+  int64_t bytes = 0;
+  TimeNs theoretical = 0;  // ring formula (NCCL perf notes)
+  TimeNs optimal = 0;      // exclusive execution (formula + NCCL kernel overhead)
+  TimeNs actual = 0;       // as executed (with interference if overlapped)
+  bool overlapped = false;
+};
+
+struct ExecutionResult {
+  Trace trace;
+  // End time of each iteration (kIterationEnd boundaries).
+  std::vector<TimeNs> iteration_ends;
+  // First-to-last event on the worker (loader excluded) across the whole run.
+  TimeNs total_time = 0;
+  std::vector<AllReduceRecord> allreduce_calls;
+
+  // Steady-state iteration time: the span of the last iteration when several
+  // were run, the whole run otherwise.
+  TimeNs IterationTime() const;
+};
+
+class Executor {
+ public:
+  explicit Executor(const RunConfig& config);
+
+  ExecutionResult Run(const OpProgram& program);
+
+  // Duration scaling the AMP ground truth applies to one kernel, exposed for
+  // tests. Returns the divisor (>= 1) applied to the FP32 duration.
+  double AmpSpeedupFactor(const KernelSpec& kernel, Rng* rng) const;
+
+  // NCCL-kernel overhead over the theoretical ring time when run exclusively.
+  static TimeNs OptimalAllReduceTime(TimeNs theoretical);
+
+  // PS model parameters (ground-truth only; exposed for tests/calibration).
+  // Worker and co-located server share the NIC in each direction.
+  static constexpr double kPsBandwidthShare = 0.5;
+  // Fixed per-slice server processing cost (request handling, queueing).
+  static constexpr TimeNs kPsServerFixedNs = 90 * kMicrosecond;
+  // Server-side aggregation throughput per extra worker, bytes/ns.
+  static constexpr double kPsServerAggBytesPerNs = 4.0;
+  // kvstore processing throughput per slice (serialize/deserialize, copy,
+  // engine dispatch on worker and server). A channel cannot move slices
+  // faster than this even on a fast network — the bandwidth-independent
+  // bottleneck that makes P3 predictions optimistic at high bandwidth (§6.6).
+  static constexpr TimeNs kPsSliceFixedNs = 120 * kMicrosecond;
+  static constexpr double kPsProcBytesPerNs = 1.3;
+  // The P3 ground truth prioritizes within a bounded engine reorder window:
+  // a late high-priority slice cannot jump an arbitrarily long backlog
+  // (MXNet's dependency engine dispatches from the front of its queue).
+  // Daydream's P3 model schedules with perfect priorities, one reason it
+  // overestimates P3's benefit (§6.6).
+  static constexpr int kPsReorderWindow = 8;
+
+ private:
+  struct PendingSlice {
+    PsSlice slice;
+    TimeNs ready = 0;
+    int seq = 0;  // FIFO tie-break / baseline order
+  };
+  struct Channel {
+    TimeNs free = 0;
+    std::vector<PendingSlice> pending;
+  };
+
+  TimeNs KernelDuration(const KernelSpec& kernel, Rng* rng) const;
+  TimeNs PsServerTime(const PsSlice& slice) const;
+  double PsChannelBytesPerNs() const;
+  // Greedily schedules every pending push, then every resulting pull.
+  // Emits Communication events into `trace`; fills pull completion times.
+  void DrainPsChannels(Trace* trace);
+
+  RunConfig config_;
+  CostModel cost_;
+
+  // PS state (live during Run). Each server process handles its slices
+  // serially (recv + aggregate + update + respond); this queueing is the
+  // bandwidth-independent overhead P3 predictions miss at high bandwidth.
+  std::vector<TimeNs> server_free_;
+  Rng ps_rng_{uint64_t{0}};
+  Channel send_;
+  Channel recv_;
+  int ps_seq_ = 0;
+  bool ps_priority_ = false;  // P3 ground truth: schedule by priority
+  std::map<int, std::vector<TimeNs>> pull_done_by_layer_;
+  std::map<int, int> pulls_expected_by_layer_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,62 @@
+#include "src/runtime/ground_truth.h"
+
+#include "src/comm/bucketing.h"
+#include "src/comm/param_server.h"
+#include "src/models/model_zoo.h"
+#include "src/util/logging.h"
+
+namespace daydream {
+
+namespace {
+
+void AttachInstrumentation(const ModelGraph& model, const std::vector<GradientBucket>& buckets,
+                           Trace* trace) {
+  trace->set_model_name(model.name());
+  const std::vector<int> layer_to_bucket = LayerToBucket(model, buckets);
+  for (const Layer& layer : model.layers()) {
+    if (!layer.has_params()) {
+      continue;
+    }
+    GradientInfo info;
+    info.layer_id = layer.id;
+    info.bytes = layer.param_bytes_fp32();
+    info.bucket_id = layer_to_bucket[static_cast<size_t>(layer.id)];
+    trace->AddGradientInfo(info);
+  }
+}
+
+}  // namespace
+
+ExecutionResult RunGroundTruth(const RunConfig& config, int iterations) {
+  RunConfig effective = config;
+  if (effective.batch == 0) {
+    effective.batch = DefaultBatch(effective.model);
+  }
+  const ModelGraph model = BuildModel(effective.model, effective.batch);
+
+  // The DDP bucket assignment is framework state; we also attach it to the
+  // trace as the instrumented gradient/bucket side channel (§4.1 Phase 1).
+  const std::vector<GradientBucket> buckets = ComputeBuckets(model);
+
+  std::vector<PsSlice> slices;
+  if (effective.comm == CommBackend::kPs) {
+    const int servers = effective.cluster.machines;
+    slices = effective.gt.p3 ? P3Slices(model, servers) : WholeTensorSlices(model, servers);
+  }
+
+  const OpProgram program = BuildTrainingProgram(model, effective, iterations, buckets, slices);
+  Executor executor(effective);
+  ExecutionResult result = executor.Run(program);
+  AttachInstrumentation(model, buckets, &result.trace);
+  return result;
+}
+
+Trace CollectBaselineTrace(const RunConfig& config, int iterations) {
+  RunConfig baseline = config;
+  baseline.gt = GroundTruthOptions{};
+  baseline.comm = CommBackend::kNone;
+  baseline.cluster = ClusterConfig{};
+  return RunGroundTruth(baseline, iterations).trace;
+}
+
+}  // namespace daydream

@@ -1,0 +1,26 @@
+// High-level entry points for running the ground-truth machine.
+//
+// CollectBaselineTrace is the paper's Phase 1 (profile the baseline once on
+// the target machine); RunGroundTruth executes the *real* optimization so the
+// benches can compare Daydream's prediction against it.
+#ifndef SRC_RUNTIME_GROUND_TRUTH_H_
+#define SRC_RUNTIME_GROUND_TRUTH_H_
+
+#include "src/runtime/executor.h"
+
+namespace daydream {
+
+// Runs `iterations` training iterations under `config` (including any
+// ground-truth optimizations / distributed backends it enables) and returns
+// the executed trace plus timing. The trace carries the instrumentation side
+// channel: model name and per-layer gradient sizes with DDP bucket ids.
+ExecutionResult RunGroundTruth(const RunConfig& config, int iterations = 1);
+
+// Single-GPU, no-optimization profile of `config.model` — the only input
+// Daydream's prediction side is allowed to see. Ground-truth options and
+// communication backends in `config` are ignored.
+Trace CollectBaselineTrace(const RunConfig& config, int iterations = 1);
+
+}  // namespace daydream
+
+#endif  // SRC_RUNTIME_GROUND_TRUTH_H_

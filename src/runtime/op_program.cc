@@ -1,0 +1,380 @@
+#include "src/runtime/op_program.h"
+
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+Op Marker(const Layer& layer, Phase phase, bool begin, TimeNs glue) {
+  Op op;
+  op.kind = OpKind::kMarker;
+  op.name = layer.name;
+  op.gap = begin ? glue : 0;
+  op.layer_id = layer.id;
+  op.phase = phase;
+  op.marker_begin = begin;
+  return op;
+}
+
+Op Launch(KernelSpec kernel, TimeNs gap) {
+  Op op;
+  op.kind = OpKind::kLaunchKernel;
+  op.name = kernel.name;
+  op.gap = gap;
+  op.layer_id = kernel.layer_id;
+  op.phase = kernel.phase;
+  op.stream = kComputeStream;
+  op.kernel = std::move(kernel);
+  return op;
+}
+
+// Restructured batchnorm (Jung et al., §6.4): BN layers are split and fused
+// with the neighbouring convolution/activation. The ground-truth effect on the
+// kernel stream: ReLU kernels disappear (fused into convs), BN kernels load
+// half the data but run a *new implementation* (the executor applies an
+// implementation-overhead factor to "_rbn" kernels), and each BN layer incurs
+// an extra cudaMalloc plus a small DtoD workspace copy.
+bool RbnSkipsLayer(const ModelGraph& model, const Layer& layer) {
+  if (layer.kind != LayerKind::kReLU || layer.inputs.empty()) {
+    return false;
+  }
+  return model.layer(layer.inputs[0]).kind == LayerKind::kBatchNorm;
+}
+
+KernelSpec RbnTransform(KernelSpec kernel) {
+  kernel.name += "_rbn";
+  kernel.bytes /= 2;
+  return kernel;
+}
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder(const ModelGraph& model, const RunConfig& config,
+                 const std::vector<GradientBucket>& buckets, const std::vector<PsSlice>& slices)
+      : model_(model),
+        config_(config),
+        fw_(config.framework),
+        ddp_(config.comm == CommBackend::kNccl && config.cluster.total_gpus() > 1),
+        ps_(config.comm == CommBackend::kPs && config.cluster.total_gpus() > 1) {
+    for (const GradientBucket& b : buckets) {
+      bucket_by_trigger_[b.trigger_layer_id] = &b;
+    }
+    for (const PsSlice& s : slices) {
+      slices_by_layer_[s.layer_id].push_back(s);
+    }
+    for (const Layer& layer : model.layers()) {
+      if (config_.gt.restructured_bn && RbnSkipsLayer(model, layer)) {
+        continue;
+      }
+      LayerKernelSet set = ExpandLayer(layer);
+      if (config_.gt.restructured_bn && layer.kind == LayerKind::kBatchNorm) {
+        for (auto* list : {&set.forward, &set.backward}) {
+          for (KernelSpec& k : *list) {
+            k = RbnTransform(std::move(k));
+          }
+        }
+      }
+      expanded_.emplace(layer.id, std::move(set));
+    }
+  }
+
+  OpProgram Build(int iterations) {
+    OpProgram program;
+    for (int i = 0; i < iterations; ++i) {
+      Op load;
+      load.kind = OpKind::kDataLoad;
+      load.name = "dataloader.next";
+      load.duration = DataLoadDuration(model_);
+      load.phase = Phase::kDataLoad;
+      program.loader_ops.push_back(std::move(load));
+      EmitIteration(&program.main_ops);
+    }
+    return program;
+  }
+
+ private:
+  void EmitIteration(std::vector<Op>* ops) {
+    EmitInputUpload(ops);
+    EmitForward(ops);
+    EmitLossReadback(ops);
+    EmitBackward(ops);
+    if (config_.gt.amp) {
+      EmitAmpLossScaling(ops);
+    }
+    if (config_.grad_clipping) {
+      EmitGradClipping(ops);
+    }
+    if (ddp_) {
+      // The optimizer step waits for all outstanding allReduces.
+      Op wait;
+      wait.kind = OpKind::kStreamSync;
+      wait.name = "cudaStreamSynchronize_nccl";
+      wait.gap = fw_.layer_glue;
+      wait.stream = kNcclStream;
+      ops->push_back(std::move(wait));
+    }
+    if (!ps_) {
+      // Parameter-server training updates weights on the servers, not here.
+      EmitWeightUpdate(ops);
+    }
+    Op sync;
+    sync.kind = OpKind::kDeviceSync;
+    sync.name = "cudaDeviceSynchronize_iter_end";
+    sync.gap = fw_.layer_glue;
+    ops->push_back(std::move(sync));
+    Op boundary;
+    boundary.kind = OpKind::kIterationEnd;
+    boundary.name = "iteration_end";
+    ops->push_back(std::move(boundary));
+  }
+
+  void EmitInputUpload(std::vector<Op>* ops) {
+    Op h2d;
+    h2d.kind = OpKind::kMemcpyHtoD;
+    h2d.name = "input_batch";
+    h2d.gap = fw_.layer_glue;
+    h2d.bytes = InputBytes(model_);
+    h2d.stream = kComputeStream;
+    ops->push_back(std::move(h2d));
+  }
+
+  void EmitForward(std::vector<Op>* ops) {
+    for (const Layer& layer : model_.layers()) {
+      auto found = expanded_.find(layer.id);
+      if (found == expanded_.end()) {
+        continue;  // fused away by RBN
+      }
+      if (ps_ && layer.has_params()) {
+        Op wait;
+        wait.kind = OpKind::kPsWaitPull;
+        wait.name = StrFormat("kvstore_wait_pull_%s", layer.name.c_str());
+        wait.gap = fw_.layer_glue / 2;
+        wait.layer_id = layer.id;
+        wait.phase = Phase::kForward;
+        ops->push_back(std::move(wait));
+      }
+      ops->push_back(Marker(layer, Phase::kForward, /*begin=*/true, fw_.layer_glue));
+      for (const KernelSpec& kernel : found->second.forward) {
+        ops->push_back(Launch(kernel, fw_.fwd_op_gap));
+      }
+      if (config_.gt.restructured_bn && layer.kind == LayerKind::kBatchNorm) {
+        EmitRbnOverheads(layer, ops);
+      }
+      ops->push_back(Marker(layer, Phase::kForward, /*begin=*/false, 0));
+    }
+  }
+
+  void EmitRbnOverheads(const Layer& layer, std::vector<Op>* ops) {
+    Op malloc_op;
+    malloc_op.kind = OpKind::kMallocLike;
+    malloc_op.name = "cudaMalloc_rbn_workspace";
+    malloc_op.gap = fw_.fwd_op_gap / 2;
+    malloc_op.layer_id = layer.id;
+    malloc_op.phase = Phase::kForward;
+    ops->push_back(std::move(malloc_op));
+    KernelSpec copy;
+    copy.name = "memcpy_dtod_rbn_workspace";
+    copy.cls = KernelClass::kMemcpy;
+    copy.bytes = layer.output_elems / 8;  // small per-layer staging buffer
+    copy.layer_id = layer.id;
+    copy.phase = Phase::kForward;
+    ops->push_back(Launch(std::move(copy), fw_.fwd_op_gap / 2));
+  }
+
+  void EmitLossReadback(std::vector<Op>* ops) {
+    // loss.item(): device-to-host read-back that blocks until the forward
+    // stream drains (the implicit GPU->CPU dependency of §4.2.2).
+    Op d2h;
+    d2h.kind = OpKind::kMemcpyDtoH;
+    d2h.name = "loss_item";
+    d2h.gap = fw_.layer_glue;
+    d2h.bytes = 4;
+    d2h.stream = kComputeStream;
+    ops->push_back(std::move(d2h));
+  }
+
+  void EmitBackward(std::vector<Op>* ops) {
+    for (auto it = model_.layers().rbegin(); it != model_.layers().rend(); ++it) {
+      const Layer& layer = *it;
+      auto found = expanded_.find(layer.id);
+      if (found == expanded_.end()) {
+        continue;
+      }
+      ops->push_back(Marker(layer, Phase::kBackward, /*begin=*/true, fw_.layer_glue));
+      for (const KernelSpec& kernel : found->second.backward) {
+        ops->push_back(Launch(kernel, fw_.bwd_op_gap));
+      }
+      ops->push_back(Marker(layer, Phase::kBackward, /*begin=*/false, 0));
+
+      if (ddp_) {
+        EmitBucketAllReduce(layer, ops);
+      }
+      if (ps_ && layer.has_params()) {
+        Op push;
+        push.kind = OpKind::kPsPush;
+        push.name = StrFormat("kvstore_push_%s", layer.name.c_str());
+        push.gap = fw_.layer_glue / 2;
+        push.layer_id = layer.id;
+        push.phase = Phase::kBackward;
+        auto slices = slices_by_layer_.find(layer.id);
+        DD_CHECK(slices != slices_by_layer_.end())
+            << "no PS slices for parameterized layer " << layer.name;
+        push.slices = slices->second;
+        ops->push_back(std::move(push));
+      }
+    }
+  }
+
+  void EmitBucketAllReduce(const Layer& layer, std::vector<Op>* ops) {
+    auto trig = bucket_by_trigger_.find(layer.id);
+    if (trig == bucket_by_trigger_.end()) {
+      return;
+    }
+    if (config_.gt.sync_before_allreduce) {
+      Op sync;
+      sync.kind = OpKind::kStreamSync;
+      sync.name = "cudaStreamSynchronize_pre_nccl";
+      sync.gap = fw_.layer_glue;
+      sync.stream = kComputeStream;
+      ops->push_back(std::move(sync));
+    }
+    Op ar;
+    ar.kind = OpKind::kAllReduce;
+    ar.name = StrFormat("ncclAllReduceRingLLKernel_bucket%d", trig->second->id);
+    ar.gap = fw_.allreduce_launch;
+    ar.bytes = trig->second->bytes;
+    ar.bucket_id = trig->second->id;
+    ar.stream = kNcclStream;
+    ar.phase = Phase::kBackward;
+    ops->push_back(std::move(ar));
+  }
+
+  void EmitAmpLossScaling(std::vector<Op>* ops) {
+    // AMP ground truth: dynamic loss scaling unscales gradients and checks
+    // for overflow — a handful of multi-tensor kernels plus a blocking flag
+    // read-back that Daydream's AMP model (Algorithm 3) does not know about.
+    for (int i = 0; i < 3; ++i) {
+      KernelSpec k;
+      k.name = StrFormat("multi_tensor_unscale_%d", i);
+      k.cls = KernelClass::kElementwise;
+      k.bytes = model_.TotalParamBytes() / 3;
+      k.phase = Phase::kBackward;
+      ops->push_back(Launch(std::move(k), fw_.bwd_op_gap));
+    }
+    Op d2h;
+    d2h.kind = OpKind::kMemcpyDtoH;
+    d2h.name = "amp_overflow_check";
+    d2h.gap = fw_.layer_glue;
+    d2h.bytes = 4;
+    d2h.stream = kComputeStream;
+    ops->push_back(std::move(d2h));
+  }
+
+  // torch.nn.utils.clip_grad_norm_: one norm-reduction kernel per parameter
+  // tensor, then a blocking read-back of the total norm — a real
+  // backward/optimizer barrier in BERT and GNMT training scripts.
+  void EmitGradClipping(std::vector<Op>* ops) {
+    for (const Layer& layer : model_.layers()) {
+      for (size_t t = 0; t < layer.param_tensor_elems.size(); ++t) {
+        KernelSpec k;
+        k.name = "reduce_kernel_grad_norm";
+        k.cls = KernelClass::kReduction;
+        k.flops = 2 * layer.param_tensor_elems[t];
+        k.bytes = layer.param_tensor_elems[t] * 4;
+        // Framework-level work outside any layer's instrumentation window —
+        // the synchronization-free mapping correctly leaves it unassigned.
+        k.layer_id = -1;
+        k.phase = Phase::kBackward;
+        ops->push_back(Launch(std::move(k), fw_.wu_op_gap));
+      }
+    }
+    Op d2h;
+    d2h.kind = OpKind::kMemcpyDtoH;
+    d2h.name = "grad_norm_item";
+    d2h.gap = fw_.layer_glue;
+    d2h.bytes = 4;
+    d2h.stream = kComputeStream;
+    d2h.phase = Phase::kBackward;
+    ops->push_back(std::move(d2h));
+  }
+
+  void EmitWeightUpdate(std::vector<Op>* ops) {
+    if (config_.gt.fused_adam) {
+      DD_CHECK(config_.optimizer == OptimizerKind::kAdam)
+          << "FusedAdam requires an Adam-based model (GNMT/BERT)";
+      // One multi-tensor kernel updates every parameter: a single
+      // traffic-optimal pass (read p/g/m/v, write p/m/v) replacing thousands
+      // of pointwise ops.
+      Op setup;
+      setup.kind = OpKind::kCpuWork;
+      setup.name = "fused_adam_setup";
+      setup.gap = fw_.wu_op_gap;
+      setup.duration = Us(40);  // flattening the tensor list
+      setup.phase = Phase::kWeightUpdate;
+      ops->push_back(std::move(setup));
+      KernelSpec fused;
+      fused.name = "multi_tensor_apply_adam_fused";
+      fused.cls = KernelClass::kElementwise;
+      fused.flops = 8 * model_.TotalParamElems();
+      fused.bytes = 7 * model_.TotalParamBytes();  // 7 tensor passes in one sweep
+      fused.phase = Phase::kWeightUpdate;
+      ops->push_back(Launch(std::move(fused), fw_.wu_op_gap));
+      return;
+    }
+    const TimeNs wu_gap = static_cast<TimeNs>(static_cast<double>(fw_.wu_op_gap) *
+                                              config_.wu_gap_scale);
+    for (const Layer& layer : model_.layers()) {
+      if (!layer.has_params()) {
+        continue;
+      }
+      std::vector<KernelSpec> wu = ExpandWeightUpdate(layer, config_.optimizer);
+      ops->push_back(Marker(layer, Phase::kWeightUpdate, /*begin=*/true, fw_.layer_glue / 2));
+      for (KernelSpec& kernel : wu) {
+        ops->push_back(Launch(std::move(kernel), wu_gap));
+      }
+      ops->push_back(Marker(layer, Phase::kWeightUpdate, /*begin=*/false, 0));
+    }
+  }
+
+  const ModelGraph& model_;
+  const RunConfig& config_;
+  const FrameworkProfile& fw_;
+  const bool ddp_;
+  const bool ps_;
+  std::map<int, const GradientBucket*> bucket_by_trigger_;
+  std::map<int, std::vector<PsSlice>> slices_by_layer_;
+  std::map<int, LayerKernelSet> expanded_;
+};
+
+}  // namespace
+
+int64_t InputBytes(const ModelGraph& model) {
+  const Layer& first = model.layers().front();
+  if (first.kind == LayerKind::kConv2d) {
+    return model.batch() * 3 * 224 * 224 * 4;  // NCHW fp32 images
+  }
+  // Token ids (int64); the first layer's row count is batch * seq_len.
+  return first.batch * 8;
+}
+
+TimeNs DataLoadDuration(const ModelGraph& model) {
+  const Layer& first = model.layers().front();
+  if (first.kind == LayerKind::kConv2d) {
+    // JPEG decode + augmentation amortized over parallel loader workers.
+    return model.batch() * Us(300);
+  }
+  return model.batch() * Us(25);  // tokenized text batches are cheap
+}
+
+OpProgram BuildTrainingProgram(const ModelGraph& model, const RunConfig& config, int iterations,
+                               const std::vector<GradientBucket>& buckets,
+                               const std::vector<PsSlice>& slices) {
+  DD_CHECK_GE(iterations, 1);
+  return ProgramBuilder(model, config, buckets, slices).Build(iterations);
+}
+
+}  // namespace daydream

@@ -1,0 +1,83 @@
+// Framework op programs: the instruction stream the executor runs.
+//
+// BuildTrainingProgram is the "framework frontend": given a model and a run
+// configuration it emits the op sequence a framework would execute for N
+// training iterations — per-layer forward launches, the blocking loss
+// read-back, the backward pass with DDP allReduce hooks or parameter-server
+// push/pull, the optimizer loop — including the ground-truth variants of the
+// evaluated optimizations (AMP's loss-scaling ops, FusedAdam's single fused
+// kernel, restructured batchnorm's fused layers).
+#ifndef SRC_RUNTIME_OP_PROGRAM_H_
+#define SRC_RUNTIME_OP_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/comm/bucketing.h"
+#include "src/comm/param_server.h"
+#include "src/kernels/kernel_spec.h"
+#include "src/models/model_graph.h"
+#include "src/runtime/config.h"
+
+namespace daydream {
+
+enum class OpKind {
+  kCpuWork,       // named CPU event (ApiKind::kOther)
+  kLaunchKernel,  // cudaLaunchKernel + GPU kernel on a stream
+  kMemcpyHtoD,    // async host->device copy (CPU does not block)
+  kMemcpyDtoH,    // device->host copy; blocks the CPU until the copy completes
+  kDeviceSync,    // cudaDeviceSynchronize
+  kStreamSync,    // cudaStreamSynchronize(stream)
+  kMarker,        // layer begin/end instrumentation stamp
+  kDataLoad,      // loader-thread task
+  kAllReduce,     // DDP: enqueue an NCCL allReduce kernel for one bucket
+  kMallocLike,    // cudaMalloc/cudaFree-style CPU API
+  kPsPush,        // PS: gradients of one layer become ready to push
+  kPsWaitPull,    // PS: forward of one layer waits for its pulled weights
+  kIterationEnd,  // bookkeeping: marks an iteration boundary
+};
+
+struct Op {
+  OpKind kind = OpKind::kCpuWork;
+  std::string name;
+  // CPU idle time before this op (framework/Python overhead; becomes the
+  // trace "gap"). Scaled by RunConfig::cpu_scale at execution time.
+  TimeNs gap = 0;
+  TimeNs duration = 0;  // kCpuWork / kDataLoad only
+  KernelSpec kernel;    // kLaunchKernel only
+  int stream = 0;
+  int64_t bytes = 0;    // memcpys / allReduce payload
+  int layer_id = -1;
+  Phase phase = Phase::kUnknown;
+  bool marker_begin = false;
+  int bucket_id = -1;             // kAllReduce only
+  std::vector<PsSlice> slices;    // kPsPush only
+};
+
+struct OpProgram {
+  std::vector<Op> main_ops;    // control thread (thread 0)
+  std::vector<Op> loader_ops;  // data-loading thread (thread 1)
+};
+
+// The compute stream and the NCCL stream (PyTorch DDP uses a dedicated one).
+inline constexpr int kComputeStream = 0;
+inline constexpr int kNcclStream = 1;
+// Parameter-server communication channels (§4.2.1 "ExecutionThread").
+inline constexpr int kPsSendChannel = 0;
+inline constexpr int kPsRecvChannel = 1;
+
+// Emits `iterations` back-to-back training iterations. `buckets` is used when
+// config.comm == kNccl; `slices` when config.comm == kPs (whole-tensor slices
+// for baseline MXNet, fine-grained prioritized slices for P3 ground truth).
+OpProgram BuildTrainingProgram(const ModelGraph& model, const RunConfig& config, int iterations,
+                               const std::vector<GradientBucket>& buckets,
+                               const std::vector<PsSlice>& slices);
+
+// Input-tensor bytes uploaded at iteration start (images vs token ids).
+int64_t InputBytes(const ModelGraph& model);
+// Host-side data-loading time for one mini-batch.
+TimeNs DataLoadDuration(const ModelGraph& model);
+
+}  // namespace daydream
+
+#endif  // SRC_RUNTIME_OP_PROGRAM_H_

@@ -1,0 +1,102 @@
+#include "src/trace/chrome_trace.h"
+
+#include <fstream>
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Stable row ids: CPU threads first, then GPU streams, then comm channels.
+int RowTid(const TraceEvent& e) {
+  if (e.is_cpu()) {
+    return e.thread_id;
+  }
+  if (e.is_gpu()) {
+    return 1000 + e.stream_id;
+  }
+  return 2000 + e.channel_id;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const Trace& trace, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << line;
+  };
+
+  // Row name metadata.
+  for (int tid : trace.CpuThreadIds()) {
+    emit(StrFormat(R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,)"
+                   R"("args":{"name":"CPU thread %d"}})",
+                   tid, tid));
+  }
+  for (int sid : trace.GpuStreamIds()) {
+    emit(StrFormat(R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,)"
+                   R"("args":{"name":"GPU stream %d"}})",
+                   1000 + sid, sid));
+  }
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kLayerMarker) {
+      // Markers become instantaneous events.
+      emit(StrFormat(R"({"name":"%s/%s/%s","ph":"i","pid":1,"tid":%d,"ts":%.3f,"s":"t"})",
+                     JsonEscape(e.name).c_str(), ToString(e.phase),
+                     e.marker_begin ? "begin" : "end", RowTid(e), ToUs(e.start)));
+      continue;
+    }
+    emit(StrFormat(
+        R"({"name":"%s","cat":"%s","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,)"
+        R"("args":{"layer":%d,"phase":"%s","corr":%lld,"bytes":%lld}})",
+        JsonEscape(e.name).c_str(), ToString(e.kind), RowTid(e), ToUs(e.start), ToUs(e.duration),
+        e.layer_id, ToString(e.phase), static_cast<long long>(e.correlation_id),
+        static_cast<long long>(e.bytes)));
+  }
+  os << "\n]\n";
+}
+
+bool WriteChromeTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return false;
+  }
+  WriteChromeTrace(trace, out);
+  return out.good();
+}
+
+}  // namespace daydream

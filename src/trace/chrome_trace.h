@@ -1,0 +1,26 @@
+// Chrome-trace (chrome://tracing / Perfetto) JSON export.
+//
+// Gives the same visual as the paper's Figure 1 (NVProf timeline of ResNet-50):
+// CPU threads, GPU streams and communication channels as separate rows.
+#ifndef SRC_TRACE_CHROME_TRACE_H_
+#define SRC_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+// Writes the trace as a Chrome trace-event JSON array ("X" complete events).
+void WriteChromeTrace(const Trace& trace, std::ostream& os);
+
+// Convenience: writes to `path`, returns false if the file cannot be opened.
+bool WriteChromeTraceFile(const Trace& trace, const std::string& path);
+
+// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace daydream
+
+#endif  // SRC_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,119 @@
+// CUPTI-style trace events.
+//
+// The runtime executor (src/runtime) emits these; Daydream (src/core) consumes
+// them. The schema mirrors what the paper extracts from CUPTI plus the light
+// framework instrumentation it adds:
+//   - CPU-side CUDA runtime API calls (cudaLaunchKernel, cudaMemcpyAsync, ...)
+//     with thread id and a correlation id,
+//   - GPU kernels and memory copies with stream id and the matching correlation id,
+//   - per-layer begin/end markers (framework instrumentation, Section 4.3),
+//   - data-loading tasks, and
+//   - communication primitives (allReduce / push / pull) for distributed runs.
+#ifndef SRC_TRACE_TRACE_EVENT_H_
+#define SRC_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/time_units.h"
+
+namespace daydream {
+
+enum class EventKind {
+  kRuntimeApi,     // CPU-side CUDA API call.
+  kKernel,         // GPU kernel execution.
+  kMemcpy,         // GPU memory copy (occupies a stream like a kernel; §4.2.1).
+  kLayerMarker,    // Framework instrumentation: begin/end of a layer phase on CPU.
+  kDataLoad,       // Mini-batch load from disk to host memory (CPU-side task).
+  kCommunication,  // Network primitive execution (distributed traces only).
+};
+
+enum class ApiKind {
+  kNone,               // Not a runtime API event.
+  kLaunchKernel,       // cudaLaunchKernel
+  kMemcpyAsync,        // cudaMemcpyAsync
+  kMemcpySync,         // cudaMemcpy (synchronous)
+  kDeviceSynchronize,  // cudaDeviceSynchronize
+  kStreamSynchronize,  // cudaStreamSynchronize
+  kEventRecord,        // cudaEventRecord
+  kMalloc,             // cudaMalloc
+  kFree,               // cudaFree
+  kOther,              // other CUDA-visible CPU work
+};
+
+enum class MemcpyKind {
+  kNone,
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+};
+
+enum class CommKind {
+  kNone,
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kPush,  // parameter-server push (worker -> server)
+  kPull,  // parameter-server pull (server -> worker)
+};
+
+// Which phase of the training iteration a layer marker / task belongs to.
+enum class Phase {
+  kUnknown,
+  kDataLoad,
+  kForward,
+  kBackward,
+  kWeightUpdate,
+};
+
+const char* ToString(EventKind kind);
+const char* ToString(ApiKind kind);
+const char* ToString(MemcpyKind kind);
+const char* ToString(CommKind kind);
+const char* ToString(Phase phase);
+
+// One trace record. Which fields are meaningful depends on `kind`; unused
+// fields keep their defaults. Sizes are bytes; times are TimeNs.
+struct TraceEvent {
+  EventKind kind = EventKind::kRuntimeApi;
+  ApiKind api = ApiKind::kNone;
+  MemcpyKind memcpy_kind = MemcpyKind::kNone;
+  CommKind comm_kind = CommKind::kNone;
+
+  std::string name;
+  TimeNs start = 0;
+  TimeNs duration = 0;
+
+  // Execution location. CPU events carry thread_id; GPU events carry stream_id;
+  // communication events carry channel_id. Exactly one is >= 0.
+  int thread_id = -1;
+  int stream_id = -1;
+  int channel_id = -1;
+
+  // Links a kLaunchKernel / kMemcpyAsync API call to the GPU task it triggers.
+  // CUPTI provides the same mechanism ("correlation ID", §4.2.2). 0 = none.
+  int64_t correlation_id = 0;
+
+  // Layer markers: which layer/phase, and whether this is the begin or end stamp.
+  int layer_id = -1;
+  Phase phase = Phase::kUnknown;
+  bool marker_begin = false;
+
+  // Payload size for memcpys and communication primitives.
+  int64_t bytes = 0;
+
+  TimeNs end() const { return start + duration; }
+
+  bool is_cpu() const {
+    return kind == EventKind::kRuntimeApi || kind == EventKind::kLayerMarker ||
+           kind == EventKind::kDataLoad;
+  }
+  bool is_gpu() const { return kind == EventKind::kKernel || kind == EventKind::kMemcpy; }
+  bool is_comm() const { return kind == EventKind::kCommunication; }
+
+  std::string DebugString() const;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,121 @@
+#include "src/trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+constexpr char kHeader[] = "daydream-trace v1";
+
+// Names may contain spaces but not tabs/newlines; they go last on the line.
+void WriteEvent(const TraceEvent& e, std::ostream& os) {
+  os << "ev\t" << static_cast<int>(e.kind) << "\t" << static_cast<int>(e.api) << "\t"
+     << static_cast<int>(e.memcpy_kind) << "\t" << static_cast<int>(e.comm_kind) << "\t"
+     << e.start << "\t" << e.duration << "\t" << e.thread_id << "\t" << e.stream_id << "\t"
+     << e.channel_id << "\t" << e.correlation_id << "\t" << e.layer_id << "\t"
+     << static_cast<int>(e.phase) << "\t" << (e.marker_begin ? 1 : 0) << "\t" << e.bytes << "\t"
+     << e.name << "\n";
+}
+
+std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
+  // "ev" + 15 fields.
+  if (f.size() != 16) {
+    return std::nullopt;
+  }
+  try {
+    TraceEvent e;
+    e.kind = static_cast<EventKind>(std::stoi(f[1]));
+    e.api = static_cast<ApiKind>(std::stoi(f[2]));
+    e.memcpy_kind = static_cast<MemcpyKind>(std::stoi(f[3]));
+    e.comm_kind = static_cast<CommKind>(std::stoi(f[4]));
+    e.start = std::stoll(f[5]);
+    e.duration = std::stoll(f[6]);
+    e.thread_id = std::stoi(f[7]);
+    e.stream_id = std::stoi(f[8]);
+    e.channel_id = std::stoi(f[9]);
+    e.correlation_id = std::stoll(f[10]);
+    e.layer_id = std::stoi(f[11]);
+    e.phase = static_cast<Phase>(std::stoi(f[12]));
+    e.marker_begin = std::stoi(f[13]) != 0;
+    e.bytes = std::stoll(f[14]);
+    e.name = f[15];
+    return e;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& os) {
+  os << kHeader << "\n";
+  os << "model\t" << trace.model_name() << "\n";
+  os << "config\t" << trace.config() << "\n";
+  for (const GradientInfo& g : trace.gradients()) {
+    os << "grad\t" << g.layer_id << "\t" << g.bytes << "\t" << g.bucket_id << "\n";
+  }
+  for (const TraceEvent& e : trace.events()) {
+    WriteEvent(e, os);
+  }
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return false;
+  }
+  WriteTrace(trace, out);
+  return out.good();
+}
+
+std::optional<Trace> ReadTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    return std::nullopt;
+  }
+  Trace trace;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = StrSplit(line, '\t');
+    if (f[0] == "model" && f.size() == 2) {
+      trace.set_model_name(f[1]);
+    } else if (f[0] == "config" && f.size() == 2) {
+      trace.set_config(f[1]);
+    } else if (f[0] == "grad" && f.size() == 4) {
+      try {
+        GradientInfo g;
+        g.layer_id = std::stoi(f[1]);
+        g.bytes = std::stoll(f[2]);
+        g.bucket_id = std::stoi(f[3]);
+        trace.AddGradientInfo(g);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    } else if (f[0] == "ev") {
+      std::optional<TraceEvent> e = ParseEvent(f);
+      if (!e.has_value()) {
+        return std::nullopt;
+      }
+      trace.Add(*std::move(e));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return trace;
+}
+
+std::optional<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace daydream

@@ -1,0 +1,35 @@
+// Trace persistence: a line-oriented text format with exact round-tripping.
+//
+// The paper's workflow separates trace collection (run once on the target
+// machine) from what-if analysis (run many times offline, §7.1). Persisting
+// traces makes that split real: `examples/timeline_export` dumps a trace,
+// analysis tools reload it.
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+// Format (one record per line, tab-separated):
+//   daydream-trace v1
+//   model <name>
+//   config <string>
+//   grad <layer_id> <bytes> <bucket_id>
+//   ev <kind> <api> <memcpy> <comm> <start> <dur> <tid> <stream> <chan> <corr>
+//      <layer> <phase> <marker_begin> <bytes> <name>
+void WriteTrace(const Trace& trace, std::ostream& os);
+bool WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Returns nullopt on parse errors (malformed header, bad field counts).
+std::optional<Trace> ReadTrace(std::istream& is);
+std::optional<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace daydream
+
+#endif  // SRC_TRACE_TRACE_IO_H_

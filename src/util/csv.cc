@@ -1,0 +1,43 @@
+#include "src/util/csv.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  DD_CHECK(out_.good()) << "cannot open " << path;
+  AddRow(header);
+}
+
+CsvWriter::~CsvWriter() { out_.flush(); }
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  DD_CHECK_EQ(cells.size(), columns_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ",";
+    }
+    out_ << Escape(cells[i]);
+  }
+  out_ << "\n";
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (!StrContains(cell, ",") && !StrContains(cell, "\"") && !StrContains(cell, "\n")) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace daydream

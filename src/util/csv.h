@@ -1,0 +1,29 @@
+// CSV writer so bench results can be post-processed / plotted externally.
+#ifndef SRC_UTIL_CSV_H_
+#define SRC_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace daydream {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Fails the process if
+  // the file cannot be created (bench outputs are required artifacts).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  void AddRow(const std::vector<std::string>& cells);
+
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_CSV_H_

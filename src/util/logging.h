@@ -1,0 +1,98 @@
+// Minimal logging and invariant-checking macros.
+//
+// CHECK-style macros abort on violation; they guard graph invariants that the
+// paper assumes (acyclicity, per-thread total order, correlation consistency).
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace daydream {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+    stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == LogSeverity::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityTag(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "I";
+      case LogSeverity::kWarning:
+        return "W";
+      case LogSeverity::kError:
+        return "E";
+      case LogSeverity::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a CHECK passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace daydream
+
+#define DD_LOG(severity) \
+  ::daydream::LogMessage(::daydream::LogSeverity::k##severity, __FILE__, __LINE__).stream()
+
+#define DD_CHECK(cond)                                                                \
+  if (cond) {                                                                         \
+  } else                                                                              \
+    ::daydream::LogMessage(::daydream::LogSeverity::kFatal, __FILE__, __LINE__)       \
+        .stream()                                                                     \
+        << "Check failed: " #cond " "
+
+#define DD_CHECK_OP(lhs, rhs, op)                                                     \
+  if ((lhs)op(rhs)) {                                                                 \
+  } else                                                                              \
+    ::daydream::LogMessage(::daydream::LogSeverity::kFatal, __FILE__, __LINE__)       \
+        .stream()                                                                     \
+        << "Check failed: " #lhs " " #op " " #rhs " (" << (lhs) << " vs " << (rhs)    \
+        << ") "
+
+#define DD_CHECK_EQ(lhs, rhs) DD_CHECK_OP(lhs, rhs, ==)
+#define DD_CHECK_NE(lhs, rhs) DD_CHECK_OP(lhs, rhs, !=)
+#define DD_CHECK_LT(lhs, rhs) DD_CHECK_OP(lhs, rhs, <)
+#define DD_CHECK_LE(lhs, rhs) DD_CHECK_OP(lhs, rhs, <=)
+#define DD_CHECK_GT(lhs, rhs) DD_CHECK_OP(lhs, rhs, >)
+#define DD_CHECK_GE(lhs, rhs) DD_CHECK_OP(lhs, rhs, >=)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,40 @@
+// Deterministic random number generation.
+//
+// Every stochastic effect in the ground-truth executor (per-kernel FP16 speedup
+// variance, interference jitter, server overhead noise) draws from an Rng seeded
+// by a stable string key, so repeated runs — and runs of different experiments
+// touching the same kernels — are bit-identical.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace daydream {
+
+// xoshiro256** with splitmix64 seeding. Not cryptographic; stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  // Seeds from a string key via FNV-1a, e.g. Rng("amp/bert_large/sgemm_128x64").
+  explicit Rng(std::string_view key);
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Gaussian via Box–Muller.
+  double Normal(double mean, double stddev);
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,88 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  double accum = 0.0;
+  for (double x : xs) {
+    accum += (x - mean) * (x - mean);
+  }
+  return std::sqrt(accum / static_cast<double>(xs.size() - 1));
+}
+
+double Min(const std::vector<double>& xs) {
+  DD_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  DD_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  DD_CHECK(!xs.empty());
+  DD_CHECK_GE(p, 0.0);
+  DD_CHECK_LE(p, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) {
+    return xs[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double RelErrorPct(double measured, double reference) {
+  if (reference == 0.0) {
+    return measured == 0.0 ? 0.0 : 100.0;
+  }
+  return std::abs(measured - reference) / std::abs(reference) * 100.0;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace daydream

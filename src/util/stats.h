@@ -1,0 +1,41 @@
+// Small descriptive-statistics helpers used by benches and tests.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace daydream {
+
+double Mean(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::vector<double> xs, double p);
+
+// Relative error |measured - reference| / reference, in percent.
+double RelErrorPct(double measured, double reference);
+
+// Online accumulator for mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,26 @@
+// String helpers: formatting, splitting, predicates used by task selection.
+#ifndef SRC_UTIL_STRING_UTIL_H_
+#define SRC_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daydream {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StrContains(std::string_view haystack, std::string_view needle);
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+std::string ToLower(std::string_view text);
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,65 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DD_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{{}, true}); }
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_line = [&] {
+    os << "+";
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(widths[i] - cells[i].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  print_line();
+  print_cells(header_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_line();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line();
+  return os.str();
+}
+
+}  // namespace daydream

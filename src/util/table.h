@@ -1,0 +1,41 @@
+// ASCII table printer for bench output (paper-style result tables).
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace daydream {
+
+// Collects rows of cells and prints them with aligned columns:
+//
+//   TablePrinter t({"model", "baseline(ms)", "pred(ms)", "err(%)"});
+//   t.AddRow({"ResNet-50", "201.3", "199.8", "0.7"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,36 @@
+// Time representation used across the library.
+//
+// All timestamps and durations are int64_t nanoseconds. Traces produced by the
+// runtime executor, dependency-graph tasks and simulator results all share this
+// unit, which keeps every computation deterministic and exactly reproducible
+// (the paper's CUPTI timestamps are integer nanoseconds as well).
+#ifndef SRC_UTIL_TIME_UNITS_H_
+#define SRC_UTIL_TIME_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace daydream {
+
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+constexpr TimeNs Us(double us) { return static_cast<TimeNs>(us * kMicrosecond); }
+constexpr TimeNs Ms(double ms) { return static_cast<TimeNs>(ms * kMillisecond); }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / kSecond; }
+
+// Bytes helpers (sizes of tensors, gradients, network transfers).
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_TIME_UNITS_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "src/core/critical_path.h"
+#include "src/core/graph_builder.h"
+#include "src/core/layer_report.h"
+#include "src/core/optimizations/amp.h"
+#include "src/core/optimizations/distributed.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+#include "src/trace/trace_io.h"
+
+#include <sstream>
+
+namespace daydream {
+namespace {
+
+Task Make(TaskType type, ExecThread thread, TimeNs dur, TimeNs gap = 0) {
+  Task t;
+  t.type = type;
+  t.thread = thread;
+  t.duration = dur;
+  t.gap = gap;
+  return t;
+}
+
+// ---- critical path: hand-built graphs ----
+
+TEST(CriticalPath, EmptyGraph) {
+  DependencyGraph g;
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(CriticalPath, SimpleChain) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
+  const TaskId b = g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(0), Us(40)));
+  g.AddEdge(a, b);
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  EXPECT_EQ(r.path, (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(r.makespan, Us(50));
+  EXPECT_EQ(r.cpu_time, Us(10));
+  EXPECT_EQ(r.gpu_time, Us(40));
+}
+
+TEST(CriticalPath, PicksLongerBranch) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
+  const TaskId fast = g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(0), Us(5)));
+  const TaskId slow = g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(1), Us(100)));
+  const TaskId join = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(1)));
+  g.AddEdge(a, fast);
+  g.AddEdge(a, slow);
+  g.AddEdge(fast, join);
+  g.AddEdge(slow, join);
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  EXPECT_EQ(r.path, (std::vector<TaskId>{a, slow, join}));
+}
+
+TEST(CriticalPath, GapsAttributed) {
+  DependencyGraph g;
+  g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10), /*gap=*/Us(30)));
+  g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
+  g.LinkSequential();
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  EXPECT_EQ(r.makespan, Us(50));
+  EXPECT_EQ(r.gap_time, Us(30));
+  EXPECT_EQ(r.cpu_time, Us(20));
+}
+
+TEST(CriticalPath, AttributionCoversMakespan) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const DependencyGraph g = BuildDependencyGraph(trace);
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  const TimeNs accounted = r.cpu_time + r.gpu_time + r.comm_time + r.gap_time + r.wait_time;
+  EXPECT_NEAR(static_cast<double>(accounted), static_cast<double>(r.makespan),
+              0.02 * r.makespan);
+  EXPECT_FALSE(r.Summary().empty());
+}
+
+TEST(CriticalPath, GpuBoundModelIsGpuDominated) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const CriticalPathReport r = ComputeCriticalPath(BuildDependencyGraph(trace));
+  EXPECT_GT(r.GpuPct(), 50.0);
+}
+
+TEST(CriticalPath, AmpShiftsPathTowardCpu) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kBertLarge));
+  DependencyGraph g = BuildDependencyGraph(trace);
+  const CriticalPathReport before = ComputeCriticalPath(g);
+  WhatIfAmp(&g);
+  const CriticalPathReport after = ComputeCriticalPath(g);
+  EXPECT_LT(after.GpuPct(), before.GpuPct());
+  EXPECT_GT(after.GapPct() + after.CpuPct(), before.GapPct() + before.CpuPct());
+}
+
+TEST(CriticalPath, CommShowsUpWhenNetworkSlow) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kVgg19));
+  Daydream dd(trace);
+  DependencyGraph g = dd.CloneGraph();
+  DistributedWhatIf opts;
+  opts.cluster.machines = 4;
+  opts.cluster.gpus_per_machine = 1;
+  opts.cluster.network.bandwidth_gbps = 5.0;
+  WhatIfDistributed(&g, trace.gradients(), opts);
+  const CriticalPathReport r = ComputeCriticalPath(g);
+  EXPECT_GT(r.CommPct(), 10.0);  // VGG at 5 Gbps is communication-bound
+}
+
+// ---- layer report ----
+
+TEST(LayerReport, RowsCoverPhases) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const LayerReport report = BuildLayerReport(trace);
+  EXPECT_GT(report.GpuBusy(Phase::kForward), 0);
+  EXPECT_GT(report.GpuBusy(Phase::kBackward), 0);
+  EXPECT_GT(report.GpuBusy(Phase::kWeightUpdate), 0);
+  EXPECT_GT(report.GpuBusy(Phase::kBackward), report.GpuBusy(Phase::kForward));
+}
+
+TEST(LayerReport, GpuBusySumsMatchTrace) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const LayerReport report = BuildLayerReport(trace);
+  TimeNs mapped = 0;
+  for (const LayerPhaseStats& row : report.rows) {
+    mapped += row.gpu_busy;
+  }
+  TimeNs total = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.is_gpu()) {
+      total += e.duration;
+    }
+  }
+  // Nearly all GPU time is attributable to a layer.
+  EXPECT_GT(static_cast<double>(mapped) / total, 0.95);
+  EXPECT_LE(mapped, total);
+}
+
+TEST(LayerReport, TopByGpuTimeSortedAndBounded) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kBertBase));
+  const LayerReport report = BuildLayerReport(trace);
+  const std::vector<LayerPhaseStats> top = report.TopByGpuTime(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].gpu_busy, top[i].gpu_busy);
+  }
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(LayerReport, LaunchCountsMatchKernels) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const LayerReport report = BuildLayerReport(trace);
+  for (const LayerPhaseStats& row : report.rows) {
+    // Every mapped kernel was launched inside the layer window.
+    EXPECT_GE(row.launches, row.kernels) << row.layer_name;
+  }
+}
+
+TEST(LayerReport, WorksOnReloadedTrace) {
+  // The report only needs markers + correlation ids, so it survives the
+  // serialize/deserialize round trip (offline analysis).
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  std::stringstream ss;
+  WriteTrace(trace, ss);
+  std::optional<Trace> reloaded = ReadTrace(ss);
+  ASSERT_TRUE(reloaded.has_value());
+  const LayerReport a = BuildLayerReport(trace);
+  const LayerReport b = BuildLayerReport(*reloaded);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.GpuBusy(Phase::kForward), b.GpuBusy(Phase::kForward));
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/core/breakdown.h"
+#include "src/runtime/ground_truth.h"
+
+namespace daydream {
+namespace {
+
+TraceEvent Api(ApiKind api, const std::string& name, TimeNs start, TimeNs dur) {
+  TraceEvent e;
+  e.kind = EventKind::kRuntimeApi;
+  e.api = api;
+  e.name = name;
+  e.start = start;
+  e.duration = dur;
+  e.thread_id = 0;
+  return e;
+}
+
+TraceEvent Gpu(TimeNs start, TimeNs dur) {
+  TraceEvent e;
+  e.kind = EventKind::kKernel;
+  e.name = "k";
+  e.start = start;
+  e.duration = dur;
+  e.stream_id = 0;
+  e.correlation_id = 0;
+  return e;
+}
+
+TEST(Breakdown, EmptyTrace) {
+  const RuntimeBreakdown b = ComputeBreakdown(Trace{});
+  EXPECT_EQ(b.total, 0);
+}
+
+TEST(Breakdown, PureCpu) {
+  Trace t;
+  t.Add(Api(ApiKind::kOther, "op", 0, 100));
+  const RuntimeBreakdown b = ComputeBreakdown(t);
+  EXPECT_EQ(b.total, 100);
+  EXPECT_EQ(b.cpu_only, 100);
+  EXPECT_EQ(b.gpu_only, 0);
+  EXPECT_EQ(b.overlap, 0);
+}
+
+TEST(Breakdown, GpuWhileCpuWaits) {
+  // CPU launches (0-10), GPU runs (10-110), CPU blocks in a sync (10-110).
+  Trace t;
+  t.Add(Api(ApiKind::kLaunchKernel, "cudaLaunchKernel", 0, 10));
+  t.Add(Gpu(10, 100));
+  t.Add(Api(ApiKind::kDeviceSynchronize, "sync", 10, 100));
+  const RuntimeBreakdown b = ComputeBreakdown(t);
+  EXPECT_EQ(b.total, 110);
+  EXPECT_EQ(b.cpu_only, 10);    // total - gpu busy
+  EXPECT_EQ(b.gpu_only, 100);   // the sync window counts as waiting
+  EXPECT_EQ(b.overlap, 0);
+}
+
+TEST(Breakdown, TrueOverlap) {
+  // CPU keeps launching while the GPU computes: that's CPU+GPU.
+  Trace t;
+  t.Add(Api(ApiKind::kLaunchKernel, "l1", 0, 50));
+  t.Add(Gpu(10, 60));
+  const RuntimeBreakdown b = ComputeBreakdown(t);
+  EXPECT_EQ(b.total, 70);
+  EXPECT_EQ(b.cpu_only, 10);
+  EXPECT_EQ(b.gpu_only, 0);  // no wait API in flight
+  EXPECT_EQ(b.overlap, 60);
+}
+
+TEST(Breakdown, ComponentsSumToTotal) {
+  Trace t;
+  t.Add(Api(ApiKind::kLaunchKernel, "l", 0, 30));
+  t.Add(Gpu(5, 40));
+  t.Add(Api(ApiKind::kDeviceSynchronize, "sync", 30, 15));
+  const RuntimeBreakdown b = ComputeBreakdown(t);
+  EXPECT_EQ(b.cpu_only + b.gpu_only + b.overlap, b.total);
+}
+
+TEST(Breakdown, LoaderThreadExcluded) {
+  Trace t;
+  t.Add(Api(ApiKind::kOther, "op", 0, 10));
+  TraceEvent load;
+  load.kind = EventKind::kDataLoad;
+  load.name = "dataloader";
+  load.start = 0;
+  load.duration = 100000;
+  load.thread_id = 1;  // loader thread
+  t.Add(load);
+  EXPECT_EQ(ComputeBreakdown(t).total, 10);
+}
+
+TEST(Breakdown, PercentagesConsistent) {
+  Trace t;
+  t.Add(Api(ApiKind::kLaunchKernel, "l", 0, 30));
+  t.Add(Gpu(5, 40));
+  const RuntimeBreakdown b = ComputeBreakdown(t);
+  EXPECT_NEAR(b.CpuOnlyPct() + b.GpuOnlyPct() + b.OverlapPct(), 100.0, 1e-9);
+  EXPECT_FALSE(b.Summary().empty());
+}
+
+TEST(Breakdown, RealTraceComponentsSum) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  const RuntimeBreakdown b = ComputeBreakdown(trace);
+  EXPECT_EQ(b.cpu_only + b.gpu_only + b.overlap, b.total);
+  EXPECT_GT(b.total, 0);
+}
+
+TEST(Breakdown, AmpShiftsGpuOnlyToCpuOnly) {
+  // Figure 6's headline effect: FP16 shrinks GPU-only time; CPU-only grows
+  // as a share.
+  RunConfig config = DefaultRunConfig(ModelId::kBertLarge);
+  const RuntimeBreakdown fp32 = ComputeBreakdown(RunGroundTruth(config).trace);
+  config.gt.amp = true;
+  const RuntimeBreakdown fp16 = ComputeBreakdown(RunGroundTruth(config).trace);
+  EXPECT_LT(fp16.total, fp32.total);
+  EXPECT_GT(fp16.CpuOnlyPct(), fp32.CpuOnlyPct());
+}
+
+}  // namespace
+}  // namespace daydream

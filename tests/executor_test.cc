@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/ground_truth.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+namespace {
+
+std::string ParamName(const ::testing::TestParamInfo<ModelId>& info) {
+  std::string name = ModelName(info.param);
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+class ExecutorModelTest : public ::testing::TestWithParam<ModelId> {};
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ExecutorModelTest, ::testing::ValuesIn(AllModels()),
+                         ParamName);
+
+TEST_P(ExecutorModelTest, BaselineTraceIsValid) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(GetParam()));
+  const TraceValidation v = trace.Validate();
+  EXPECT_TRUE(v.ok()) << v.Summary();
+  EXPECT_GT(trace.size(), 100u);
+}
+
+TEST_P(ExecutorModelTest, Deterministic) {
+  const RunConfig config = DefaultRunConfig(GetParam());
+  const ExecutionResult a = RunGroundTruth(config);
+  const ExecutionResult b = RunGroundTruth(config);
+  EXPECT_EQ(a.IterationTime(), b.IterationTime());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace.events()[i].start, b.trace.events()[i].start);
+    EXPECT_EQ(a.trace.events()[i].duration, b.trace.events()[i].duration);
+  }
+}
+
+TEST_P(ExecutorModelTest, IterationTimePlausible) {
+  // Training iterations of these models on a 2080 Ti are O(100 ms) — not
+  // microseconds, not minutes.
+  const TimeNs t = RunGroundTruth(DefaultRunConfig(GetParam())).IterationTime();
+  EXPECT_GT(t, Ms(20));
+  EXPECT_LT(t, Ms(2000));
+}
+
+TEST_P(ExecutorModelTest, HasAllPhases) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(GetParam()));
+  int fwd = 0;
+  int bwd = 0;
+  int wu = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (!e.is_gpu()) {
+      continue;
+    }
+    fwd += e.phase == Phase::kForward ? 1 : 0;
+    bwd += e.phase == Phase::kBackward ? 1 : 0;
+    wu += e.phase == Phase::kWeightUpdate ? 1 : 0;
+  }
+  EXPECT_GT(fwd, 0);
+  EXPECT_GT(bwd, 0);
+  EXPECT_GT(wu, 0);
+  EXPECT_GT(bwd, fwd);  // backward launches more kernels than forward
+}
+
+TEST_P(ExecutorModelTest, GradientInstrumentationAttached) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(GetParam()));
+  EXPECT_FALSE(trace.gradients().empty());
+  int64_t total = 0;
+  for (const GradientInfo& g : trace.gradients()) {
+    EXPECT_GE(g.bucket_id, 0);
+    total += g.bytes;
+  }
+  const ModelGraph model = BuildModel(GetParam());
+  EXPECT_EQ(total, model.TotalParamBytes());
+}
+
+TEST_P(ExecutorModelTest, AmpIsFaster) {
+  RunConfig config = DefaultRunConfig(GetParam());
+  const TimeNs fp32 = RunGroundTruth(config).IterationTime();
+  config.gt.amp = true;
+  const TimeNs fp16 = RunGroundTruth(config).IterationTime();
+  EXPECT_LT(fp16, fp32);
+}
+
+TEST(Executor, MultiIterationBoundaries) {
+  const RunConfig config = DefaultRunConfig(ModelId::kResNet50);
+  const ExecutionResult r = RunGroundTruth(config, /*iterations=*/3);
+  ASSERT_EQ(r.iteration_ends.size(), 3u);
+  EXPECT_LT(r.iteration_ends[0], r.iteration_ends[1]);
+  EXPECT_LT(r.iteration_ends[1], r.iteration_ends[2]);
+  // Steady-state iterations have identical structure => nearly equal spans.
+  const TimeNs span1 = r.iteration_ends[1] - r.iteration_ends[0];
+  const TimeNs span2 = r.iteration_ends[2] - r.iteration_ends[1];
+  EXPECT_NEAR(static_cast<double>(span1), static_cast<double>(span2), 0.01 * span1);
+}
+
+TEST(Executor, BlockingLossReadbackCreatesSyncPoint) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  // The loss.item() DtoH API must end when its copy ends (CPU blocked).
+  const TraceEvent* api = nullptr;
+  const TraceEvent* copy = nullptr;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kRuntimeApi && StrContains(e.name, "loss_item")) {
+      api = &e;
+    }
+    if (e.kind == EventKind::kMemcpy && StrContains(e.name, "loss_item")) {
+      copy = &e;
+    }
+  }
+  ASSERT_NE(api, nullptr);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(api->end(), copy->end());
+  EXPECT_EQ(copy->memcpy_kind, MemcpyKind::kDeviceToHost);
+}
+
+TEST(Executor, DeviceSyncWaitsForGpu) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50));
+  TimeNs sync_end = 0;
+  TimeNs last_gpu_end = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.api == ApiKind::kDeviceSynchronize) {
+      sync_end = std::max(sync_end, e.end());
+    }
+    if (e.is_gpu()) {
+      last_gpu_end = std::max(last_gpu_end, e.end());
+    }
+  }
+  EXPECT_GE(sync_end, last_gpu_end);
+}
+
+TEST(Executor, KernelsStartAfterTheirLaunch) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kGnmt));
+  std::map<int64_t, TimeNs> launch_end;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kRuntimeApi && e.api == ApiKind::kLaunchKernel) {
+      launch_end[e.correlation_id] = e.end();
+    }
+  }
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kKernel) {
+      auto it = launch_end.find(e.correlation_id);
+      ASSERT_NE(it, launch_end.end()) << e.name;
+      EXPECT_GE(e.start, it->second) << e.name;
+    }
+  }
+}
+
+TEST(Executor, AmpSpeedupFactors) {
+  RunConfig config = DefaultRunConfig(ModelId::kBertLarge);
+  config.gt.amp = true;
+  Executor executor(config);
+  Rng rng(1);
+
+  KernelSpec wu;
+  wu.phase = Phase::kWeightUpdate;
+  wu.cls = KernelClass::kElementwise;
+  EXPECT_NEAR(executor.AmpSpeedupFactor(wu, &rng), 1.15, 1e-9);
+
+  KernelSpec big_gemm;
+  big_gemm.cls = KernelClass::kGemm;
+  big_gemm.flops = 20'000'000'000;
+  big_gemm.phase = Phase::kForward;
+  KernelSpec small_gemm = big_gemm;
+  small_gemm.flops = 100'000'000;
+  double big_avg = 0;
+  double small_avg = 0;
+  for (int i = 0; i < 200; ++i) {
+    big_avg += executor.AmpSpeedupFactor(big_gemm, &rng);
+    small_avg += executor.AmpSpeedupFactor(small_gemm, &rng);
+  }
+  EXPECT_GT(big_avg / 200, 2.8);   // near the advertised 3x
+  EXPECT_LT(small_avg / 200, 2.8); // small gemms cannot fill tensor cores
+}
+
+TEST(Executor, FusedAdamCollapsesWeightUpdate) {
+  RunConfig config = DefaultRunConfig(ModelId::kBertBase);
+  const Trace baseline = RunGroundTruth(config).trace;
+  config.gt.fused_adam = true;
+  const Trace fused = RunGroundTruth(config).trace;
+  auto count_wu = [](const Trace& t) {
+    int n = 0;
+    for (const TraceEvent& e : t.events()) {
+      n += (e.kind == EventKind::kKernel && e.phase == Phase::kWeightUpdate) ? 1 : 0;
+    }
+    return n;
+  };
+  EXPECT_GT(count_wu(baseline), 2000);  // §6.3: thousands of pointwise kernels
+  EXPECT_EQ(count_wu(fused), 1);        // a single multi-tensor kernel
+}
+
+TEST(Executor, RestructuredBnRemovesPostBnRelus) {
+  RunConfig config = DefaultRunConfig(ModelId::kDenseNet121);
+  const Trace baseline = RunGroundTruth(config).trace;
+  config.gt.restructured_bn = true;
+  const Trace rbn = RunGroundTruth(config).trace;
+  auto count_relu = [](const Trace& t) {
+    int n = 0;
+    for (const TraceEvent& e : t.events()) {
+      n += (e.kind == EventKind::kKernel && StrContains(e.name, "relu")) ? 1 : 0;
+    }
+    return n;
+  };
+  EXPECT_GT(count_relu(baseline), 0);
+  EXPECT_EQ(count_relu(rbn), 0);
+}
+
+// ---- distributed ground truth ----
+
+TEST(ExecutorDistributed, AllReduceRecordsOrdering) {
+  RunConfig config = DefaultRunConfig(ModelId::kGnmt);
+  config.comm = CommBackend::kNccl;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  const ExecutionResult r = RunGroundTruth(config);
+  ASSERT_FALSE(r.allreduce_calls.empty());
+  for (const AllReduceRecord& rec : r.allreduce_calls) {
+    EXPECT_GT(rec.theoretical, 0);
+    EXPECT_GT(rec.optimal, rec.theoretical);
+    EXPECT_GE(rec.actual, static_cast<TimeNs>(rec.optimal * 0.99));
+  }
+}
+
+TEST(ExecutorDistributed, OverlappedCallsSlower) {
+  RunConfig config = DefaultRunConfig(ModelId::kGnmt);
+  config.comm = CommBackend::kNccl;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  config.cluster.network.bandwidth_gbps = 40.0;
+  const ExecutionResult r = RunGroundTruth(config);
+  double overlapped_ratio = 0;
+  int overlapped = 0;
+  for (const AllReduceRecord& rec : r.allreduce_calls) {
+    if (rec.overlapped) {
+      overlapped_ratio += static_cast<double>(rec.actual) / rec.optimal;
+      ++overlapped;
+    }
+  }
+  ASSERT_GT(overlapped, 0);
+  EXPECT_GT(overlapped_ratio / overlapped, 1.1);  // interference visible
+}
+
+TEST(ExecutorDistributed, SyncVariantRemovesInterference) {
+  RunConfig config = DefaultRunConfig(ModelId::kGnmt);
+  config.comm = CommBackend::kNccl;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  config.cluster.network.bandwidth_gbps = 40.0;
+  const ExecutionResult base = RunGroundTruth(config);
+  config.gt.sync_before_allreduce = true;
+  const ExecutionResult sync = RunGroundTruth(config);
+  ASSERT_EQ(base.allreduce_calls.size(), sync.allreduce_calls.size());
+  TimeNs base_total = 0;
+  TimeNs sync_total = 0;
+  for (size_t i = 0; i < base.allreduce_calls.size(); ++i) {
+    base_total += base.allreduce_calls[i].actual;
+    sync_total += sync.allreduce_calls[i].actual;
+  }
+  EXPECT_LT(sync_total, base_total);
+}
+
+TEST(ExecutorDistributed, MoreWorkersSlowerIteration) {
+  RunConfig config = DefaultRunConfig(ModelId::kVgg19);
+  config.comm = CommBackend::kNccl;
+  config.cluster.network.bandwidth_gbps = 10.0;
+  config.cluster.gpus_per_machine = 1;
+  config.cluster.machines = 2;
+  const TimeNs two = RunGroundTruth(config).IterationTime();
+  config.cluster.machines = 4;
+  const TimeNs four = RunGroundTruth(config).IterationTime();
+  EXPECT_GT(four, two);  // VGG is communication-bound at 10 Gbps
+}
+
+// ---- parameter-server ground truth ----
+
+TEST(ExecutorPs, PullWaitsAppearInSteadyState) {
+  RunConfig config = DefaultRunConfig(ModelId::kVgg19);
+  config.gpu = GpuSpec::P4000();
+  config.framework = FrameworkProfile::Mxnet();
+  config.batch = 16;
+  config.comm = CommBackend::kPs;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  config.cluster.network.bandwidth_gbps = 5.0;
+  const ExecutionResult r = RunGroundTruth(config, /*iterations=*/3);
+  int pushes = 0;
+  int pulls = 0;
+  TimeNs wait_time = 0;
+  for (const TraceEvent& e : r.trace.events()) {
+    pushes += e.comm_kind == CommKind::kPush ? 1 : 0;
+    pulls += e.comm_kind == CommKind::kPull ? 1 : 0;
+    if (StrContains(e.name, "kvstore_wait")) {
+      wait_time += e.duration;
+    }
+  }
+  EXPECT_GT(pushes, 0);
+  EXPECT_EQ(pushes, pulls);
+  EXPECT_GT(wait_time, Ms(10));  // VGG at 5 Gbps is communication-bound
+}
+
+TEST(ExecutorPs, P3FasterThanBaselinePsWhenCommBound) {
+  RunConfig config = DefaultRunConfig(ModelId::kVgg19);
+  config.gpu = GpuSpec::P4000();
+  config.framework = FrameworkProfile::Mxnet();
+  config.batch = 16;
+  config.comm = CommBackend::kPs;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  config.cluster.network.bandwidth_gbps = 5.0;
+  const TimeNs baseline = RunGroundTruth(config, 4).IterationTime();
+  config.gt.p3 = true;
+  const TimeNs p3 = RunGroundTruth(config, 4).IterationTime();
+  EXPECT_LT(p3, baseline);
+}
+
+}  // namespace
+}  // namespace daydream

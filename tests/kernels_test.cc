@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "src/kernels/cost_model.h"
+#include "src/kernels/layer_kernels.h"
+#include "src/models/model_zoo.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+namespace {
+
+KernelSpec Spec(KernelClass cls, int64_t flops, int64_t bytes) {
+  KernelSpec k;
+  k.name = "test";
+  k.cls = cls;
+  k.flops = flops;
+  k.bytes = bytes;
+  return k;
+}
+
+// ---- cost model ----
+
+TEST(CostModel, FloorForTinyKernels) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  EXPECT_GE(cm.KernelDuration(Spec(KernelClass::kElementwise, 1, 4), Precision::kFp32),
+            CostModel::kKernelFloorNs);
+}
+
+TEST(CostModel, MonotonicInFlops) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  const TimeNs small =
+      cm.KernelDuration(Spec(KernelClass::kGemm, 10'000'000'000, 1 << 20), Precision::kFp32);
+  const TimeNs big =
+      cm.KernelDuration(Spec(KernelClass::kGemm, 20'000'000'000, 1 << 20), Precision::kFp32);
+  EXPECT_GT(big, small);
+}
+
+TEST(CostModel, MonotonicInBytes) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  const TimeNs small =
+      cm.KernelDuration(Spec(KernelClass::kElementwise, 0, 100 << 20), Precision::kFp32);
+  const TimeNs big =
+      cm.KernelDuration(Spec(KernelClass::kElementwise, 0, 200 << 20), Precision::kFp32);
+  EXPECT_GT(big, small);
+}
+
+TEST(CostModel, Fp16NeverSlower) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  for (KernelClass cls : {KernelClass::kGemm, KernelClass::kConv, KernelClass::kElementwise,
+                          KernelClass::kBatchNorm, KernelClass::kSoftmax}) {
+    const KernelSpec k = Spec(cls, 8'000'000'000, 64 << 20);
+    EXPECT_LE(cm.KernelDuration(k, Precision::kFp16), cm.KernelDuration(k, Precision::kFp32))
+        << ToString(cls);
+  }
+}
+
+TEST(CostModel, TensorCoresOnlyHelpComputeBound) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  // A large compute-bound gemm gets close to 3x; a memory-bound elementwise
+  // kernel only the 2x from halved traffic.
+  const KernelSpec gemm = Spec(KernelClass::kGemm, 50'000'000'000, 8 << 20);
+  const double gemm_ratio = static_cast<double>(cm.KernelDuration(gemm, Precision::kFp32)) /
+                            cm.KernelDuration(gemm, Precision::kFp16);
+  EXPECT_GT(gemm_ratio, 2.5);
+  const KernelSpec ew = Spec(KernelClass::kElementwise, 0, 256 << 20);
+  const double ew_ratio = static_cast<double>(cm.KernelDuration(ew, Precision::kFp32)) /
+                          cm.KernelDuration(ew, Precision::kFp16);
+  EXPECT_NEAR(ew_ratio, 2.0, 0.1);
+}
+
+TEST(CostModel, PascalHasNoTensorCoreBoost) {
+  CostModel cm(GpuSpec::P4000());
+  const KernelSpec gemm = Spec(KernelClass::kGemm, 50'000'000'000, 8 << 20);
+  const double ratio = static_cast<double>(cm.KernelDuration(gemm, Precision::kFp32)) /
+                       cm.KernelDuration(gemm, Precision::kFp16);
+  EXPECT_LT(ratio, 1.3);  // only the memory-traffic halving remains
+}
+
+TEST(CostModel, SizeDependentEfficiency) {
+  EXPECT_GT(CostModel::ComputeEfficiency(KernelClass::kGemm, 10'000'000'000),
+            CostModel::ComputeEfficiency(KernelClass::kGemm, 100'000'000));
+  EXPECT_GT(CostModel::ComputeEfficiency(KernelClass::kGemm, 1'000'000'000),
+            CostModel::ComputeEfficiency(KernelClass::kGemm, 100'000'000));
+}
+
+TEST(CostModel, MemcpyScalesWithBytes) {
+  CostModel cm(GpuSpec::Rtx2080Ti());
+  EXPECT_GT(cm.MemcpyDuration(100 << 20), cm.MemcpyDuration(10 << 20));
+  // 120 MB over ~12 GB/s PCIe is ~10 ms.
+  EXPECT_NEAR(ToMs(cm.MemcpyDuration(120 * 1000 * 1000)), 10.0, 1.0);
+}
+
+TEST(CostModel, SlowerGpuIsSlower) {
+  CostModel fast(GpuSpec::Rtx2080Ti());
+  CostModel slow(GpuSpec::P4000());
+  const KernelSpec k = Spec(KernelClass::kConv, 10'000'000'000, 32 << 20);
+  EXPECT_GT(slow.KernelDuration(k, Precision::kFp32), fast.KernelDuration(k, Precision::kFp32));
+}
+
+// ---- layer expansion ----
+
+TEST(LayerKernels, ConvExpansion) {
+  const Layer conv = MakeConv2d("c", 8, 64, 56, 56, 64, 3, 1, 1);
+  const LayerKernelSet set = ExpandLayer(conv);
+  ASSERT_EQ(set.forward.size(), 1u);
+  EXPECT_TRUE(StrContains(set.forward[0].name, "scudnn"));
+  EXPECT_TRUE(StrContains(set.forward[0].name, "fprop"));
+  ASSERT_EQ(set.backward.size(), 2u);  // dgrad + wgrad
+  EXPECT_TRUE(StrContains(set.backward[0].name, "dgrad"));
+  EXPECT_TRUE(StrContains(set.backward[1].name, "wgrad"));
+}
+
+TEST(LayerKernels, ConvWithBiasAddsKernels) {
+  const Layer conv = MakeConv2d("c", 8, 64, 56, 56, 64, 3, 1, 1, /*bias=*/true);
+  const LayerKernelSet set = ExpandLayer(conv);
+  EXPECT_EQ(set.forward.size(), 2u);
+  EXPECT_EQ(set.backward.size(), 3u);
+}
+
+TEST(LayerKernels, BatchNormExpansion) {
+  const LayerKernelSet set = ExpandLayer(MakeBatchNorm("bn", 8, 64, 56, 56));
+  ASSERT_EQ(set.forward.size(), 2u);
+  EXPECT_TRUE(StrContains(set.forward[0].name, "batch_norm"));
+  EXPECT_EQ(set.backward.size(), 2u);
+}
+
+TEST(LayerKernels, LinearUsesGemmNames) {
+  const LayerKernelSet set = ExpandLayer(MakeLinear("fc", 8, 512, 512));
+  EXPECT_TRUE(StrContains(set.forward[0].name, "sgemm"));
+  // AMP's Select keys on these substrings (Algorithm 3).
+  int gemms = 0;
+  for (const KernelSpec& k : set.backward) {
+    gemms += StrContains(k.name, "sgemm") ? 1 : 0;
+  }
+  EXPECT_EQ(gemms, 2);  // dgrad + wgrad
+}
+
+TEST(LayerKernels, LstmKernelCounts) {
+  const Layer lstm = MakeLstm("l", 4, 10, 512, 512);
+  const LayerKernelSet set = ExpandLayer(lstm);
+  // fwd: 1 input gemm + per-step (recurrent gemm + cell) = 1 + 2*10.
+  EXPECT_EQ(set.forward.size(), 1u + 2u * 10u);
+  // bwd: per-step (cell bwd + recurrent dgrad) + input dgrad + 2 wgrads.
+  EXPECT_EQ(set.backward.size(), 2u * 10u + 3u);
+}
+
+TEST(LayerKernels, BidirectionalLstmDoubles) {
+  const Layer uni = MakeLstm("l", 4, 10, 512, 512, false);
+  const Layer bi = MakeLstm("l", 4, 10, 512, 512, true);
+  EXPECT_EQ(ExpandLayer(bi).forward.size(), 2 * ExpandLayer(uni).forward.size());
+}
+
+TEST(LayerKernels, AttentionHasGlueKernels) {
+  const LayerKernelSet set = ExpandLayer(MakeAttention("att", 8, 12, 384, 64));
+  int gemms = 0;
+  int glue = 0;
+  for (const KernelSpec& k : set.forward) {
+    gemms += StrContains(k.name, "sgemm") ? 1 : 0;
+    glue += StrContains(k.name, "elementwise") ? 1 : 0;
+  }
+  EXPECT_EQ(gemms, 2);  // QK^T and PV
+  EXPECT_GE(glue, 6);   // permutes / scaling / masking / dropout
+}
+
+TEST(LayerKernels, EveryKernelTaggedWithLayerAndPhase) {
+  const Layer conv = MakeConv2d("c", 8, 64, 56, 56, 64, 3, 1, 1);
+  Layer tagged = conv;
+  tagged.id = 17;
+  const LayerKernelSet set = ExpandLayer(tagged);
+  for (const KernelSpec& k : set.forward) {
+    EXPECT_EQ(k.layer_id, 17);
+    EXPECT_EQ(k.phase, Phase::kForward);
+  }
+  for (const KernelSpec& k : set.backward) {
+    EXPECT_EQ(k.layer_id, 17);
+    EXPECT_EQ(k.phase, Phase::kBackward);
+  }
+}
+
+// ---- weight update ----
+
+TEST(WeightUpdate, SgdTwoKernelsPerTensor) {
+  const Layer conv = MakeConv2d("c", 8, 64, 56, 56, 64, 3, 1, 1);
+  EXPECT_EQ(ExpandWeightUpdate(conv, OptimizerKind::kSgdMomentum).size(),
+            2 * conv.param_tensor_elems.size());
+}
+
+TEST(WeightUpdate, AdamThirteenPlusDecay) {
+  Layer fc = MakeLinear("fc", 8, 1024, 1024);  // weight (decayed) + bias (not)
+  const std::vector<KernelSpec> wu = ExpandWeightUpdate(fc, OptimizerKind::kAdam);
+  EXPECT_EQ(wu.size(), static_cast<size_t>(2 * kAdamKernelsPerTensor + 1));
+}
+
+TEST(WeightUpdate, NoParamsNoKernels) {
+  EXPECT_TRUE(ExpandWeightUpdate(MakeReLU("r", 100), OptimizerKind::kAdam).empty());
+}
+
+TEST(WeightUpdate, BertAdamKernelCountsMatchPaper) {
+  // §6.3: "2633 for BERT_BASE, 5164 for BERT_LARGE" unfused Adam kernels.
+  const int base = CountWeightUpdateKernels(BuildBertBase(8), OptimizerKind::kAdam);
+  const int large = CountWeightUpdateKernels(BuildBertLarge(2), OptimizerKind::kAdam);
+  EXPECT_NEAR(base, 2633, 150);
+  EXPECT_NEAR(large, 5164, 250);
+}
+
+TEST(WeightUpdate, AllKernelsAreElementwise) {
+  for (const KernelSpec& k : ExpandWeightUpdate(MakeLinear("fc", 8, 256, 256),
+                                                OptimizerKind::kAdam)) {
+    EXPECT_EQ(k.cls, KernelClass::kElementwise);
+    EXPECT_EQ(k.phase, Phase::kWeightUpdate);
+    EXPECT_TRUE(StrContains(k.name, "elementwise"));
+  }
+}
+
+// ---- sweep: expansion sanity over every layer of every model ----
+
+class ExpansionSweep : public ::testing::TestWithParam<ModelId> {};
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ExpansionSweep, ::testing::ValuesIn(AllModels()),
+                         [](const ::testing::TestParamInfo<ModelId>& info) {
+                           std::string name = ModelName(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExpansionSweep, EveryLayerExpandsToSomething) {
+  const ModelGraph g = BuildModel(GetParam());
+  for (const Layer& l : g.layers()) {
+    const LayerKernelSet set = ExpandLayer(l);
+    EXPECT_FALSE(set.forward.empty()) << l.name;
+    EXPECT_FALSE(set.backward.empty()) << l.name;
+    for (const KernelSpec& k : set.forward) {
+      EXPECT_GE(k.flops, 0);
+      EXPECT_GT(k.bytes, 0) << k.name;
+    }
+  }
+}
+
+TEST_P(ExpansionSweep, IsComputeBoundMatchesNames) {
+  // The name-based Select in AMP (sgemm/scudnn) must agree with the class
+  // taxonomy for all generated kernels, or predictions would misclassify.
+  const ModelGraph g = BuildModel(GetParam());
+  for (const Layer& l : g.layers()) {
+    const LayerKernelSet set = ExpandLayer(l);
+    for (const auto* list : {&set.forward, &set.backward}) {
+      for (const KernelSpec& k : *list) {
+        const bool name_compute = StrContains(k.name, "sgemm") || StrContains(k.name, "scudnn");
+        EXPECT_EQ(name_compute, IsComputeBound(k.cls)) << k.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace daydream

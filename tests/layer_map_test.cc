@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/core/layer_map.h"
+#include "src/runtime/ground_truth.h"
+
+namespace daydream {
+namespace {
+
+std::string ParamName(const ::testing::TestParamInfo<ModelId>& info) {
+  std::string name = ModelName(info.param);
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+class LayerMapModelTest : public ::testing::TestWithParam<ModelId> {};
+INSTANTIATE_TEST_SUITE_P(ModelZoo, LayerMapModelTest, ::testing::ValuesIn(AllModels()),
+                         ParamName);
+
+TEST_P(LayerMapModelTest, MatchesExecutorGroundTruth) {
+  // The executor stamps every kernel event with the layer/phase it belongs
+  // to. The synchronization-free mapping must recover the same assignment
+  // using only markers, timestamps and correlation ids (§4.3 / Figure 3).
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(GetParam()));
+  const LayerMap map = LayerMap::Compute(trace);
+  int checked = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace.events()[i];
+    if (!e.is_gpu() || e.layer_id < 0) {
+      continue;
+    }
+    const LayerAssignment& a = map.assignment(i);
+    EXPECT_EQ(a.layer_id, e.layer_id) << e.DebugString();
+    EXPECT_EQ(a.phase, e.phase) << e.DebugString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_P(LayerMapModelTest, HighGpuCoverage) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(GetParam()));
+  const LayerMap map = LayerMap::Compute(trace);
+  // Everything except framework-level kernels outside layer windows (input
+  // upload, loss read-back, gradient clipping) maps to a layer.
+  EXPECT_GT(map.GpuCoverage(trace), 0.88);
+}
+
+TEST(LayerMap, HandMadeWindow) {
+  Trace t;
+  TraceEvent begin;
+  begin.kind = EventKind::kLayerMarker;
+  begin.name = "conv1";
+  begin.layer_id = 7;
+  begin.phase = Phase::kForward;
+  begin.marker_begin = true;
+  begin.start = 100;
+  begin.thread_id = 0;
+  t.Add(begin);
+
+  TraceEvent launch;
+  launch.kind = EventKind::kRuntimeApi;
+  launch.api = ApiKind::kLaunchKernel;
+  launch.name = "cudaLaunchKernel";
+  launch.start = 120;
+  launch.duration = 5;
+  launch.thread_id = 0;
+  launch.correlation_id = 42;
+  t.Add(launch);
+
+  TraceEvent end = begin;
+  end.marker_begin = false;
+  end.start = 200;
+  t.Add(end);
+
+  // The kernel starts long after the window closed — assignment must come
+  // from the correlation id, not the kernel's own timestamp.
+  TraceEvent kernel;
+  kernel.kind = EventKind::kKernel;
+  kernel.name = "scudnn_fprop";
+  kernel.start = 500;
+  kernel.duration = 100;
+  kernel.stream_id = 0;
+  kernel.correlation_id = 42;
+  t.Add(kernel);
+
+  const LayerMap map = LayerMap::Compute(t);
+  EXPECT_EQ(map.assignment(1).layer_id, 7);   // the launch
+  EXPECT_EQ(map.assignment(3).layer_id, 7);   // the kernel, via correlation
+  EXPECT_EQ(map.assignment(3).phase, Phase::kForward);
+}
+
+TEST(LayerMap, EventsOutsideWindowsUnassigned) {
+  Trace t;
+  TraceEvent launch;
+  launch.kind = EventKind::kRuntimeApi;
+  launch.api = ApiKind::kLaunchKernel;
+  launch.name = "cudaLaunchKernel";
+  launch.start = 10;
+  launch.duration = 5;
+  launch.thread_id = 0;
+  launch.correlation_id = 1;
+  t.Add(launch);
+  const LayerMap map = LayerMap::Compute(t);
+  EXPECT_EQ(map.assignment(0).layer_id, -1);
+}
+
+TEST(LayerMap, MultipleIterationsKeepPerWindowAssignment) {
+  // The same layer profiled twice (2-iteration trace): launches in the first
+  // window and the second window both map to the layer.
+  Trace t;
+  auto add_window = [&](TimeNs begin, TimeNs end, int64_t corr) {
+    TraceEvent b;
+    b.kind = EventKind::kLayerMarker;
+    b.name = "fc";
+    b.layer_id = 3;
+    b.phase = Phase::kForward;
+    b.marker_begin = true;
+    b.start = begin;
+    b.thread_id = 0;
+    t.Add(b);
+    TraceEvent launch;
+    launch.kind = EventKind::kRuntimeApi;
+    launch.api = ApiKind::kLaunchKernel;
+    launch.name = "cudaLaunchKernel";
+    launch.start = begin + 5;
+    launch.duration = 5;
+    launch.thread_id = 0;
+    launch.correlation_id = corr;
+    t.Add(launch);
+    TraceEvent e = b;
+    e.marker_begin = false;
+    e.start = end;
+    t.Add(e);
+  };
+  add_window(0, 100, 1);
+  add_window(1000, 1100, 2);
+  const LayerMap map = LayerMap::Compute(t);
+  EXPECT_EQ(map.assignment(1).layer_id, 3);
+  EXPECT_EQ(map.assignment(4).layer_id, 3);
+}
+
+}  // namespace
+}  // namespace daydream

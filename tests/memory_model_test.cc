@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/core/memory_model.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/config.h"
+
+namespace daydream {
+namespace {
+
+TEST(MemoryModel, ComponentsPositive) {
+  const ModelGraph g = BuildResNet50(32);
+  const MemoryEstimate e = EstimateTrainingMemory(g, OptimizerKind::kSgdMomentum);
+  EXPECT_GT(e.weights, 0);
+  EXPECT_EQ(e.weights, e.gradients);
+  EXPECT_EQ(e.optimizer_state, e.weights);  // one momentum buffer
+  EXPECT_GT(e.activations, 0);
+  EXPECT_EQ(e.total(), e.weights + e.gradients + e.optimizer_state + e.activations + e.workspace);
+  EXPECT_FALSE(e.Summary().empty());
+}
+
+TEST(MemoryModel, AdamDoublesOptimizerState) {
+  const ModelGraph g = BuildBertBase(8);
+  const MemoryEstimate sgd = EstimateTrainingMemory(g, OptimizerKind::kSgdMomentum);
+  const MemoryEstimate adam = EstimateTrainingMemory(g, OptimizerKind::kAdam);
+  EXPECT_EQ(adam.optimizer_state, 2 * sgd.optimizer_state);
+}
+
+TEST(MemoryModel, ActivationsScaleWithBatch) {
+  const MemoryEstimate small =
+      EstimateTrainingMemory(BuildResNet50(16), OptimizerKind::kSgdMomentum);
+  const MemoryEstimate big =
+      EstimateTrainingMemory(BuildResNet50(32), OptimizerKind::kSgdMomentum);
+  EXPECT_NEAR(static_cast<double>(big.activations), 2.0 * small.activations,
+              0.01 * big.activations);
+  EXPECT_EQ(big.weights, small.weights);  // parameters are batch-independent
+}
+
+TEST(MemoryModel, DefaultBatchesFitInElevenGiB) {
+  // The paper's 2080 Ti has 11 GB; the default batches were chosen to fit.
+  for (ModelId model : AllModels()) {
+    const ModelGraph g = BuildModel(model);
+    const MemoryEstimate e = EstimateTrainingMemory(g, DefaultOptimizer(model));
+    EXPECT_LT(e.total(), 11LL * kGiB) << ModelName(model) << ": " << e.Summary();
+  }
+}
+
+TEST(MemoryModel, VdnnSavingsBounded) {
+  const ModelGraph g = BuildResNet50(64);
+  const MemoryEstimate e = EstimateTrainingMemory(g, OptimizerKind::kSgdMomentum);
+  const int64_t saved = VdnnActivationSavings(g);
+  EXPECT_GT(saved, 0);
+  EXPECT_LE(saved, e.activations);
+}
+
+TEST(MemoryModel, GistSavingsLossyGreater) {
+  const ModelGraph g = BuildResNet50(64);
+  const int64_t lossless = GistActivationSavings(g, /*lossy=*/false);
+  const int64_t lossy = GistActivationSavings(g, /*lossy=*/true);
+  EXPECT_GT(lossless, 0);
+  EXPECT_GT(lossy, lossless);
+}
+
+TEST(MemoryModel, GistNoReluNoLosslessSavings) {
+  // BERT uses GELU, not ReLU: Gist's lossless ReLU encoding finds nothing.
+  const ModelGraph g = BuildBertBase(8);
+  EXPECT_EQ(GistActivationSavings(g, /*lossy=*/false), 0);
+}
+
+TEST(MemoryModel, MaxBatchMonotoneInCapacity) {
+  const int64_t small = MaxBatchForCapacity(ModelId::kResNet50, OptimizerKind::kSgdMomentum,
+                                            4LL * kGiB);
+  const int64_t big = MaxBatchForCapacity(ModelId::kResNet50, OptimizerKind::kSgdMomentum,
+                                          16LL * kGiB);
+  EXPECT_GT(small, 0);
+  EXPECT_GT(big, small);
+}
+
+TEST(MemoryModel, MaxBatchZeroWhenNothingFits) {
+  EXPECT_EQ(MaxBatchForCapacity(ModelId::kBertLarge, OptimizerKind::kAdam, 1LL * kGiB), 0);
+}
+
+TEST(MemoryModel, MaxBatchIsTight) {
+  const int64_t capacity = 8LL * kGiB;
+  const int64_t batch =
+      MaxBatchForCapacity(ModelId::kVgg19, OptimizerKind::kSgdMomentum, capacity);
+  ASSERT_GT(batch, 0);
+  EXPECT_LE(EstimateTrainingMemory(BuildVgg19(batch), OptimizerKind::kSgdMomentum).total(),
+            capacity);
+  EXPECT_GT(EstimateTrainingMemory(BuildVgg19(batch + 1), OptimizerKind::kSgdMomentum).total(),
+            capacity);
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "src/models/model_zoo.h"
+
+namespace daydream {
+namespace {
+
+// ---- structural checks against the published architectures ----
+
+TEST(ResNet50, LayerCounts) {
+  const ModelGraph g = BuildResNet50(32);
+  // 1 stem + 16 bottlenecks x 3 + 4 downsample projections = 53 convolutions.
+  EXPECT_EQ(g.CountKind(LayerKind::kConv2d), 53);
+  EXPECT_EQ(g.CountKind(LayerKind::kBatchNorm), 53);
+  EXPECT_EQ(g.CountKind(LayerKind::kLinear), 1);
+  EXPECT_EQ(g.CountKind(LayerKind::kAdd), 16);  // one residual add per bottleneck
+}
+
+TEST(ResNet50, ParameterCount) {
+  const ModelGraph g = BuildResNet50(32);
+  // torchvision resnet50: 25.56M parameters.
+  EXPECT_NEAR(static_cast<double>(g.TotalParamElems()), 25.56e6, 0.4e6);
+}
+
+TEST(Vgg19, LayerCounts) {
+  const ModelGraph g = BuildVgg19(32);
+  EXPECT_EQ(g.CountKind(LayerKind::kConv2d), 16);
+  EXPECT_EQ(g.CountKind(LayerKind::kLinear), 3);
+  EXPECT_EQ(g.CountKind(LayerKind::kMaxPool), 5);
+}
+
+TEST(Vgg19, ParameterCount) {
+  const ModelGraph g = BuildVgg19(32);
+  // torchvision vgg19: 143.67M parameters.
+  EXPECT_NEAR(static_cast<double>(g.TotalParamElems()), 143.67e6, 1.5e6);
+}
+
+TEST(Vgg19, FcLayersDominateParameters) {
+  const ModelGraph g = BuildVgg19(32);
+  int64_t fc_params = 0;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kLinear) {
+      fc_params += l.param_elems();
+    }
+  }
+  // The communication skew P3 exploits (Figure 10b): FCs hold ~86% of params.
+  EXPECT_GT(static_cast<double>(fc_params) / g.TotalParamElems(), 0.8);
+}
+
+TEST(DenseNet121, LayerCounts) {
+  const ModelGraph g = BuildDenseNet121(32);
+  // 1 stem + 58 dense layers x 2 + 3 transitions = 120 convolutions (+1 fc).
+  EXPECT_EQ(g.CountKind(LayerKind::kConv2d), 120);
+  EXPECT_EQ(g.CountKind(LayerKind::kLinear), 1);
+  // BN: 1 stem + 58x2 + 3 transitions + 1 final = 121... the stem + final
+  // bookend the 116 block BNs and 3 transition BNs.
+  EXPECT_EQ(g.CountKind(LayerKind::kBatchNorm), 121);
+  EXPECT_EQ(g.CountKind(LayerKind::kConcat), 58);
+}
+
+TEST(DenseNet121, ParameterCount) {
+  const ModelGraph g = BuildDenseNet121(32);
+  // torchvision densenet121: 7.98M parameters.
+  EXPECT_NEAR(static_cast<double>(g.TotalParamElems()), 7.98e6, 0.3e6);
+}
+
+TEST(DenseNet121, EveryPostBnReluExists) {
+  // Reconstructing Batchnorm removes exactly the ReLUs that follow a BN; in
+  // DenseNet every ReLU follows a BN.
+  const ModelGraph g = BuildDenseNet121(32);
+  int relu_after_bn = 0;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kReLU) {
+      ASSERT_FALSE(l.inputs.empty());
+      if (g.layer(l.inputs[0]).kind == LayerKind::kBatchNorm) {
+        ++relu_after_bn;
+      }
+    }
+  }
+  EXPECT_EQ(relu_after_bn, g.CountKind(LayerKind::kReLU));
+}
+
+TEST(Gnmt, Structure) {
+  const ModelGraph g = BuildGnmt(128);
+  EXPECT_EQ(g.CountKind(LayerKind::kLstm), 8);       // 4 encoder + 4 decoder
+  EXPECT_EQ(g.CountKind(LayerKind::kEmbedding), 2);  // encoder + decoder vocab
+  EXPECT_EQ(g.CountKind(LayerKind::kAttention), 1);
+  int bidir = 0;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kLstm && l.bidirectional) {
+      ++bidir;
+    }
+  }
+  EXPECT_EQ(bidir, 1);  // only the first encoder layer
+}
+
+TEST(Gnmt, ParameterCount) {
+  const ModelGraph g = BuildGnmt(128);
+  // GNMT-v2 with 32k vocab and hidden 1024: ~130-180M parameters.
+  EXPECT_GT(g.TotalParamElems(), 120e6);
+  EXPECT_LT(g.TotalParamElems(), 200e6);
+}
+
+TEST(BertBase, Structure) {
+  const ModelGraph g = BuildBertBase(8);
+  EXPECT_EQ(g.CountKind(LayerKind::kAttention), 12);
+  EXPECT_EQ(g.CountKind(LayerKind::kLayerNorm), 12 * 2 + 1);
+  // 4 attention linears + 2 FFN linears per block, + qa head.
+  EXPECT_EQ(g.CountKind(LayerKind::kLinear), 12 * 6 + 1);
+}
+
+TEST(BertBase, ParameterCount) {
+  const ModelGraph g = BuildBertBase(8);
+  // BERT base: ~110M parameters.
+  EXPECT_NEAR(static_cast<double>(g.TotalParamElems()), 110e6, 6e6);
+}
+
+TEST(BertLarge, ParameterCount) {
+  const ModelGraph g = BuildBertLarge(2);
+  // BERT large: ~335M parameters.
+  EXPECT_NEAR(static_cast<double>(g.TotalParamElems()), 335e6, 12e6);
+}
+
+TEST(BertLarge, ParameterTensorCount) {
+  const ModelGraph g = BuildBertLarge(2);
+  // 16 tensors per block x 24 blocks + embeddings/layernorm/qa head: the
+  // tensor count drives the ~5.2k unfused Adam kernels of §6.3.
+  EXPECT_GE(g.TotalParamTensors(), 380);
+  EXPECT_LE(g.TotalParamTensors(), 400);
+}
+
+// ---- generic properties over all models ----
+
+class AllModelsTest : public ::testing::TestWithParam<ModelId> {};
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, AllModelsTest, ::testing::ValuesIn(AllModels()),
+                         [](const ::testing::TestParamInfo<ModelId>& info) {
+                           std::string name = ModelName(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(AllModelsTest, GraphIsValid) {
+  const ModelGraph g = BuildModel(GetParam());
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+}
+
+TEST_P(AllModelsTest, EveryLayerButFirstHasInputs) {
+  const ModelGraph g = BuildModel(GetParam());
+  int roots = 0;
+  for (const Layer& l : g.layers()) {
+    if (l.inputs.empty()) {
+      ++roots;
+    }
+  }
+  // Image models: one input root; text models: up to two embedding roots.
+  EXPECT_GE(roots, 1);
+  EXPECT_LE(roots, 2);
+}
+
+TEST_P(AllModelsTest, PositiveComputeAndOutput) {
+  const ModelGraph g = BuildModel(GetParam());
+  for (const Layer& l : g.layers()) {
+    EXPECT_GT(l.output_elems, 0) << l.name;
+    EXPECT_GE(l.fwd_flops, 0) << l.name;
+    EXPECT_GT(l.fwd_bytes, 0) << l.name;
+  }
+  EXPECT_GT(g.TotalFwdFlops(), 0);
+}
+
+TEST_P(AllModelsTest, ParamLayersBackwardOrderIsReversed) {
+  const ModelGraph g = BuildModel(GetParam());
+  const std::vector<int> order = g.ParamLayersInBackwardOrder();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i], order[i - 1]);
+  }
+  size_t with_params = 0;
+  for (const Layer& l : g.layers()) {
+    with_params += l.has_params() ? 1 : 0;
+  }
+  EXPECT_EQ(order.size(), with_params);
+}
+
+TEST_P(AllModelsTest, BatchScalesFlops) {
+  const ModelId id = GetParam();
+  const int64_t b = DefaultBatch(id);
+  const ModelGraph small = BuildModel(id, b);
+  const ModelGraph big = BuildModel(id, 2 * b);
+  EXPECT_GT(big.TotalFwdFlops(), small.TotalFwdFlops());
+  // Parameters do not depend on batch size.
+  EXPECT_EQ(big.TotalParamElems(), small.TotalParamElems());
+}
+
+TEST_P(AllModelsTest, DefaultBatchPositive) { EXPECT_GT(DefaultBatch(GetParam()), 0); }
+
+TEST(ModelGraph, AddLayerWiresInputs) {
+  ModelGraph g("test", 1);
+  const int a = g.AddLayer(MakeReLU("a", 16), {});
+  const int b = g.AddLayer(MakeReLU("b", 16), {a});
+  EXPECT_EQ(g.layer(b).inputs, std::vector<int>{a});
+  EXPECT_EQ(g.num_layers(), 2);
+}
+
+TEST(LayerFactories, ConvShapeMath) {
+  const Layer conv = MakeConv2d("c", 2, 3, 224, 224, 64, 7, 2, 3);
+  EXPECT_EQ(conv.output_elems, 2 * 64 * 112 * 112);
+  EXPECT_EQ(conv.param_tensor_elems.size(), 1u);  // no bias
+  EXPECT_EQ(conv.param_elems(), 64 * 3 * 7 * 7);
+  EXPECT_EQ(conv.fwd_flops, 2 * conv.output_elems * 3 * 49);
+}
+
+TEST(LayerFactories, LinearShapeMath) {
+  const Layer fc = MakeLinear("fc", 8, 512, 1000);
+  EXPECT_EQ(fc.output_elems, 8 * 1000);
+  EXPECT_EQ(fc.param_elems(), 512 * 1000 + 1000);
+  EXPECT_EQ(fc.aux_in, 512);
+  EXPECT_EQ(fc.aux_out, 1000);
+}
+
+TEST(LayerFactories, LstmParamLayout) {
+  const Layer lstm = MakeLstm("l", 4, 10, 512, 1024, /*bidirectional=*/true);
+  // 4 tensors per direction (w_ih, w_hh, b_ih, b_hh).
+  EXPECT_EQ(lstm.param_tensor_elems.size(), 8u);
+  EXPECT_TRUE(lstm.bidirectional);
+  EXPECT_EQ(lstm.seq_len, 10);
+}
+
+}  // namespace
+}  // namespace daydream

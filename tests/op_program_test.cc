@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "src/comm/bucketing.h"
+#include "src/comm/param_server.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/op_program.h"
+
+#include <map>
+#include "src/util/string_util.h"
+
+namespace daydream {
+namespace {
+
+struct Built {
+  ModelGraph model;
+  OpProgram program;
+};
+
+Built Build(RunConfig config, int iterations = 1) {
+  if (config.batch == 0) {
+    config.batch = DefaultBatch(config.model);
+  }
+  ModelGraph model = BuildModel(config.model, config.batch);
+  std::vector<GradientBucket> buckets = ComputeBuckets(model);
+  std::vector<PsSlice> slices;
+  if (config.comm == CommBackend::kPs) {
+    slices = config.gt.p3 ? P3Slices(model, config.cluster.machines)
+                          : WholeTensorSlices(model, config.cluster.machines);
+  }
+  OpProgram program = BuildTrainingProgram(model, config, iterations, buckets, slices);
+  return {std::move(model), std::move(program)};
+}
+
+int Count(const OpProgram& p, OpKind kind) {
+  int n = 0;
+  for (const Op& op : p.main_ops) {
+    n += op.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(OpProgram, OneLoaderTaskPerIteration) {
+  const Built b = Build(DefaultRunConfig(ModelId::kResNet50), 3);
+  EXPECT_EQ(b.program.loader_ops.size(), 3u);
+  EXPECT_EQ(Count(b.program, OpKind::kIterationEnd), 3);
+  EXPECT_EQ(Count(b.program, OpKind::kDeviceSync), 3);
+}
+
+TEST(OpProgram, StructureOfOneIteration) {
+  const Built b = Build(DefaultRunConfig(ModelId::kResNet50));
+  EXPECT_EQ(Count(b.program, OpKind::kMemcpyHtoD), 1);  // input upload
+  EXPECT_EQ(Count(b.program, OpKind::kMemcpyDtoH), 1);  // loss read-back (SGD: no clip)
+  EXPECT_GT(Count(b.program, OpKind::kLaunchKernel), 500);
+  EXPECT_EQ(Count(b.program, OpKind::kAllReduce), 0);  // single GPU
+}
+
+TEST(OpProgram, MarkersBracketEveryLayerPhase) {
+  const Built b = Build(DefaultRunConfig(ModelId::kVgg19));
+  std::map<std::pair<int, int>, int> depth;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind != OpKind::kMarker) {
+      continue;
+    }
+    auto& d = depth[{op.layer_id, static_cast<int>(op.phase)}];
+    d += op.marker_begin ? 1 : -1;
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 1);
+  }
+  for (const auto& [key, d] : depth) {
+    EXPECT_EQ(d, 0);
+  }
+}
+
+TEST(OpProgram, LaunchesCarryLayerAndPhase) {
+  const Built b = Build(DefaultRunConfig(ModelId::kResNet50));
+  int forward = 0;
+  int backward = 0;
+  int weight_update = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind != OpKind::kLaunchKernel) {
+      continue;
+    }
+    switch (op.kernel.phase) {
+      case Phase::kForward:
+        ++forward;
+        break;
+      case Phase::kBackward:
+        ++backward;
+        break;
+      case Phase::kWeightUpdate:
+        ++weight_update;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(forward, 100);
+  EXPECT_GT(backward, forward);
+  // SGD momentum: 2 kernels per parameter tensor.
+  EXPECT_EQ(weight_update, 2 * b.model.TotalParamTensors());
+}
+
+TEST(OpProgram, AdamModelsGetGradClipping) {
+  RunConfig config = DefaultRunConfig(ModelId::kBertBase);
+  ASSERT_TRUE(config.grad_clipping);
+  const Built b = Build(config);
+  int norm_kernels = 0;
+  int readbacks = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kLaunchKernel && StrContains(op.kernel.name, "grad_norm")) {
+      ++norm_kernels;
+    }
+    if (op.kind == OpKind::kMemcpyDtoH) {
+      ++readbacks;
+    }
+  }
+  EXPECT_EQ(norm_kernels, b.model.TotalParamTensors());
+  EXPECT_EQ(readbacks, 2);  // loss.item() + grad_norm.item()
+}
+
+TEST(OpProgram, FusedAdamEmitsSingleUpdateLaunch) {
+  RunConfig config = DefaultRunConfig(ModelId::kBertBase);
+  config.gt.fused_adam = true;
+  const Built b = Build(config);
+  int wu_launches = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kLaunchKernel && op.kernel.phase == Phase::kWeightUpdate) {
+      ++wu_launches;
+      EXPECT_EQ(op.kernel.name, "multi_tensor_apply_adam_fused");
+    }
+  }
+  EXPECT_EQ(wu_launches, 1);
+}
+
+TEST(OpProgram, AmpAddsLossScalingOps) {
+  RunConfig config = DefaultRunConfig(ModelId::kBertBase);
+  config.gt.amp = true;
+  const Built b = Build(config);
+  int unscale = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kLaunchKernel && StrContains(op.kernel.name, "unscale")) {
+      ++unscale;
+    }
+  }
+  EXPECT_EQ(unscale, 3);
+  EXPECT_EQ(Count(b.program, OpKind::kMemcpyDtoH), 3);  // + overflow check
+}
+
+TEST(OpProgram, RbnSkipsPostBnRelusAndAddsOverheads) {
+  RunConfig config = DefaultRunConfig(ModelId::kDenseNet121);
+  const Built baseline = Build(config);
+  config.gt.restructured_bn = true;
+  const Built rbn = Build(config);
+  auto count_named = [](const OpProgram& p, const char* needle) {
+    int n = 0;
+    for (const Op& op : p.main_ops) {
+      if (op.kind == OpKind::kLaunchKernel && StrContains(op.kernel.name, needle)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_named(baseline.program, "relu"), 0);
+  EXPECT_EQ(count_named(rbn.program, "relu"), 0);
+  EXPECT_GT(count_named(rbn.program, "_rbn"), 0);
+  EXPECT_GT(Count(rbn.program, OpKind::kMallocLike), 100);  // per-BN workspace allocs
+  EXPECT_EQ(Count(baseline.program, OpKind::kMallocLike), 0);
+}
+
+TEST(OpProgram, DdpEmitsOneAllReducePerBucketPlusSync) {
+  RunConfig config = DefaultRunConfig(ModelId::kResNet50);
+  config.comm = CommBackend::kNccl;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  const Built b = Build(config);
+  const std::vector<GradientBucket> buckets = ComputeBuckets(b.model);
+  EXPECT_EQ(Count(b.program, OpKind::kAllReduce), static_cast<int>(buckets.size()));
+  int nccl_syncs = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kStreamSync && op.stream == kNcclStream) {
+      ++nccl_syncs;
+    }
+  }
+  EXPECT_EQ(nccl_syncs, 1);
+}
+
+TEST(OpProgram, SyncVariantAddsPreReductionSyncs) {
+  RunConfig config = DefaultRunConfig(ModelId::kResNet50);
+  config.comm = CommBackend::kNccl;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  config.gt.sync_before_allreduce = true;
+  const Built b = Build(config);
+  int compute_syncs = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kStreamSync && op.stream == kComputeStream) {
+      ++compute_syncs;
+    }
+  }
+  EXPECT_EQ(compute_syncs, Count(b.program, OpKind::kAllReduce));
+}
+
+TEST(OpProgram, PsModeDropsWeightUpdateAddsPushWait) {
+  RunConfig config = DefaultRunConfig(ModelId::kVgg19);
+  config.comm = CommBackend::kPs;
+  config.cluster.machines = 4;
+  config.cluster.gpus_per_machine = 1;
+  const Built b = Build(config, 2);
+  int wu_launches = 0;
+  for (const Op& op : b.program.main_ops) {
+    if (op.kind == OpKind::kLaunchKernel && op.kernel.phase == Phase::kWeightUpdate) {
+      ++wu_launches;
+    }
+  }
+  EXPECT_EQ(wu_launches, 0);  // the server owns the update
+  int param_layers = 0;
+  for (const Layer& l : b.model.layers()) {
+    param_layers += l.has_params() ? 1 : 0;
+  }
+  EXPECT_EQ(Count(b.program, OpKind::kPsPush), 2 * param_layers);
+  EXPECT_EQ(Count(b.program, OpKind::kPsWaitPull), 2 * param_layers);
+}
+
+TEST(OpProgram, InputBytesByModality) {
+  const ModelGraph resnet = BuildModel(ModelId::kResNet50, 64);
+  EXPECT_EQ(InputBytes(resnet), 64 * 3 * 224 * 224 * 4);
+  const ModelGraph bert = BuildModel(ModelId::kBertBase, 8);
+  EXPECT_EQ(InputBytes(bert), 8 * 384 * 8);  // token ids
+  EXPECT_GT(DataLoadDuration(resnet), DataLoadDuration(bert));
+}
+
+}  // namespace
+}  // namespace daydream

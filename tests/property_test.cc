@@ -1,0 +1,198 @@
+// Property-based sweeps: invariants that must hold across whole parameter
+// grids, not just single configurations.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/comm/collectives.h"
+#include "src/core/graph_builder.h"
+#include "src/core/optimizations/distributed.h"
+#include "src/core/predictor.h"
+#include "src/core/simulator.h"
+#include "src/core/transform.h"
+#include "src/runtime/ground_truth.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace daydream {
+namespace {
+
+// ---- executor invariants across batch sizes ----
+
+class BatchSweep : public ::testing::TestWithParam<int64_t> {};
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep, ::testing::Values<int64_t>(8, 16, 32, 64, 128));
+
+TEST_P(BatchSweep, ResNetTraceValidAndMonotone) {
+  RunConfig config = DefaultRunConfig(ModelId::kResNet50);
+  config.batch = GetParam();
+  const ExecutionResult r = RunGroundTruth(config);
+  EXPECT_TRUE(r.trace.Validate().ok());
+  if (GetParam() > 8) {
+    RunConfig smaller = config;
+    smaller.batch = GetParam() / 2;
+    // Larger batches take longer per iteration...
+    EXPECT_GT(r.IterationTime(), RunGroundTruth(smaller).IterationTime());
+  }
+}
+
+TEST_P(BatchSweep, ReplayFidelityHoldsAtAnyBatch) {
+  RunConfig config = DefaultRunConfig(ModelId::kResNet50);
+  config.batch = GetParam();
+  const Trace trace = CollectBaselineTrace(config);
+  const SimResult sim = Simulator().Run(BuildDependencyGraph(trace));
+  EXPECT_LT(RelErrorPct(static_cast<double>(sim.makespan),
+                        static_cast<double>(trace.makespan())),
+            0.5);
+}
+
+// ---- framework profiles ----
+
+TEST(FrameworkSweep, GapsDriveIterationTime) {
+  // Heavier frameworks (bigger gaps) can only slow an identical workload.
+  RunConfig caffe = DefaultRunConfig(ModelId::kResNet50);
+  caffe.framework = FrameworkProfile::Caffe();
+  caffe.cpu_scale = 1.0;
+  RunConfig pytorch = caffe;
+  pytorch.framework = FrameworkProfile::PyTorch();
+  EXPECT_LE(RunGroundTruth(caffe).IterationTime(), RunGroundTruth(pytorch).IterationTime());
+}
+
+TEST(FrameworkSweep, CpuScaleMonotone) {
+  RunConfig base = DefaultRunConfig(ModelId::kBertBase);
+  base.cpu_scale = 0.5;
+  RunConfig heavy = base;
+  heavy.cpu_scale = 2.0;
+  EXPECT_LT(RunGroundTruth(base).IterationTime(), RunGroundTruth(heavy).IterationTime());
+}
+
+// ---- collective-cost grid ----
+
+TEST(CollectiveGrid, AllReduceMonotoneOverFullGrid) {
+  for (int machines : {1, 2, 3, 4}) {
+    for (int gpus : {1, 2, 4}) {
+      for (double gbps : {5.0, 10.0, 25.0, 40.0}) {
+        ClusterConfig c;
+        c.machines = machines;
+        c.gpus_per_machine = gpus;
+        c.network.bandwidth_gbps = gbps;
+        const TimeNs t1 = RingAllReduceTime(8 << 20, c);
+        const TimeNs t2 = RingAllReduceTime(16 << 20, c);
+        if (c.total_gpus() == 1) {
+          EXPECT_EQ(t1, 0);
+          continue;
+        }
+        EXPECT_GT(t1, 0) << c.Label();
+        EXPECT_LT(t1, t2) << c.Label();  // more bytes, more time
+        // BlueConnect wins when the NIC is the bottleneck; once inter-node
+        // bandwidth approaches PCIe speed its extra intra-node phases are
+        // pure overhead, so only assert the win on slow networks.
+        if (gbps <= 25.0) {
+          EXPECT_LE(BlueConnectAllReduceTime(16 << 20, c), static_cast<TimeNs>(t2 * 1.05))
+              << c.Label();
+        } else {
+          EXPECT_GT(BlueConnectAllReduceTime(16 << 20, c), 0) << c.Label();
+        }
+      }
+    }
+  }
+}
+
+// ---- random-graph simulator properties ----
+
+class RandomGraphSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep, ::testing::Range(1, 9));
+
+DependencyGraph RandomDag(uint64_t seed, int tasks) {
+  Rng rng(seed);
+  DependencyGraph g;
+  for (int i = 0; i < tasks; ++i) {
+    Task t;
+    const int lane = static_cast<int>(rng.NextBelow(4));
+    t.type = lane < 2 ? TaskType::kCpu : TaskType::kGpu;
+    t.thread = lane < 2 ? ExecThread::Cpu(lane) : ExecThread::Gpu(lane - 2);
+    t.duration = static_cast<TimeNs>(Us(1) + rng.NextBelow(Us(40)));
+    t.gap = static_cast<TimeNs>(rng.NextBelow(Us(5)));
+    g.AddTask(std::move(t));
+  }
+  g.LinkSequential();
+  // Random forward edges keep the graph acyclic (low id -> high id only).
+  for (int i = 0; i < tasks / 2; ++i) {
+    const TaskId a = static_cast<TaskId>(rng.NextBelow(static_cast<uint64_t>(tasks - 1)));
+    const TaskId b =
+        a + 1 + static_cast<TaskId>(rng.NextBelow(static_cast<uint64_t>(tasks - a - 1)));
+    g.AddEdge(a, b);
+  }
+  return g;
+}
+
+TEST_P(RandomGraphSweep, ValidAndDeterministic) {
+  const DependencyGraph g = RandomDag(static_cast<uint64_t>(GetParam()), 120);
+  std::string error;
+  ASSERT_TRUE(g.Validate(&error)) << error;
+  const SimResult a = Simulator().Run(g);
+  const SimResult b = Simulator().Run(g);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.start, b.start);
+}
+
+TEST_P(RandomGraphSweep, MakespanLowerBounds) {
+  const DependencyGraph g = RandomDag(static_cast<uint64_t>(GetParam()), 120);
+  const SimResult r = Simulator().Run(g);
+  // Lower bound 1: busiest lane.
+  for (const auto& [thread, busy] : r.thread_busy) {
+    EXPECT_GE(r.makespan, busy) << thread.Label();
+  }
+  // Lower bound 2: every edge is respected.
+  for (TaskId id : g.AliveTasks()) {
+    for (TaskId c : g.children(id)) {
+      EXPECT_GE(r.start[static_cast<size_t>(c)], r.EndOf(id));
+    }
+  }
+}
+
+TEST_P(RandomGraphSweep, ShrinkNeverIncreasesMakespan) {
+  // Monotonicity of the what-if machinery: shrinking any subset of GPU tasks
+  // cannot make the (work-conserving, deterministic) simulation slower.
+  DependencyGraph g = RandomDag(static_cast<uint64_t>(GetParam()), 120);
+  const TimeNs before = Simulator().Run(g).makespan;
+  ShrinkBy(&g, g.Select(IsOnGpu()), 2.0);
+  EXPECT_LE(Simulator().Run(g).makespan, before);
+}
+
+TEST_P(RandomGraphSweep, RemoveNeverIncreasesMakespan) {
+  DependencyGraph g = RandomDag(static_cast<uint64_t>(GetParam()), 120);
+  const TimeNs before = Simulator().Run(g).makespan;
+  // Remove every 7th GPU task.
+  const std::vector<TaskId> gpus = g.Select(IsOnGpu());
+  for (size_t i = 0; i < gpus.size(); i += 7) {
+    g.Remove(gpus[i]);
+  }
+  std::string error;
+  ASSERT_TRUE(g.Validate(&error)) << error;
+  EXPECT_LE(Simulator().Run(g).makespan, before);
+}
+
+// ---- distributed prediction grid ----
+
+TEST(DistributedGrid, PredictionMonotoneInBandwidth) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kVgg19));
+  Daydream dd(trace);
+  for (int machines : {2, 4}) {
+    TimeNs previous = std::numeric_limits<TimeNs>::max();
+    for (double gbps : {5.0, 10.0, 20.0, 40.0}) {
+      DistributedWhatIf opts;
+      opts.cluster.machines = machines;
+      opts.cluster.gpus_per_machine = 1;
+      opts.cluster.network.bandwidth_gbps = gbps;
+      const TimeNs predicted =
+          dd.Predict([&](DependencyGraph* g) {
+              WhatIfDistributed(g, dd.trace().gradients(), opts);
+            }).predicted;
+      EXPECT_LE(predicted, previous) << machines << "x1 @ " << gbps;
+      previous = predicted;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/chrome_trace.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+
+namespace daydream {
+namespace {
+
+TraceEvent Kernel(const std::string& name, TimeNs start, TimeNs dur, int stream, int64_t corr) {
+  TraceEvent e;
+  e.kind = EventKind::kKernel;
+  e.name = name;
+  e.start = start;
+  e.duration = dur;
+  e.stream_id = stream;
+  e.correlation_id = corr;
+  return e;
+}
+
+TraceEvent Launch(TimeNs start, TimeNs dur, int tid, int64_t corr) {
+  TraceEvent e;
+  e.kind = EventKind::kRuntimeApi;
+  e.api = ApiKind::kLaunchKernel;
+  e.name = "cudaLaunchKernel";
+  e.start = start;
+  e.duration = dur;
+  e.thread_id = tid;
+  e.correlation_id = corr;
+  return e;
+}
+
+TraceEvent Marker(int layer, Phase phase, bool begin, TimeNs at, int tid = 0) {
+  TraceEvent e;
+  e.kind = EventKind::kLayerMarker;
+  e.name = "layer";
+  e.layer_id = layer;
+  e.phase = phase;
+  e.marker_begin = begin;
+  e.start = at;
+  e.thread_id = tid;
+  return e;
+}
+
+Trace ValidTwoKernelTrace() {
+  Trace t;
+  t.Add(Launch(0, 5, 0, 1));
+  t.Add(Launch(10, 5, 0, 2));
+  t.Add(Kernel("k1", 6, 20, 0, 1));
+  t.Add(Kernel("k2", 26, 10, 0, 2));
+  return t;
+}
+
+TEST(TraceEvent, Classification) {
+  EXPECT_TRUE(Launch(0, 1, 0, 1).is_cpu());
+  EXPECT_FALSE(Launch(0, 1, 0, 1).is_gpu());
+  EXPECT_TRUE(Kernel("k", 0, 1, 0, 1).is_gpu());
+  TraceEvent comm;
+  comm.kind = EventKind::kCommunication;
+  EXPECT_TRUE(comm.is_comm());
+}
+
+TEST(TraceEvent, EndTime) { EXPECT_EQ(Kernel("k", 10, 5, 0, 1).end(), 15); }
+
+TEST(TraceEvent, ToStringCoverage) {
+  EXPECT_STREQ(ToString(EventKind::kKernel), "Kernel");
+  EXPECT_STREQ(ToString(ApiKind::kDeviceSynchronize), "cudaDeviceSynchronize");
+  EXPECT_STREQ(ToString(MemcpyKind::kDeviceToHost), "DtoH");
+  EXPECT_STREQ(ToString(CommKind::kAllReduce), "allReduce");
+  EXPECT_STREQ(ToString(Phase::kWeightUpdate), "weight_update");
+}
+
+TEST(Trace, BoundsAndMakespan) {
+  Trace t = ValidTwoKernelTrace();
+  EXPECT_EQ(t.begin_time(), 0);
+  EXPECT_EQ(t.end_time(), 36);
+  EXPECT_EQ(t.makespan(), 36);
+}
+
+TEST(Trace, ViewsByLane) {
+  Trace t = ValidTwoKernelTrace();
+  EXPECT_EQ(t.CpuEvents(0).size(), 2u);
+  EXPECT_EQ(t.GpuEvents(0).size(), 2u);
+  EXPECT_EQ(t.CpuThreadIds(), std::vector<int>{0});
+  EXPECT_EQ(t.GpuStreamIds(), std::vector<int>{0});
+  EXPECT_EQ(t.CountKind(EventKind::kKernel), 2);
+}
+
+TEST(Trace, SortByStart) {
+  Trace t;
+  t.Add(Kernel("late", 50, 5, 0, 2));
+  t.Add(Kernel("early", 10, 5, 0, 1));
+  t.SortByStart();
+  EXPECT_EQ(t.events()[0].name, "early");
+}
+
+TEST(TraceValidation, ValidTracePasses) {
+  EXPECT_TRUE(ValidTwoKernelTrace().Validate().ok());
+}
+
+TEST(TraceValidation, DetectsCpuOverlap) {
+  Trace t;
+  t.Add(Launch(0, 10, 0, 1));
+  t.Add(Launch(5, 10, 0, 2));
+  t.Add(Kernel("a", 12, 1, 0, 1));
+  t.Add(Kernel("b", 16, 1, 0, 2));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsGpuOverlap) {
+  Trace t;
+  t.Add(Launch(0, 1, 0, 1));
+  t.Add(Launch(2, 1, 0, 2));
+  t.Add(Kernel("a", 5, 10, 0, 1));
+  t.Add(Kernel("b", 8, 10, 0, 2));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsOrphanGpuTask) {
+  Trace t;
+  t.Add(Kernel("orphan", 0, 5, 0, 99));
+  const TraceValidation v = t.Validate();
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.Summary().find("no launching API"), std::string::npos);
+}
+
+TEST(TraceValidation, DetectsKernelBeforeLaunch) {
+  Trace t;
+  t.Add(Launch(10, 5, 0, 1));
+  t.Add(Kernel("early", 2, 3, 0, 1));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsDuplicateCorrelation) {
+  Trace t;
+  t.Add(Launch(0, 1, 0, 1));
+  t.Add(Launch(5, 1, 0, 1));  // duplicate id
+  t.Add(Kernel("k", 10, 1, 0, 1));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsNegativeDuration) {
+  Trace t;
+  TraceEvent e = Launch(0, 1, 0, 0);
+  e.duration = -5;
+  t.Add(e);
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsUnmatchedMarkers) {
+  Trace t;
+  t.Add(Marker(3, Phase::kForward, /*begin=*/true, 0));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TraceValidation, DetectsEndWithoutBegin) {
+  Trace t;
+  t.Add(Marker(3, Phase::kForward, /*begin=*/false, 0));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(Trace, ExtractLayerSpans) {
+  Trace t;
+  t.Add(Marker(1, Phase::kForward, true, 100));
+  t.Add(Marker(1, Phase::kForward, false, 250));
+  t.Add(Marker(1, Phase::kBackward, true, 300));
+  t.Add(Marker(1, Phase::kBackward, false, 420));
+  const std::vector<LayerSpan> spans = t.ExtractLayerSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].layer_id, 1);
+  EXPECT_EQ(spans[0].phase, Phase::kForward);
+  EXPECT_EQ(spans[0].begin, 100);
+  EXPECT_EQ(spans[0].end, 250);
+  EXPECT_EQ(spans[1].phase, Phase::kBackward);
+}
+
+TEST(Trace, RepeatedSpansForSameLayer) {
+  Trace t;
+  for (int iter = 0; iter < 2; ++iter) {
+    t.Add(Marker(4, Phase::kForward, true, 100 * iter));
+    t.Add(Marker(4, Phase::kForward, false, 100 * iter + 50));
+  }
+  EXPECT_EQ(t.ExtractLayerSpans().size(), 2u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(Trace, GradientInfoSideChannel) {
+  Trace t;
+  t.AddGradientInfo({/*layer_id=*/5, /*bytes=*/1024, /*bucket_id=*/0});
+  ASSERT_EQ(t.gradients().size(), 1u);
+  EXPECT_EQ(t.gradients()[0].bytes, 1024);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  Trace t = ValidTwoKernelTrace();
+  t.set_model_name("ResNet-50");
+  t.set_config("b=64 pytorch");
+  t.AddGradientInfo({3, 4096, 1});
+  TraceEvent m = Marker(2, Phase::kBackward, true, 40);
+  t.Add(m);
+  TraceEvent comm;
+  comm.kind = EventKind::kCommunication;
+  comm.comm_kind = CommKind::kPush;
+  comm.name = "push with spaces";
+  comm.start = 50;
+  comm.duration = 7;
+  comm.channel_id = 1;
+  comm.bytes = 12345;
+  t.Add(comm);
+
+  std::stringstream ss;
+  WriteTrace(t, ss);
+  std::optional<Trace> back = ReadTrace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->model_name(), "ResNet-50");
+  EXPECT_EQ(back->config(), "b=64 pytorch");
+  ASSERT_EQ(back->size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    const TraceEvent& a = t.events()[i];
+    const TraceEvent& b = back->events()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.thread_id, b.thread_id);
+    EXPECT_EQ(a.stream_id, b.stream_id);
+    EXPECT_EQ(a.channel_id, b.channel_id);
+    EXPECT_EQ(a.correlation_id, b.correlation_id);
+    EXPECT_EQ(a.layer_id, b.layer_id);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.marker_begin, b.marker_begin);
+    EXPECT_EQ(a.bytes, b.bytes);
+  }
+  ASSERT_EQ(back->gradients().size(), 1u);
+  EXPECT_EQ(back->gradients()[0].layer_id, 3);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(TraceIo, RejectsMalformedEvent) {
+  std::stringstream ss("daydream-trace v1\nev\t1\t2\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+TEST(ChromeTrace, ProducesJsonArray) {
+  Trace t = ValidTwoKernelTrace();
+  std::stringstream ss;
+  WriteChromeTrace(t, ss);
+  const std::string out = ss.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("cudaLaunchKernel"), std::string::npos);
+}
+
+TEST(ChromeTrace, JsonEscape) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/core/transform.h"
+
+namespace daydream {
+namespace {
+
+Task GpuTask(const std::string& name, TimeNs dur, Phase phase = Phase::kForward,
+             int layer = -1) {
+  Task t;
+  t.type = TaskType::kGpu;
+  t.name = name;
+  t.thread = ExecThread::Gpu(0);
+  t.duration = dur;
+  t.phase = phase;
+  t.layer_id = layer;
+  return t;
+}
+
+Task CpuTask(const std::string& name, TimeNs dur = Us(5)) {
+  Task t;
+  t.type = TaskType::kCpu;
+  t.name = name;
+  t.thread = ExecThread::Cpu(0);
+  t.duration = dur;
+  t.api = ApiKind::kLaunchKernel;
+  return t;
+}
+
+TEST(Predicates, Basics) {
+  Task gpu = GpuTask("volta_sgemm_128x64_nn", Us(10), Phase::kBackward, 3);
+  EXPECT_TRUE(IsOnGpu()(gpu));
+  EXPECT_FALSE(IsOnCpu()(gpu));
+  EXPECT_FALSE(IsComm()(gpu));
+  EXPECT_TRUE(NameContains("sgemm")(gpu));
+  EXPECT_FALSE(NameContains("scudnn")(gpu));
+  EXPECT_TRUE(PhaseIs(Phase::kBackward)(gpu));
+  EXPECT_TRUE(LayerIs(3)(gpu));
+  EXPECT_FALSE(LayerIs(4)(gpu));
+}
+
+TEST(Predicates, Combinators) {
+  Task gpu = GpuTask("volta_sgemm", Us(10));
+  EXPECT_TRUE(All(IsOnGpu(), NameContains("sgemm"))(gpu));
+  EXPECT_FALSE(All(IsOnGpu(), NameContains("conv"))(gpu));
+  EXPECT_TRUE(Any(NameContains("conv"), NameContains("sgemm"))(gpu));
+  EXPECT_FALSE(Not(IsOnGpu())(gpu));
+}
+
+TEST(Predicates, ApiIs) {
+  Task cpu = CpuTask("cudaLaunchKernel");
+  EXPECT_TRUE(ApiIs(ApiKind::kLaunchKernel)(cpu));
+  EXPECT_FALSE(ApiIs(ApiKind::kDeviceSynchronize)(cpu));
+}
+
+TEST(Transform, ShrinkBy) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k", Us(90)));
+  ShrinkBy(&g, {a}, 3.0);
+  EXPECT_EQ(g.task(a).duration, Us(30));
+}
+
+TEST(Transform, ScaleBy) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k", Us(10)));
+  ScaleBy(&g, {a}, 2.5);
+  EXPECT_EQ(g.task(a).duration, Us(25));
+}
+
+TEST(Transform, SetDurations) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k", Us(10)));
+  const TaskId b = g.AddTask(GpuTask("k2", Us(20)));
+  SetDurations(&g, {a, b}, Us(7));
+  EXPECT_EQ(g.task(a).duration, Us(7));
+  EXPECT_EQ(g.task(b).duration, Us(7));
+}
+
+TEST(Transform, RemoveAllTolerant) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k", Us(10)));
+  RemoveAll(&g, {a, a});  // second removal is a no-op, not a crash
+  EXPECT_FALSE(g.alive(a));
+}
+
+TEST(Transform, TotalDuration) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k", Us(10)));
+  const TaskId b = g.AddTask(GpuTask("k2", Us(15)));
+  EXPECT_EQ(TotalDuration(g, {a, b}), Us(25));
+  EXPECT_EQ(TotalDuration(g, {}), 0);
+}
+
+TEST(Transform, InsertKernelAfterWiresLaunchAndStream) {
+  // Figure 4b: inserting a GPU task also inserts its launching CPU task.
+  DependencyGraph g;
+  const TaskId launch1 = g.AddTask(CpuTask("launch1"));
+  const TaskId launch2 = g.AddTask(CpuTask("launch2"));
+  const TaskId k1 = g.AddTask(GpuTask("k1", Us(10)));
+  const TaskId k2 = g.AddTask(GpuTask("k2", Us(10)));
+  g.LinkSequential();
+  g.AddEdge(launch1, k1);
+  g.AddEdge(launch2, k2);
+
+  Task inserted = GpuTask("new_kernel", Us(30));
+  const InsertedKernel ins = InsertKernelAfter(&g, launch1, k1, std::move(inserted));
+
+  EXPECT_TRUE(g.alive(ins.launch));
+  EXPECT_TRUE(g.alive(ins.kernel));
+  EXPECT_TRUE(g.HasEdge(ins.launch, ins.kernel));      // correlation
+  EXPECT_TRUE(g.HasEdge(launch1, ins.launch));          // CPU splice
+  EXPECT_TRUE(g.HasEdge(ins.launch, launch2));
+  EXPECT_TRUE(g.HasEdge(k1, ins.kernel));                // stream splice
+  EXPECT_TRUE(g.HasEdge(ins.kernel, k2));
+  EXPECT_FALSE(g.HasEdge(k1, k2));
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+  EXPECT_EQ(g.task(ins.launch).api, ApiKind::kLaunchKernel);
+}
+
+TEST(Transform, SelectThenShrinkPipeline) {
+  // The canonical What-If shape: Select + Shrink (Algorithm 3 in miniature).
+  DependencyGraph g;
+  g.AddTask(GpuTask("volta_sgemm_a", Us(30)));
+  g.AddTask(GpuTask("elementwise_b", Us(30)));
+  g.AddTask(CpuTask("launch"));
+  ShrinkBy(&g, g.Select(All(IsOnGpu(), NameContains("sgemm"))), 3.0);
+  ShrinkBy(&g, g.Select(All(IsOnGpu(), Not(NameContains("sgemm")))), 2.0);
+  EXPECT_EQ(g.task(0).duration, Us(10));
+  EXPECT_EQ(g.task(1).duration, Us(15));
+  EXPECT_EQ(g.task(2).duration, Us(5));  // CPU untouched
+}
+
+}  // namespace
+}  // namespace daydream

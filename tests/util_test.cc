@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/csv.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+#include "src/util/table.h"
+#include "src/util/time_units.h"
+
+namespace daydream {
+namespace {
+
+// ---- time units ----
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(Us(1.0), 1000);
+  EXPECT_EQ(Ms(1.0), 1000000);
+  EXPECT_DOUBLE_EQ(ToUs(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToMs(2500000), 2.5);
+  EXPECT_DOUBLE_EQ(ToSec(kSecond), 1.0);
+}
+
+TEST(TimeUnits, ByteConstants) {
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(kGiB, 1024 * kMiB);
+}
+
+// ---- rng ----
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DeterministicFromKey) {
+  Rng a(std::string_view("model/kernel"));
+  Rng b(std::string_view("model/kernel"));
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentKeysDiffer) {
+  Rng a(std::string_view("alpha"));
+  Rng b(std::string_view("beta"));
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(3.0, 5.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalMeanApproximates) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, NextBelow) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(Rng, HashKeyStable) {
+  EXPECT_EQ(Rng::HashKey("abc"), Rng::HashKey("abc"));
+  EXPECT_NE(Rng::HashKey("abc"), Rng::HashKey("abd"));
+}
+
+// ---- stats ----
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_DOUBLE_EQ(Stddev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(Stddev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Stddev({5.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 99), 42.0);
+}
+
+TEST(Stats, RelErrorPct) {
+  EXPECT_DOUBLE_EQ(RelErrorPct(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(RelErrorPct(90, 100), 10.0);
+  EXPECT_DOUBLE_EQ(RelErrorPct(0, 0), 0.0);
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+// ---- strings ----
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtil, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtil, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b"}, "+"), "a+b");
+  EXPECT_EQ(StrJoin({}, "+"), "");
+}
+
+TEST(StringUtil, Predicates) {
+  EXPECT_TRUE(StrContains("volta_sgemm_128x64", "sgemm"));
+  EXPECT_FALSE(StrContains("elementwise", "sgemm"));
+  EXPECT_TRUE(StartsWith("cudaLaunchKernel", "cuda"));
+  EXPECT_FALSE(StartsWith("cuda", "cudaLaunch"));
+  EXPECT_TRUE(EndsWith("kernel_rbn", "_rbn"));
+  EXPECT_FALSE(EndsWith("rbn_kernel", "_rbn"));
+}
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(ToLower("AbC"), "abc"); }
+
+// ---- table ----
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xx", "1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| a  | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | 1           |"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows) {
+  TablePrinter t({"c"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.ToString();
+  // header line + 3 separators around content = at least 4 '+--' lines.
+  size_t count = 0;
+  for (size_t pos = out.find("+-"); pos != std::string::npos; pos = out.find("+-", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 4u);
+}
+
+// ---- csv ----
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = ::testing::TempDir() + "/test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.AddRow({"1", "2"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,255 @@
+// daydream — command-line front end for the library.
+//
+//   daydream collect --model BERT_Large --out profile.ddtrace [--chrome t.json]
+//   daydream report  --trace profile.ddtrace
+//   daydream predict --trace profile.ddtrace --what-if amp
+//   daydream predict --trace profile.ddtrace --what-if fused_adam
+//   daydream predict --trace profile.ddtrace --what-if distributed --cluster 4x2 --gbps 25
+//   daydream models
+//
+// `collect` runs the synthetic training substrate (in a real deployment this
+// step is the CUPTI profiling run); `report` and `predict` work on any
+// persisted trace — the paper's profile-once / ask-many-questions workflow.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/breakdown.h"
+#include "src/core/critical_path.h"
+#include "src/core/graph_builder.h"
+#include "src/core/layer_report.h"
+#include "src/core/optimizations/optimizations.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/trace_io.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (StartsWith(key, "--")) {
+      key = key.substr(2);
+    }
+    args.flags[key] = argv[i + 1];
+  }
+  return args;
+}
+
+int Usage() {
+  std::cerr <<
+      R"(usage: daydream <command> [flags]
+
+commands:
+  models                                list the model zoo
+  collect  --model <name> [--iterations N] [--out FILE] [--chrome FILE]
+  report   --trace FILE                 breakdown + critical path + per-layer table
+  predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3>
+           [--cluster MxG] [--gbps BW]  (distributed/p3 options)
+)";
+  return 2;
+}
+
+std::optional<ModelId> LookupModel(const std::string& name) {
+  for (ModelId id : AllModels()) {
+    if (name == ModelName(id)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ClusterConfig> ParseCluster(const Args& args) {
+  ClusterConfig cluster;
+  const std::string shape = args.Get("cluster", "4x1");
+  const std::vector<std::string> parts = StrSplit(shape, 'x');
+  if (parts.size() != 2) {
+    std::cerr << "bad --cluster (expected MxG, e.g. 4x2)\n";
+    return std::nullopt;
+  }
+  cluster.machines = std::stoi(parts[0]);
+  cluster.gpus_per_machine = std::stoi(parts[1]);
+  cluster.network.bandwidth_gbps = std::stod(args.Get("gbps", "10"));
+  return cluster;
+}
+
+int CmdModels() {
+  for (ModelId id : AllModels()) {
+    const ModelGraph g = BuildModel(id);
+    std::cout << StrFormat("%-14s batch=%-3lld layers=%-4d params=%.1fM\n", ModelName(id),
+                           static_cast<long long>(DefaultBatch(id)), g.num_layers(),
+                           static_cast<double>(g.TotalParamElems()) / 1e6);
+  }
+  return 0;
+}
+
+int CmdCollect(const Args& args) {
+  const std::optional<ModelId> model = LookupModel(args.Get("model"));
+  if (!model.has_value()) {
+    std::cerr << "unknown --model; run `daydream models`\n";
+    return 2;
+  }
+  const int iterations = std::stoi(args.Get("iterations", "1"));
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(*model), iterations);
+  const TraceValidation validation = trace.Validate();
+  std::cout << StrFormat("collected %zu events (%.1f ms, %s)\n", trace.size(),
+                         ToMs(trace.makespan()), validation.Summary().c_str());
+  const std::string out = args.Get("out", "profile.ddtrace");
+  if (!WriteTraceFile(trace, out)) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << "\n";
+  const std::string chrome = args.Get("chrome");
+  if (!chrome.empty()) {
+    if (!WriteChromeTraceFile(trace, chrome)) {
+      std::cerr << "cannot write " << chrome << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << chrome << "\n";
+  }
+  return validation.ok() ? 0 : 1;
+}
+
+std::optional<Trace> LoadTrace(const Args& args) {
+  const std::string path = args.Get("trace");
+  if (path.empty()) {
+    std::cerr << "--trace is required\n";
+    return std::nullopt;
+  }
+  std::optional<Trace> trace = ReadTraceFile(path);
+  if (!trace.has_value()) {
+    std::cerr << "cannot read trace from " << path << "\n";
+  }
+  return trace;
+}
+
+int CmdReport(const Args& args) {
+  const std::optional<Trace> trace = LoadTrace(args);
+  if (!trace.has_value()) {
+    return 2;
+  }
+  std::cout << "model:  " << trace->model_name() << "\n";
+  std::cout << "config: " << trace->config() << "\n";
+  std::cout << StrFormat("events: %zu over %.1f ms\n\n", trace->size(), ToMs(trace->makespan()));
+  std::cout << ComputeBreakdown(*trace).Summary() << "\n";
+  const DependencyGraph graph = BuildDependencyGraph(*trace);
+  std::cout << ComputeCriticalPath(graph).Summary() << "\n\n";
+  std::cout << "hottest layer phases by GPU time:\n" << BuildLayerReport(*trace).ToString(12);
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  const std::optional<Trace> trace = LoadTrace(args);
+  if (!trace.has_value()) {
+    return 2;
+  }
+  const std::string what_if = args.Get("what-if");
+  const std::optional<ModelId> model_id = LookupModel(trace->model_name());
+
+  Daydream daydream(*trace);
+  std::function<void(DependencyGraph*)> transform;
+  std::shared_ptr<Scheduler> scheduler;
+
+  if (what_if == "amp") {
+    transform = [](DependencyGraph* g) { WhatIfAmp(g); };
+  } else if (what_if == "fused_adam") {
+    transform = [](DependencyGraph* g) { WhatIfFusedAdam(g); };
+  } else if (what_if == "rbn" || what_if == "metaflow" || what_if == "gist" ||
+             what_if == "vdnn") {
+    if (!model_id.has_value()) {
+      std::cerr << "trace lacks a known model name (needed for layer kinds)\n";
+      return 2;
+    }
+    // The layer-structured what-ifs need the model graph for layer kinds.
+    auto model = std::make_shared<ModelGraph>(BuildModel(*model_id));
+    if (what_if == "rbn") {
+      transform = [model](DependencyGraph* g) { WhatIfRestructuredBatchnorm(g, *model); };
+    } else if (what_if == "metaflow") {
+      transform = [model](DependencyGraph* g) { WhatIfMetaFlowFuseConvBn(g, *model); };
+    } else if (what_if == "gist") {
+      transform = [model](DependencyGraph* g) { WhatIfGist(g, *model); };
+    } else {
+      transform = [model](DependencyGraph* g) { WhatIfVdnn(g, *model); };
+    }
+  } else if (what_if == "distributed") {
+    const std::optional<ClusterConfig> cluster = ParseCluster(args);
+    if (!cluster.has_value()) {
+      return 2;
+    }
+    DistributedWhatIf opts;
+    opts.cluster = *cluster;
+    const std::vector<GradientInfo> gradients = trace->gradients();
+    transform = [opts, gradients](DependencyGraph* g) {
+      WhatIfDistributed(g, gradients, opts);
+    };
+  } else if (what_if == "p3") {
+    if (!model_id.has_value()) {
+      std::cerr << "trace lacks a known model name\n";
+      return 2;
+    }
+    const std::optional<ClusterConfig> cluster = ParseCluster(args);
+    if (!cluster.has_value()) {
+      return 2;
+    }
+    PsWhatIf opts;
+    opts.network = cluster->network;
+    opts.num_servers = cluster->machines;
+    // Note: P3 prediction requires a trace collected with --iterations 2.
+    const ModelGraph model = BuildModel(*model_id, DefaultBatch(*model_id));
+    const TimeNs predicted = PredictPsIterationTime(daydream, model, opts);
+    std::cout << StrFormat("P3 predicted steady-state iteration: %.1f ms\n", ToMs(predicted));
+    return 0;
+  } else {
+    std::cerr << "unknown --what-if '" << what_if << "'\n";
+    return Usage();
+  }
+
+  const PredictionResult r = daydream.Predict(transform, scheduler);
+  std::cout << StrFormat(
+      "baseline (simulated): %.1f ms\n"
+      "predicted with '%s': %.1f ms (%+.1f%%)\n",
+      ToMs(r.baseline), what_if.c_str(), ToMs(r.predicted), -r.SpeedupPct());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "models") {
+    return CmdModels();
+  }
+  if (args.command == "collect") {
+    return CmdCollect(args);
+  }
+  if (args.command == "report") {
+    return CmdReport(args);
+  }
+  if (args.command == "predict") {
+    return CmdPredict(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace daydream
+
+int main(int argc, char** argv) { return daydream::Main(argc, argv); }
