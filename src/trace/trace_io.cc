@@ -11,6 +11,20 @@ namespace {
 
 constexpr char kHeader[] = "daydream-trace v1";
 
+// The format is line- and tab-delimited, so free-text fields (event names,
+// model name, config) must not contain tabs, newlines, or carriage returns.
+// Replace them with spaces on write to keep the round trip lossless enough
+// that ReadTrace never rejects a file we produced.
+std::string SanitizeField(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return out;
+}
+
 // Names may contain spaces but not tabs/newlines; they go last on the line.
 void WriteEvent(const TraceEvent& e, std::ostream& os) {
   os << "ev\t" << static_cast<int>(e.kind) << "\t" << static_cast<int>(e.api) << "\t"
@@ -18,7 +32,7 @@ void WriteEvent(const TraceEvent& e, std::ostream& os) {
      << e.start << "\t" << e.duration << "\t" << e.thread_id << "\t" << e.stream_id << "\t"
      << e.channel_id << "\t" << e.correlation_id << "\t" << e.layer_id << "\t"
      << static_cast<int>(e.phase) << "\t" << (e.marker_begin ? 1 : 0) << "\t" << e.bytes << "\t"
-     << e.name << "\n";
+     << SanitizeField(e.name) << "\n";
 }
 
 std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
@@ -53,8 +67,8 @@ std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
 
 void WriteTrace(const Trace& trace, std::ostream& os) {
   os << kHeader << "\n";
-  os << "model\t" << trace.model_name() << "\n";
-  os << "config\t" << trace.config() << "\n";
+  os << "model\t" << SanitizeField(trace.model_name()) << "\n";
+  os << "config\t" << SanitizeField(trace.config()) << "\n";
   for (const GradientInfo& g : trace.gradients()) {
     os << "grad\t" << g.layer_id << "\t" << g.bytes << "\t" << g.bucket_id << "\n";
   }

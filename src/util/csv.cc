@@ -25,7 +25,8 @@ void CsvWriter::AddRow(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::Escape(const std::string& cell) {
-  if (!StrContains(cell, ",") && !StrContains(cell, "\"") && !StrContains(cell, "\n")) {
+  if (!StrContains(cell, ",") && !StrContains(cell, "\"") && !StrContains(cell, "\n") &&
+      !StrContains(cell, "\r")) {
     return cell;
   }
   std::string out = "\"";

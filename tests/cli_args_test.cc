@@ -1,0 +1,112 @@
+#include "tools/cli_args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace daydream {
+namespace {
+
+Args ParseVec(const std::vector<const char*>& argv) {
+  return ParseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseArgs, CommandAndFlags) {
+  const Args args = ParseVec({"daydream", "predict", "--trace", "p.ddtrace", "--what-if", "amp"});
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(args.command, "predict");
+  EXPECT_EQ(args.Get("trace"), "p.ddtrace");
+  EXPECT_EQ(args.Get("what-if"), "amp");
+  EXPECT_EQ(args.Get("missing", "fallback"), "fallback");
+}
+
+TEST(ParseArgs, NoArguments) {
+  const Args args = ParseVec({"daydream"});
+  EXPECT_TRUE(args.ok());
+  EXPECT_TRUE(args.command.empty());
+  EXPECT_TRUE(args.flags.empty());
+}
+
+TEST(ParseArgs, TrailingFlagWithoutValueIsAnError) {
+  const Args args = ParseVec({"daydream", "report", "--trace"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_EQ(args.error, "flag --trace requires a value");
+}
+
+TEST(ParseArgs, PositionalTokenIsAnError) {
+  // A forgotten flag name must not shift the whole command line by one.
+  const Args args = ParseVec({"daydream", "predict", "p.ddtrace", "--what-if", "amp"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_EQ(args.error, "unexpected argument 'p.ddtrace' (flags look like --name value)");
+}
+
+TEST(ParseInt, AcceptsIntegers) {
+  EXPECT_EQ(ParseInt("0"), 0);
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-7"), -7);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("4xa").has_value());
+  EXPECT_FALSE(ParseInt("fast").has_value());
+  EXPECT_FALSE(ParseInt("1.5").has_value());
+  EXPECT_FALSE(ParseInt("99999999999999999999").has_value());
+  EXPECT_FALSE(ParseInt(" 42").has_value());
+  EXPECT_FALSE(ParseInt("0x10").has_value());
+}
+
+TEST(ParseDouble, AcceptsNumbers) {
+  EXPECT_EQ(ParseDouble("10"), 10.0);
+  EXPECT_EQ(ParseDouble("2.5"), 2.5);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("fast").has_value());
+  EXPECT_FALSE(ParseDouble("10Gbps").has_value());
+  EXPECT_FALSE(ParseDouble(" 42").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("0x10").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());
+}
+
+TEST(ParseCluster, ParsesShapeAndBandwidth) {
+  Args args;
+  args.flags["cluster"] = "4x2";
+  args.flags["gbps"] = "25";
+  const std::optional<ClusterConfig> cluster = ParseCluster(args);
+  ASSERT_TRUE(cluster.has_value());
+  EXPECT_EQ(cluster->machines, 4);
+  EXPECT_EQ(cluster->gpus_per_machine, 2);
+  EXPECT_DOUBLE_EQ(cluster->network.bandwidth_gbps, 25.0);
+}
+
+TEST(ParseCluster, DefaultsWhenFlagsAbsent) {
+  const std::optional<ClusterConfig> cluster = ParseCluster(Args{});
+  ASSERT_TRUE(cluster.has_value());
+  EXPECT_EQ(cluster->machines, 4);
+  EXPECT_EQ(cluster->gpus_per_machine, 1);
+  EXPECT_DOUBLE_EQ(cluster->network.bandwidth_gbps, 10.0);
+}
+
+TEST(ParseCluster, RejectsMalformedShape) {
+  for (const char* bad : {"4xa", "ax2", "4", "4x2x1", "0x2", "4x0", "-1x2", ""}) {
+    Args args;
+    args.flags["cluster"] = bad;
+    EXPECT_FALSE(ParseCluster(args).has_value()) << "--cluster " << bad;
+  }
+}
+
+TEST(ParseCluster, RejectsMalformedBandwidth) {
+  for (const char* bad : {"fast", "0", "-5", "10Gbps"}) {
+    Args args;
+    args.flags["cluster"] = "4x2";
+    args.flags["gbps"] = bad;
+    EXPECT_FALSE(ParseCluster(args).has_value()) << "--gbps " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace daydream

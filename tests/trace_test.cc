@@ -237,6 +237,28 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   EXPECT_EQ(back->gradients()[0].layer_id, 3);
 }
 
+TEST(TraceIo, RoundTripSurvivesHostileNames) {
+  // Tabs/newlines in free-text fields must not break the line-oriented
+  // format; the writer replaces them with spaces and the reader accepts it.
+  Trace t = ValidTwoKernelTrace();
+  t.set_model_name("evil\tmodel\nname");
+  t.set_config("b=64\tcudnn\r\nbenchmark");
+  TraceEvent hostile = t.events()[0];
+  hostile.name = "kernel\twith\ntabs\rand newlines";
+  hostile.start = 100;
+  t.Add(hostile);
+
+  std::stringstream ss;
+  WriteTrace(t, ss);
+  std::optional<Trace> back = ReadTrace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->model_name(), "evil model name");
+  EXPECT_EQ(back->config(), "b=64 cudnn  benchmark");
+  ASSERT_EQ(back->size(), t.size());
+  EXPECT_EQ(back->events().back().name, "kernel with tabs and newlines");
+  EXPECT_EQ(back->events().back().start, 100);
+}
+
 TEST(TraceIo, RejectsGarbage) {
   std::stringstream ss("not a trace\n");
   EXPECT_FALSE(ReadTrace(ss).has_value());

@@ -194,6 +194,9 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
   EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::Escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::Escape("a\r\nb"), "\"a\r\nb\"");
 }
 
 TEST(Csv, WritesRows) {

@@ -1,0 +1,98 @@
+#include "tools/cli_args.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+Args ParseArgs(int argc, const char* const* argv) {
+  Args args;
+  if (argc > 1) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (!StartsWith(key, "--")) {
+      args.error = "unexpected argument '" + key + "' (flags look like --name value)";
+      return args;
+    }
+    if (i + 1 >= argc) {
+      args.error = "flag " + key + " requires a value";
+      return args;
+    }
+    args.flags[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+namespace {
+
+// strtol/strtod are laxer than we want (leading whitespace, "inf", "nan",
+// hex floats); restrict the alphabet up front so only plain decimal
+// notation reaches them.
+bool OnlyContains(const std::string& text, const char* allowed) {
+  return text.find_first_not_of(allowed) == std::string::npos;
+}
+
+}  // namespace
+
+std::optional<int> ParseInt(const std::string& text) {
+  if (text.empty() || !OnlyContains(text, "0123456789+-")) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() ||
+      value < std::numeric_limits<int>::min() || value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+std::optional<double> ParseDouble(const std::string& text) {
+  if (text.empty() || !OnlyContains(text, "0123456789.eE+-")) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<ClusterConfig> ParseCluster(const Args& args) {
+  ClusterConfig cluster;
+  const std::string shape = args.Get("cluster", "4x1");
+  const std::vector<std::string> parts = StrSplit(shape, 'x');
+  std::optional<int> machines;
+  std::optional<int> gpus;
+  if (parts.size() == 2) {
+    machines = ParseInt(parts[0]);
+    gpus = ParseInt(parts[1]);
+  }
+  if (!machines.has_value() || !gpus.has_value() || *machines < 1 || *gpus < 1) {
+    std::cerr << "bad --cluster '" << shape << "' (expected MxG, e.g. 4x2)\n";
+    return std::nullopt;
+  }
+  cluster.machines = *machines;
+  cluster.gpus_per_machine = *gpus;
+  const std::string gbps = args.Get("gbps", "10");
+  const std::optional<double> bandwidth = ParseDouble(gbps);
+  if (!bandwidth.has_value() || *bandwidth <= 0) {
+    std::cerr << "bad --gbps '" << gbps << "' (expected a positive number)\n";
+    return std::nullopt;
+  }
+  cluster.network.bandwidth_gbps = *bandwidth;
+  return cluster;
+}
+
+}  // namespace daydream

@@ -1,0 +1,46 @@
+// Command-line argument parsing for the daydream CLI, split out of the main
+// binary so unit tests can link against it.
+#ifndef TOOLS_CLI_ARGS_H_
+#define TOOLS_CLI_ARGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/comm/network_spec.h"
+
+namespace daydream {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  // Non-empty when the command line was malformed (e.g. a trailing flag with
+  // no value). Callers must check before trusting `flags`.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+// Parses `<command> [--flag value]...`. A flag with no following value, or a
+// positional token where a flag was expected, sets `error` instead of being
+// silently dropped or misparsed.
+Args ParseArgs(int argc, const char* const* argv);
+
+// Strict decimal parsing: the whole string must be a plain decimal number.
+// Returns nullopt (never throws) on garbage like "4xa", "fast", " 42",
+// "inf", "0x10", or "".
+std::optional<int> ParseInt(const std::string& text);
+std::optional<double> ParseDouble(const std::string& text);
+
+// Builds a ClusterConfig from --cluster MxG and --gbps BW. Prints a
+// diagnostic to stderr and returns nullopt on malformed input.
+std::optional<ClusterConfig> ParseCluster(const Args& args);
+
+}  // namespace daydream
+
+#endif  // TOOLS_CLI_ARGS_H_

@@ -10,9 +10,7 @@
 // `collect` runs the synthetic training substrate (in a real deployment this
 // step is the CUPTI profiling run); `report` and `predict` work on any
 // persisted trace — the paper's profile-once / ask-many-questions workflow.
-#include <cstring>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 
@@ -26,34 +24,10 @@
 #include "src/trace/chrome_trace.h"
 #include "src/trace/trace_io.h"
 #include "src/util/string_util.h"
+#include "tools/cli_args.h"
 
 namespace daydream {
 namespace {
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> flags;
-
-  std::string Get(const std::string& key, const std::string& fallback = "") const {
-    auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-};
-
-Args Parse(int argc, char** argv) {
-  Args args;
-  if (argc > 1) {
-    args.command = argv[1];
-  }
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (StartsWith(key, "--")) {
-      key = key.substr(2);
-    }
-    args.flags[key] = argv[i + 1];
-  }
-  return args;
-}
 
 int Usage() {
   std::cerr <<
@@ -78,20 +52,6 @@ std::optional<ModelId> LookupModel(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<ClusterConfig> ParseCluster(const Args& args) {
-  ClusterConfig cluster;
-  const std::string shape = args.Get("cluster", "4x1");
-  const std::vector<std::string> parts = StrSplit(shape, 'x');
-  if (parts.size() != 2) {
-    std::cerr << "bad --cluster (expected MxG, e.g. 4x2)\n";
-    return std::nullopt;
-  }
-  cluster.machines = std::stoi(parts[0]);
-  cluster.gpus_per_machine = std::stoi(parts[1]);
-  cluster.network.bandwidth_gbps = std::stod(args.Get("gbps", "10"));
-  return cluster;
-}
-
 int CmdModels() {
   for (ModelId id : AllModels()) {
     const ModelGraph g = BuildModel(id);
@@ -108,8 +68,12 @@ int CmdCollect(const Args& args) {
     std::cerr << "unknown --model; run `daydream models`\n";
     return 2;
   }
-  const int iterations = std::stoi(args.Get("iterations", "1"));
-  const Trace trace = CollectBaselineTrace(DefaultRunConfig(*model), iterations);
+  const std::optional<int> iterations = ParseInt(args.Get("iterations", "1"));
+  if (!iterations.has_value() || *iterations < 1) {
+    std::cerr << "bad --iterations '" << args.Get("iterations") << "' (expected a positive integer)\n";
+    return 2;
+  }
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(*model), *iterations);
   const TraceValidation validation = trace.Validate();
   std::cout << StrFormat("collected %zu events (%.1f ms, %s)\n", trace.size(),
                          ToMs(trace.makespan()), validation.Summary().c_str());
@@ -233,7 +197,11 @@ int CmdPredict(const Args& args) {
 }
 
 int Main(int argc, char** argv) {
-  const Args args = Parse(argc, argv);
+  const Args args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::cerr << "error: " << args.error << "\n";
+    return Usage();
+  }
   if (args.command == "models") {
     return CmdModels();
   }
