@@ -1,0 +1,38 @@
+// Indexed, event-driven implementation of Algorithm 1.
+//
+// The reference engine re-scans the whole frontier on every dispatch and
+// erases from the middle of a vector — O(N·F) on the wide graphs the
+// distributed and P3 what-ifs produce. This engine keeps the ready set
+// indexed so one dispatch costs O(log F):
+//
+//   per thread:   now    — ready tasks whose earliest-start bound has already
+//                          passed; they are feasible exactly at the thread's
+//                          progress, so only the scheduler tie-break orders
+//                          them (std::set over TieBreakLess ∘ id).
+//                 future — ready tasks still gated by a parent's completion,
+//                          ordered by (earliest bound, tie-break). When the
+//                          thread's progress advances past a bound the task
+//                          migrates to `now` (each task migrates at most once).
+//   globally:     one entry per thread — its head task keyed by feasible time
+//                 and tie-break — in an ordered index; the minimum is the next
+//                 dispatch, exactly the task Algorithm 1's scan would pick.
+//
+// Dispatching a task touches only its own thread's structures plus the threads
+// of any children it makes ready, so the engine is event-driven in the DES
+// sense: dispatch times are non-decreasing and no state is recomputed.
+#ifndef SRC_CORE_EVENT_ENGINE_H_
+#define SRC_CORE_EVENT_ENGINE_H_
+
+#include "src/core/dependency_graph.h"
+#include "src/core/simulator.h"
+
+namespace daydream {
+
+// Runs the event-driven engine; `scheduler` must be comparator-based
+// (Scheduler::comparator_based() true). Produces the same SimResult as
+// Simulator::RunReference for the built-in schedulers.
+SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_EVENT_ENGINE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/event_engine.h"
 #include "src/util/logging.h"
 
 namespace daydream {
@@ -22,14 +23,27 @@ TimeNs Scheduler::Context::FeasibleTime(TaskId id) const {
   return std::max(thread_progress, (*earliest)[static_cast<size_t>(id)]);
 }
 
-size_t EarliestStartScheduler::Pick(const std::vector<TaskId>& frontier,
-                                    const Context& context) {
+bool Scheduler::TieBreakLess(const Task& a, const Task& b) const { return a.id < b.id; }
+
+namespace {
+
+// Frontier scan using the scheduler's TieBreakLess order refined by task id —
+// the exact order the event engine indexes by, so both engines pick the same
+// task no matter which one runs.
+size_t PickByOrder(const Scheduler& scheduler, const std::vector<TaskId>& frontier,
+                   const Scheduler::Context& context) {
   DD_CHECK(!frontier.empty());
   size_t best = 0;
   TimeNs best_time = context.FeasibleTime(frontier[0]);
   for (size_t i = 1; i < frontier.size(); ++i) {
     const TimeNs t = context.FeasibleTime(frontier[i]);
-    if (t < best_time || (t == best_time && frontier[i] < frontier[best])) {
+    if (t > best_time) {
+      continue;
+    }
+    const Task& candidate = context.graph->task(frontier[i]);
+    const Task& current = context.graph->task(frontier[best]);
+    if (t < best_time || scheduler.TieBreakLess(candidate, current) ||
+        (!scheduler.TieBreakLess(current, candidate) && frontier[i] < frontier[best])) {
       best = i;
       best_time = t;
     }
@@ -37,32 +51,24 @@ size_t EarliestStartScheduler::Pick(const std::vector<TaskId>& frontier,
   return best;
 }
 
+}  // namespace
+
+size_t EarliestStartScheduler::Pick(const std::vector<TaskId>& frontier,
+                                    const Context& context) {
+  return PickByOrder(*this, frontier, context);
+}
+
 size_t PriorityCommScheduler::Pick(const std::vector<TaskId>& frontier, const Context& context) {
-  DD_CHECK(!frontier.empty());
-  size_t best = 0;
-  TimeNs best_time = context.FeasibleTime(frontier[0]);
-  for (size_t i = 1; i < frontier.size(); ++i) {
-    const TimeNs t = context.FeasibleTime(frontier[i]);
-    if (t < best_time) {
-      best = i;
-      best_time = t;
-      continue;
-    }
-    if (t > best_time) {
-      continue;
-    }
-    const Task& candidate = context.graph->task(frontier[i]);
-    const Task& current = context.graph->task(frontier[best]);
-    if (candidate.is_comm() && current.is_comm()) {
-      if (candidate.priority > current.priority ||
-          (candidate.priority == current.priority && frontier[i] < frontier[best])) {
-        best = i;
-      }
-    } else if (frontier[i] < frontier[best]) {
-      best = i;
-    }
+  return PickByOrder(*this, frontier, context);
+}
+
+bool PriorityCommScheduler::TieBreakLess(const Task& a, const Task& b) const {
+  const int pa = a.is_comm() ? a.priority : 0;
+  const int pb = b.is_comm() ? b.priority : 0;
+  if (pa != pb) {
+    return pa > pb;
   }
-  return best;
+  return a.id < b.id;
 }
 
 Simulator::Simulator() : scheduler_(std::make_shared<EarliestStartScheduler>()) {}
@@ -72,6 +78,13 @@ Simulator::Simulator(std::shared_ptr<Scheduler> scheduler) : scheduler_(std::mov
 }
 
 SimResult Simulator::Run(const DependencyGraph& graph) const {
+  if (scheduler_->comparator_based()) {
+    return RunEventEngine(graph, *scheduler_);
+  }
+  return RunReference(graph);
+}
+
+SimResult Simulator::RunReference(const DependencyGraph& graph) const {
   SimResult result;
   result.start.assign(static_cast<size_t>(graph.capacity()), -1);
   result.end.assign(static_cast<size_t>(graph.capacity()), -1);

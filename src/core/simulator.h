@@ -6,6 +6,17 @@
 // frontier task to dispatch first is pluggable: the default picks the task
 // that can start earliest (the paper's default); optimizations like P3 and
 // vDNN install custom policies (§4.4 "Schedule", appendix Algorithms 7/10).
+//
+// Two engines implement the traversal:
+//   - the indexed event-driven engine (src/core/event_engine.h): per-thread
+//     ready structures plus a global ordered index of thread heads, giving an
+//     O(log F) dispatch. Used whenever the scheduler expresses its policy as
+//     a feasible-time order with a state-independent tie-break
+//     (Scheduler::comparator_based()).
+//   - the reference engine (Simulator::RunReference): the literal Algorithm-1
+//     transcription with a linear frontier scan. It is the differential-
+//     testing oracle and the compatibility path for custom Pick()-style
+//     policies that need to see the whole frontier.
 #ifndef SRC_CORE_SIMULATOR_H_
 #define SRC_CORE_SIMULATOR_H_
 
@@ -47,8 +58,24 @@ class Scheduler {
     TimeNs FeasibleTime(TaskId id) const;
   };
 
-  // Returns an index into `frontier`.
+  // Returns an index into `frontier`. Only called by the reference engine;
+  // comparator-based schedulers may delegate to their TieBreakLess order.
   virtual size_t Pick(const std::vector<TaskId>& frontier, const Context& context) = 0;
+
+  // ---- Event-engine contract ----
+  //
+  // A scheduler whose policy is "dispatch the task with the earliest feasible
+  // time, breaking ties with a fixed order" returns true here, and
+  // Simulator::Run uses the O(log F) event-driven engine. Policies that need
+  // the whole frontier (custom Pick overrides) keep the default false and run
+  // on the reference engine.
+  virtual bool comparator_based() const { return false; }
+
+  // Tie-break among tasks feasible at the same instant. Must be a strict weak
+  // ordering and must not depend on mutable simulation state (progress,
+  // frontier contents); the engine refines "equal" pairs by task id, so the
+  // order need not be total. Default: ascending task id.
+  virtual bool TieBreakLess(const Task& a, const Task& b) const;
 };
 
 // Default policy: dispatch the frontier task with the earliest feasible start;
@@ -56,13 +83,24 @@ class Scheduler {
 class EarliestStartScheduler : public Scheduler {
  public:
   size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
+  bool comparator_based() const override { return true; }
 };
 
 // P3-style policy (appendix Algorithm 7): earliest feasible start, but among
 // communication tasks that tie, the higher Task::priority wins.
+//
+// Tie-break order (both engines): effective priority — Task::priority for
+// communication tasks, 0 for everything else — descending, then task id. The
+// "effective priority" formulation makes the order a strict weak ordering
+// (the historical frontier scan compared priorities only between two comm
+// tasks, which was not transitive when comm and non-comm tasks tied); on
+// graphs where communication tasks live on communication channels (every
+// producer in this repo) it picks the same schedule.
 class PriorityCommScheduler : public Scheduler {
  public:
   size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
+  bool comparator_based() const override { return true; }
+  bool TieBreakLess(const Task& a, const Task& b) const override;
 };
 
 class Simulator {
@@ -70,7 +108,14 @@ class Simulator {
   Simulator();
   explicit Simulator(std::shared_ptr<Scheduler> scheduler);
 
+  // Simulates `graph`: event-driven engine when the scheduler supports it,
+  // reference engine otherwise. Both produce identical SimResults for the
+  // built-in schedulers.
   SimResult Run(const DependencyGraph& graph) const;
+
+  // Literal Algorithm-1 transcription (O(F) frontier scan per dispatch).
+  // Exposed as the differential-testing oracle.
+  SimResult RunReference(const DependencyGraph& graph) const;
 
  private:
   std::shared_ptr<Scheduler> scheduler_;

@@ -1,0 +1,155 @@
+#include "src/runtime/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/core/optimizations/optimizations.h"
+#include "src/models/model_zoo.h"
+#include "src/trace/chrome_trace.h"  // JsonEscape
+#include "src/util/csv.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+std::optional<ModelId> LookupModel(const std::string& name) {
+  for (ModelId id : AllModels()) {
+    if (name == ModelName(id)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(const Daydream& daydream, SweepOptions options)
+    : daydream_(&daydream), options_(options) {}
+
+std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) const {
+  std::vector<SweepOutcome> outcomes(cases.size());
+  if (cases.empty()) {
+    return outcomes;
+  }
+  int workers = options_.num_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  workers = std::clamp(workers, 1, static_cast<int>(cases.size()));
+
+  // Work queue: each worker claims the next unevaluated case. All shared state
+  // (the Daydream instance, the case transforms) is only read; every worker
+  // mutates its own clone of the baseline graph.
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    for (size_t i = next.fetch_add(1); i < cases.size(); i = next.fetch_add(1)) {
+      const SweepCase& c = cases[i];
+      DependencyGraph transformed = daydream_->CloneGraph();
+      if (c.transform) {
+        c.transform(&transformed);
+      }
+      SweepOutcome& out = outcomes[i];
+      out.name = c.name;
+      out.tasks = transformed.num_alive();
+      out.prediction = daydream_->Evaluate(transformed, c.scheduler);
+    }
+  };
+  if (workers == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(work);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return outcomes;
+}
+
+std::vector<SweepCase> BuildStandardSweep(const Trace& trace,
+                                          const std::vector<ClusterConfig>& clusters) {
+  std::vector<SweepCase> cases;
+  cases.push_back({"amp", [](DependencyGraph* g) { WhatIfAmp(g); }, nullptr});
+  cases.push_back({"fused_adam", [](DependencyGraph* g) { WhatIfFusedAdam(g); }, nullptr});
+
+  if (const std::optional<ModelId> model_id = LookupModel(trace.model_name())) {
+    // One shared immutable model graph serves all layer-structured cases.
+    auto model = std::make_shared<const ModelGraph>(BuildModel(*model_id));
+    cases.push_back(
+        {"rbn", [model](DependencyGraph* g) { WhatIfRestructuredBatchnorm(g, *model); }, nullptr});
+    cases.push_back(
+        {"metaflow", [model](DependencyGraph* g) { WhatIfMetaFlowFuseConvBn(g, *model); }, nullptr});
+    cases.push_back({"gist", [model](DependencyGraph* g) { WhatIfGist(g, *model); }, nullptr});
+    cases.push_back({"vdnn", [model](DependencyGraph* g) { WhatIfVdnn(g, *model); }, nullptr});
+  }
+
+  if (!clusters.empty()) {
+    auto gradients = std::make_shared<const std::vector<GradientInfo>>(trace.gradients());
+    for (const ClusterConfig& cluster : clusters) {
+      DistributedWhatIf opts;
+      opts.cluster = cluster;
+      cases.push_back({"distributed " + cluster.Label(),
+                       [gradients, opts](DependencyGraph* g) {
+                         WhatIfDistributed(g, *gradients, opts);
+                       },
+                       nullptr});
+    }
+  }
+  return cases;
+}
+
+void RankBySpeedup(std::vector<SweepOutcome>* outcomes) {
+  std::sort(outcomes->begin(), outcomes->end(), [](const SweepOutcome& a, const SweepOutcome& b) {
+    if (a.prediction.predicted != b.prediction.predicted) {
+      return a.prediction.predicted < b.prediction.predicted;
+    }
+    return a.name < b.name;
+  });
+}
+
+std::string SweepReportJson(const std::vector<SweepOutcome>& outcomes) {
+  std::ostringstream os;
+  os << "{\n";
+  os << StrFormat("  \"baseline_ms\": %.3f,\n",
+                  outcomes.empty() ? 0.0 : ToMs(outcomes.front().prediction.baseline));
+  os << "  \"cases\": [\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    os << StrFormat(
+        "    {\"name\": \"%s\", \"predicted_ms\": %.3f, \"speedup_pct\": %.2f, "
+        "\"speedup_ratio\": %.3f, \"tasks\": %d}%s\n",
+        JsonEscape(o.name).c_str(), ToMs(o.prediction.predicted), o.prediction.SpeedupPct(),
+        o.prediction.SpeedupRatio(), o.tasks, i + 1 < outcomes.size() ? "," : "");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool WriteSweepCsv(const std::vector<SweepOutcome>& outcomes, const std::string& path) {
+  std::ofstream probe(path);
+  if (!probe.good()) {
+    return false;
+  }
+  probe.close();
+  CsvWriter csv(path,
+                {"what_if", "baseline_ms", "predicted_ms", "speedup_pct", "speedup_ratio", "tasks"});
+  for (const SweepOutcome& o : outcomes) {
+    csv.AddRow({o.name, StrFormat("%.3f", ToMs(o.prediction.baseline)),
+                StrFormat("%.3f", ToMs(o.prediction.predicted)),
+                StrFormat("%.2f", o.prediction.SpeedupPct()),
+                StrFormat("%.3f", o.prediction.SpeedupRatio()), StrFormat("%d", o.tasks)});
+  }
+  return true;
+}
+
+}  // namespace daydream

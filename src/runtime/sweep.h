@@ -1,0 +1,76 @@
+// Parallel what-if sweep — "profile once, ask many questions" at full width.
+//
+// A SweepRunner evaluates a matrix of optimization × cluster configurations
+// against one parsed trace. The expensive per-trace work (parsing, dependency
+// graph construction, baseline simulation) happens exactly once, in the shared
+// Daydream instance; each sweep case then pays only a graph clone, its
+// transformation, and one simulation, and the cases run concurrently on a
+// thread pool. This is the workflow §7.1 of the paper argues for: the profile
+// is collected once, and every question asked of it is cheap.
+#ifndef SRC_RUNTIME_SWEEP_H_
+#define SRC_RUNTIME_SWEEP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/network_spec.h"
+#include "src/core/predictor.h"
+
+namespace daydream {
+
+// One cell of the sweep matrix: a named graph transformation plus an optional
+// scheduler override (null = the default EarliestStart policy).
+struct SweepCase {
+  std::string name;
+  std::function<void(DependencyGraph*)> transform;
+  std::shared_ptr<Scheduler> scheduler;
+};
+
+struct SweepOutcome {
+  std::string name;
+  PredictionResult prediction;
+  // Alive tasks in the transformed graph (sweep cases can grow the graph —
+  // distributed what-ifs insert communication tasks).
+  int tasks = 0;
+};
+
+struct SweepOptions {
+  // Worker threads; 0 = one per hardware thread (at least 1).
+  int num_threads = 0;
+};
+
+class SweepRunner {
+ public:
+  // Keeps a reference to `daydream`; the caller must keep it alive for the
+  // runner's lifetime. All concurrent access to it is read-only.
+  explicit SweepRunner(const Daydream& daydream, SweepOptions options = SweepOptions{});
+
+  // Evaluates every case (concurrently when options.num_threads != 1);
+  // outcomes are returned in case order.
+  std::vector<SweepOutcome> Run(const std::vector<SweepCase>& cases) const;
+
+ private:
+  const Daydream* daydream_;
+  SweepOptions options_;
+};
+
+// The standard sweep matrix for `trace`: framework what-ifs (AMP, fused Adam),
+// the layer-structured what-ifs when the trace's model is in the zoo (RBN,
+// MetaFlow conv+BN fusion, Gist, vDNN), and one distributed data-parallel
+// what-if per cluster configuration. P3 is excluded — it needs a two-iteration
+// trace and reports a different metric (steady-state iteration span).
+std::vector<SweepCase> BuildStandardSweep(const Trace& trace,
+                                          const std::vector<ClusterConfig>& clusters);
+
+// Sorts outcomes best-first: predicted makespan ascending, ties by name.
+void RankBySpeedup(std::vector<SweepOutcome>* outcomes);
+
+// Serialization for the CLI and CI artifacts.
+std::string SweepReportJson(const std::vector<SweepOutcome>& outcomes);
+bool WriteSweepCsv(const std::vector<SweepOutcome>& outcomes, const std::string& path);
+
+}  // namespace daydream
+
+#endif  // SRC_RUNTIME_SWEEP_H_

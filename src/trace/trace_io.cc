@@ -35,6 +35,18 @@ void WriteEvent(const TraceEvent& e, std::ostream& os) {
      << SanitizeField(e.name) << "\n";
 }
 
+// Range-checked enum decode: an out-of-range integer (corrupt or
+// foreign-version file) must reject the record, not produce an enum value no
+// switch in the pipeline handles. `last` is the enum's maximum enumerator.
+template <typename E>
+std::optional<E> ParseEnum(const std::string& field, E last) {
+  const int value = std::stoi(field);  // throws on garbage; caught by ParseEvent
+  if (value < 0 || value > static_cast<int>(last)) {
+    return std::nullopt;
+  }
+  return static_cast<E>(value);
+}
+
 std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
   // "ev" + 15 fields.
   if (f.size() != 16) {
@@ -42,10 +54,19 @@ std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
   }
   try {
     TraceEvent e;
-    e.kind = static_cast<EventKind>(std::stoi(f[1]));
-    e.api = static_cast<ApiKind>(std::stoi(f[2]));
-    e.memcpy_kind = static_cast<MemcpyKind>(std::stoi(f[3]));
-    e.comm_kind = static_cast<CommKind>(std::stoi(f[4]));
+    const auto kind = ParseEnum(f[1], EventKind::kCommunication);
+    const auto api = ParseEnum(f[2], ApiKind::kOther);
+    const auto memcpy_kind = ParseEnum(f[3], MemcpyKind::kDeviceToDevice);
+    const auto comm_kind = ParseEnum(f[4], CommKind::kPull);
+    const auto phase = ParseEnum(f[12], Phase::kWeightUpdate);
+    if (!kind || !api || !memcpy_kind || !comm_kind || !phase) {
+      return std::nullopt;
+    }
+    e.kind = *kind;
+    e.api = *api;
+    e.memcpy_kind = *memcpy_kind;
+    e.comm_kind = *comm_kind;
+    e.phase = *phase;
     e.start = std::stoll(f[5]);
     e.duration = std::stoll(f[6]);
     e.thread_id = std::stoi(f[7]);
@@ -53,10 +74,14 @@ std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
     e.channel_id = std::stoi(f[9]);
     e.correlation_id = std::stoll(f[10]);
     e.layer_id = std::stoi(f[11]);
-    e.phase = static_cast<Phase>(std::stoi(f[12]));
     e.marker_begin = std::stoi(f[13]) != 0;
     e.bytes = std::stoll(f[14]);
     e.name = f[15];
+    // Negative times or payload sizes violate simulator invariants (progress
+    // and earliest-start bounds must be monotone): reject the record.
+    if (e.start < 0 || e.duration < 0 || e.bytes < 0) {
+      return std::nullopt;
+    }
     return e;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -107,6 +132,9 @@ std::optional<Trace> ReadTrace(std::istream& is) {
         g.layer_id = std::stoi(f[1]);
         g.bytes = std::stoll(f[2]);
         g.bucket_id = std::stoi(f[3]);
+        if (g.bytes < 0) {
+          return std::nullopt;  // negative gradient size is nonsensical
+        }
         trace.AddGradientInfo(g);
       } catch (const std::exception&) {
         return std::nullopt;

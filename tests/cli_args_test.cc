@@ -108,5 +108,44 @@ TEST(ParseCluster, RejectsMalformedBandwidth) {
   }
 }
 
+TEST(ParseClusterList, DefaultsToFourShapesAtTenGbps) {
+  const std::optional<std::vector<ClusterConfig>> clusters = ParseClusterList(Args{});
+  ASSERT_TRUE(clusters.has_value());
+  ASSERT_EQ(clusters->size(), 4u);
+  EXPECT_EQ((*clusters)[0].machines, 2);
+  EXPECT_EQ((*clusters)[0].gpus_per_machine, 1);
+  EXPECT_EQ((*clusters)[3].machines, 4);
+  EXPECT_EQ((*clusters)[3].gpus_per_machine, 2);
+  for (const ClusterConfig& c : *clusters) {
+    EXPECT_DOUBLE_EQ(c.network.bandwidth_gbps, 10.0);
+  }
+}
+
+TEST(ParseClusterList, CrossProductOfShapesAndBandwidths) {
+  Args args;
+  args.flags["cluster"] = "2x2,4x4";
+  args.flags["gbps"] = "10,25,40";
+  const std::optional<std::vector<ClusterConfig>> clusters = ParseClusterList(args);
+  ASSERT_TRUE(clusters.has_value());
+  ASSERT_EQ(clusters->size(), 6u);
+  EXPECT_EQ((*clusters)[0].machines, 2);
+  EXPECT_DOUBLE_EQ((*clusters)[0].network.bandwidth_gbps, 10.0);
+  EXPECT_DOUBLE_EQ((*clusters)[2].network.bandwidth_gbps, 40.0);
+  EXPECT_EQ((*clusters)[3].machines, 4);
+  EXPECT_EQ((*clusters)[3].gpus_per_machine, 4);
+}
+
+TEST(ParseClusterList, RejectsAnyBadEntry) {
+  for (const char* bad : {"2x2,4xa", "2x2,", ",2x2", "0x1"}) {
+    Args args;
+    args.flags["cluster"] = bad;
+    EXPECT_FALSE(ParseClusterList(args).has_value()) << "--cluster " << bad;
+  }
+  Args args;
+  args.flags["cluster"] = "2x2";
+  args.flags["gbps"] = "10,zoom";
+  EXPECT_FALSE(ParseClusterList(args).has_value());
+}
+
 }  // namespace
 }  // namespace daydream

@@ -1,0 +1,293 @@
+// Differential test between the two simulator engines: the indexed
+// event-driven engine (Simulator::Run with a comparator-based scheduler) must
+// reproduce the reference Algorithm-1 scan (Simulator::RunReference) *exactly*
+// — same makespan, same per-task start/end, same per-thread accounting — on
+// every model in the zoo under every what-if transformation, on P3's
+// priority-scheduled parameter-server graphs, and on seeded random DAGs.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/event_engine.h"
+#include "src/core/graph_builder.h"
+#include "src/core/optimizations/optimizations.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+
+namespace daydream {
+namespace {
+
+void ExpectSameResult(const SimResult& reference, const SimResult& event) {
+  EXPECT_EQ(reference.makespan, event.makespan);
+  EXPECT_EQ(reference.start, event.start);
+  EXPECT_EQ(reference.end, event.end);
+  EXPECT_EQ(reference.thread_busy, event.thread_busy);
+  EXPECT_EQ(reference.thread_end, event.thread_end);
+  EXPECT_EQ(reference.dispatched, event.dispatched);
+}
+
+// Traces are expensive to collect; cache one per (model, iterations).
+const Trace& CachedTrace(ModelId model, int iterations = 1) {
+  static std::map<std::pair<ModelId, int>, Trace>* cache =
+      new std::map<std::pair<ModelId, int>, Trace>();
+  const auto key = std::make_pair(model, iterations);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, CollectBaselineTrace(DefaultRunConfig(model), iterations)).first;
+  }
+  return it->second;
+}
+
+struct WhatIfCase {
+  const char* name;
+  // Applies the transformation; receives the model graph for layer-structured
+  // what-ifs and the trace for gradient metadata.
+  std::function<void(DependencyGraph*, const ModelGraph&, const Trace&)> apply;
+};
+
+const std::vector<WhatIfCase>& WhatIfs() {
+  static const std::vector<WhatIfCase>* cases = new std::vector<WhatIfCase>{
+      {"baseline", [](DependencyGraph*, const ModelGraph&, const Trace&) {}},
+      {"amp", [](DependencyGraph* g, const ModelGraph&, const Trace&) { WhatIfAmp(g); }},
+      {"fused_adam",
+       [](DependencyGraph* g, const ModelGraph&, const Trace&) { WhatIfFusedAdam(g); }},
+      {"rbn",
+       [](DependencyGraph* g, const ModelGraph& m, const Trace&) {
+         WhatIfRestructuredBatchnorm(g, m);
+       }},
+      {"metaflow",
+       [](DependencyGraph* g, const ModelGraph& m, const Trace&) { WhatIfMetaFlowFuseConvBn(g, m); }},
+      {"gist", [](DependencyGraph* g, const ModelGraph& m, const Trace&) { WhatIfGist(g, m); }},
+      {"vdnn", [](DependencyGraph* g, const ModelGraph& m, const Trace&) { WhatIfVdnn(g, m); }},
+      {"distributed_4x2",
+       [](DependencyGraph* g, const ModelGraph&, const Trace& t) {
+         DistributedWhatIf opts;
+         opts.cluster.machines = 4;
+         opts.cluster.gpus_per_machine = 2;
+         WhatIfDistributed(g, t.gradients(), opts);
+       }},
+      {"distributed_2x2_25gbps",
+       [](DependencyGraph* g, const ModelGraph&, const Trace& t) {
+         DistributedWhatIf opts;
+         opts.cluster.machines = 2;
+         opts.cluster.gpus_per_machine = 2;
+         opts.cluster.network.bandwidth_gbps = 25.0;
+         WhatIfDistributed(g, t.gradients(), opts);
+       }},
+  };
+  return *cases;
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineEquivalence, EventEngineReproducesReference) {
+  const ModelId model = AllModels()[static_cast<size_t>(std::get<0>(GetParam()))];
+  const WhatIfCase& what_if = WhatIfs()[static_cast<size_t>(std::get<1>(GetParam()))];
+
+  const Trace& trace = CachedTrace(model);
+  const ModelGraph model_graph = BuildModel(model);
+  DependencyGraph graph = BuildDependencyGraph(trace);
+  what_if.apply(&graph, model_graph, trace);
+
+  const Simulator simulator;  // EarliestStart: comparator-based
+  ExpectSameResult(simulator.RunReference(graph), simulator.Run(graph));
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string name = ModelName(AllModels()[static_cast<size_t>(std::get<0>(info.param))]);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name + "__" + WhatIfs()[static_cast<size_t>(std::get<1>(info.param))].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllWhatIfs, EngineEquivalence,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(AllModels().size())),
+                       ::testing::Range(0, static_cast<int>(WhatIfs().size()))),
+    CaseName);
+
+// The priority scheduler drives P3's parameter-server graphs: push/pull chains
+// with per-slice priorities on two communication channels.
+TEST(EngineEquivalencePriority, P3ParameterServerGraphs) {
+  for (ModelId model : {ModelId::kResNet50, ModelId::kGnmt, ModelId::kVgg19}) {
+    const Trace& trace = CachedTrace(model, /*iterations=*/2);
+    const Daydream daydream(trace);
+    DependencyGraph graph = daydream.CloneGraph();
+    PsWhatIf options;
+    WhatIfP3(&graph, BuildModel(model), options);
+
+    const Simulator priority(std::make_shared<PriorityCommScheduler>());
+    ExpectSameResult(priority.RunReference(graph), priority.Run(graph));
+  }
+}
+
+TEST(EngineEquivalencePriority, DistributedGraphs) {
+  for (ModelId model : {ModelId::kResNet50, ModelId::kBertBase}) {
+    const Trace& trace = CachedTrace(model);
+    DependencyGraph graph = BuildDependencyGraph(trace);
+    DistributedWhatIf opts;
+    opts.cluster.machines = 4;
+    opts.cluster.gpus_per_machine = 2;
+    WhatIfDistributed(&graph, trace.gradients(), opts);
+
+    const Simulator priority(std::make_shared<PriorityCommScheduler>());
+    ExpectSameResult(priority.RunReference(graph), priority.Run(graph));
+  }
+}
+
+// Random DAGs: tasks on realistic lane kinds (comm tasks on comm channels),
+// random forward edges, zero durations and gaps included — the adversarial
+// shapes for ready-structure bookkeeping.
+DependencyGraph RandomGraph(int seed, bool with_priorities) {
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  DependencyGraph g;
+  const int cpu_threads = 1 + static_cast<int>(rng() % 3);
+  const int gpu_streams = 1 + static_cast<int>(rng() % 3);
+  const int comm_channels = 1 + static_cast<int>(rng() % 2);
+  const int num_tasks = 120 + static_cast<int>(rng() % 80);
+
+  std::vector<TaskId> ids;
+  for (int i = 0; i < num_tasks; ++i) {
+    Task t;
+    const int lane = static_cast<int>(rng() % 10);
+    if (lane < 4) {
+      t.type = TaskType::kCpu;
+      t.thread = ExecThread::Cpu(static_cast<int>(rng()) % cpu_threads);
+    } else if (lane < 8) {
+      t.type = TaskType::kGpu;
+      t.thread = ExecThread::Gpu(static_cast<int>(rng()) % gpu_streams);
+    } else {
+      t.type = TaskType::kComm;
+      t.thread = ExecThread::Comm(static_cast<int>(rng()) % comm_channels);
+      if (with_priorities) {
+        t.priority = static_cast<int>(rng() % 5);
+      }
+    }
+    t.duration = static_cast<TimeNs>(rng() % 50) * Us(1);  // zero durations included
+    t.gap = static_cast<TimeNs>(rng() % 4) * Us(1);
+    ids.push_back(g.AddTask(std::move(t)));
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    for (int j = i + 1; j < num_tasks; ++j) {
+      if (rng() % 100 < 3) {  // sparse forward edges keep the frontier wide
+        g.AddEdge(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return g;
+}
+
+class RandomGraphEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphEquivalence, EarliestStart) {
+  const DependencyGraph g = RandomGraph(GetParam(), /*with_priorities=*/false);
+  const Simulator simulator;
+  ExpectSameResult(simulator.RunReference(g), simulator.Run(g));
+}
+
+TEST_P(RandomGraphEquivalence, PriorityComm) {
+  const DependencyGraph g = RandomGraph(GetParam() + 1000, /*with_priorities=*/true);
+  const Simulator simulator(std::make_shared<PriorityCommScheduler>());
+  ExpectSameResult(simulator.RunReference(g), simulator.Run(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphEquivalence, ::testing::Range(1, 13));
+
+// ---- Deterministic tie-break regression ----
+//
+// Equal feasible times on one lane must dispatch in ascending task id (the
+// documented determinism contract), identically across engines and runs.
+TEST(TieBreakRegression, SameLaneTiesDispatchInIdOrder) {
+  DependencyGraph g;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Task t;
+    t.type = TaskType::kGpu;
+    t.thread = ExecThread::Gpu(0);
+    t.duration = Us(10);
+    ids.push_back(g.AddTask(std::move(t)));
+  }
+  const Simulator simulator;
+  const SimResult a = simulator.Run(g);
+  const SimResult b = simulator.Run(g);
+  EXPECT_EQ(a.start, b.start);
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LT(a.start[static_cast<size_t>(ids[i - 1])], a.start[static_cast<size_t>(ids[i])]);
+  }
+  ExpectSameResult(simulator.RunReference(g), a);
+}
+
+TEST(TieBreakRegression, PriorityBeatsIdOnCommChannel) {
+  DependencyGraph g;
+  Task low;
+  low.type = TaskType::kComm;
+  low.thread = ExecThread::Comm(0);
+  low.duration = Us(10);
+  low.priority = 1;
+  const TaskId low_id = g.AddTask(std::move(low));
+  Task high;
+  high.type = TaskType::kComm;
+  high.thread = ExecThread::Comm(0);
+  high.duration = Us(10);
+  high.priority = 7;
+  const TaskId high_id = g.AddTask(std::move(high));
+
+  const Simulator priority(std::make_shared<PriorityCommScheduler>());
+  const SimResult r = priority.Run(g);
+  EXPECT_LT(r.start[static_cast<size_t>(high_id)], r.start[static_cast<size_t>(low_id)]);
+  ExpectSameResult(priority.RunReference(g), r);
+}
+
+// A task that becomes ready while its lane is still busy joins the tie-break
+// pool and must lose the id tie-break it would have won on bound order alone.
+TEST(TieBreakRegression, LateReadyTaskJoinsTiePool) {
+  DependencyGraph g;
+  // Lane occupier: busy until 30us with a 20us trailing gap -> progress 50us.
+  Task busy;
+  busy.type = TaskType::kGpu;
+  busy.thread = ExecThread::Gpu(0);
+  busy.duration = Us(30);
+  busy.gap = Us(20);
+  const TaskId busy_id = g.AddTask(std::move(busy));
+
+  // Gate on another lane finishing at 40us, feeding the later-id task.
+  Task gate;
+  gate.type = TaskType::kCpu;
+  gate.thread = ExecThread::Cpu(0);
+  gate.duration = Us(40);
+  const TaskId gate_id = g.AddTask(std::move(gate));
+
+  Task first;  // ready at t=0, id smaller
+  first.type = TaskType::kGpu;
+  first.thread = ExecThread::Gpu(0);
+  first.duration = Us(10);
+  const TaskId first_id = g.AddTask(std::move(first));
+
+  Task second;  // becomes ready at 40us < progress 50us -> same tie pool
+  second.type = TaskType::kGpu;
+  second.thread = ExecThread::Gpu(0);
+  second.duration = Us(10);
+  const TaskId second_id = g.AddTask(std::move(second));
+  g.AddEdge(gate_id, second_id);
+
+  const Simulator simulator;
+  const SimResult r = simulator.Run(g);
+  EXPECT_EQ(r.start[static_cast<size_t>(busy_id)], 0);
+  // Both become feasible at progress=50us; lower id dispatches first.
+  EXPECT_EQ(r.start[static_cast<size_t>(first_id)], Us(50));
+  EXPECT_EQ(r.start[static_cast<size_t>(second_id)], Us(60));
+  ExpectSameResult(simulator.RunReference(g), r);
+}
+
+}  // namespace
+}  // namespace daydream

@@ -165,6 +165,36 @@ TEST(Simulator, CustomSchedulerInvoked) {
   EXPECT_EQ(scheduler->picks, 2);
 }
 
+TEST(Simulator, BuiltInSchedulersAreComparatorBased) {
+  // Both built-ins run on the event-driven engine; a custom Pick-only policy
+  // (like CountingScheduler above) keeps the reference path.
+  EXPECT_TRUE(EarliestStartScheduler().comparator_based());
+  EXPECT_TRUE(PriorityCommScheduler().comparator_based());
+  class PickOnly : public EarliestStartScheduler {
+   public:
+    bool comparator_based() const override { return false; }
+  };
+  EXPECT_FALSE(PickOnly().comparator_based());
+}
+
+TEST(Simulator, ReferenceEngineAgreesOnDiamond) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
+  const TaskId b = g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(0), Us(20)));
+  const TaskId c = g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(1), Us(30)));
+  const TaskId d = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(1), Us(5)));
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  g.AddEdge(b, d);
+  g.AddEdge(c, d);
+  const Simulator simulator;
+  const SimResult run = simulator.Run(g);
+  const SimResult reference = simulator.RunReference(g);
+  EXPECT_EQ(run.start, reference.start);
+  EXPECT_EQ(run.end, reference.end);
+  EXPECT_EQ(run.makespan, reference.makespan);
+}
+
 TEST(Simulator, StartTimesRespectEdges) {
   DependencyGraph g;
   std::vector<TaskId> ids;

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/runtime/ground_truth.h"
+#include "src/runtime/sweep.h"
+
+namespace daydream {
+namespace {
+
+const Trace& ResNetTrace() {
+  static const Trace* trace =
+      new Trace(CollectBaselineTrace(DefaultRunConfig(ModelId::kResNet50)));
+  return *trace;
+}
+
+std::vector<ClusterConfig> Clusters() {
+  const std::vector<std::pair<int, int>> shapes = {{2, 1}, {2, 2}, {4, 1}, {4, 2}};
+  std::vector<ClusterConfig> clusters;
+  for (const auto& [machines, gpus] : shapes) {
+    ClusterConfig c;
+    c.machines = machines;
+    c.gpus_per_machine = gpus;
+    clusters.push_back(c);
+  }
+  return clusters;
+}
+
+TEST(StandardSweep, CoversAtLeastEightCases) {
+  const std::vector<SweepCase> cases = BuildStandardSweep(ResNetTrace(), Clusters());
+  // 2 framework what-ifs + 4 layer-structured (known model) + 4 distributed.
+  EXPECT_GE(cases.size(), 10u);
+  for (const SweepCase& c : cases) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(static_cast<bool>(c.transform));
+  }
+}
+
+TEST(StandardSweep, UnknownModelStillSweepsFrameworkAndCluster) {
+  Trace trace = ResNetTrace();
+  trace.set_model_name("not-in-the-zoo");
+  const std::vector<SweepCase> cases = BuildStandardSweep(trace, Clusters());
+  EXPECT_EQ(cases.size(), 6u);  // amp + fused_adam + 4 clusters
+}
+
+TEST(SweepRunner, ParallelOutcomesMatchSerialPredictions) {
+  const Daydream daydream(ResNetTrace());
+  const std::vector<SweepCase> cases = BuildStandardSweep(ResNetTrace(), Clusters());
+
+  SweepOptions options;
+  options.num_threads = 4;
+  const std::vector<SweepOutcome> parallel = SweepRunner(daydream, options).Run(cases);
+  ASSERT_EQ(parallel.size(), cases.size());
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const PredictionResult serial = daydream.Predict(cases[i].transform, cases[i].scheduler);
+    EXPECT_EQ(parallel[i].name, cases[i].name);
+    EXPECT_EQ(parallel[i].prediction.baseline, serial.baseline);
+    EXPECT_EQ(parallel[i].prediction.predicted, serial.predicted) << cases[i].name;
+    EXPECT_GT(parallel[i].tasks, 0);
+  }
+}
+
+TEST(SweepRunner, SingleThreadAndEmptyCases) {
+  const Daydream daydream(ResNetTrace());
+  SweepOptions options;
+  options.num_threads = 1;
+  const SweepRunner runner(daydream, options);
+  EXPECT_TRUE(runner.Run({}).empty());
+
+  const std::vector<SweepOutcome> outcomes =
+      runner.Run(BuildStandardSweep(ResNetTrace(), {}));
+  ASSERT_EQ(outcomes.size(), 6u);  // no clusters: framework + layer what-ifs
+  for (const SweepOutcome& o : outcomes) {
+    EXPECT_EQ(o.prediction.baseline, daydream.BaselineSimTime());
+    EXPECT_GT(o.prediction.predicted, 0);
+  }
+}
+
+TEST(SweepRanking, SortsByPredictedAscending) {
+  std::vector<SweepOutcome> outcomes(3);
+  outcomes[0].name = "slow";
+  outcomes[0].prediction = {Ms(100), Ms(90)};
+  outcomes[1].name = "fast";
+  outcomes[1].prediction = {Ms(100), Ms(50)};
+  outcomes[2].name = "mid";
+  outcomes[2].prediction = {Ms(100), Ms(70)};
+  RankBySpeedup(&outcomes);
+  EXPECT_EQ(outcomes[0].name, "fast");
+  EXPECT_EQ(outcomes[1].name, "mid");
+  EXPECT_EQ(outcomes[2].name, "slow");
+}
+
+TEST(SweepSerialization, JsonContainsEveryCase) {
+  std::vector<SweepOutcome> outcomes(2);
+  outcomes[0].name = "amp";
+  outcomes[0].prediction = {Ms(100), Ms(80)};
+  outcomes[0].tasks = 42;
+  outcomes[1].name = "distributed 4x2 @ 10Gbps";
+  outcomes[1].prediction = {Ms(100), Ms(120)};
+  outcomes[1].tasks = 50;
+  const std::string json = SweepReportJson(outcomes);
+  EXPECT_NE(json.find("\"amp\""), std::string::npos);
+  EXPECT_NE(json.find("distributed 4x2 @ 10Gbps"), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_ms\": 100.000"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(SweepSerialization, CsvRoundTrip) {
+  std::vector<SweepOutcome> outcomes(2);
+  outcomes[0].name = "amp";
+  outcomes[0].prediction = {Ms(100), Ms(80)};
+  outcomes[1].name = "vdnn";
+  outcomes[1].prediction = {Ms(100), Ms(99)};
+  const std::string path = ::testing::TempDir() + "/sweep_test.csv";
+  ASSERT_TRUE(WriteSweepCsv(outcomes, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(WriteSweepCsv(outcomes, "/nonexistent-dir/sweep.csv"));
+}
+
+// ---- PredictionResult guard rails (division-by-zero satellite) ----
+
+TEST(PredictionResult, ZeroBaselineYieldsZeroSpeedupNotNan) {
+  PredictionResult r;
+  r.baseline = 0;
+  r.predicted = 0;
+  EXPECT_EQ(r.SpeedupPct(), 0.0);
+  EXPECT_EQ(r.SpeedupRatio(), 0.0);
+
+  r.predicted = Ms(10);
+  EXPECT_EQ(r.SpeedupPct(), 0.0);
+  EXPECT_EQ(r.SpeedupRatio(), 0.0);
+}
+
+TEST(PredictionResult, ZeroPredictedGuarded) {
+  PredictionResult r;
+  r.baseline = Ms(10);
+  r.predicted = 0;
+  EXPECT_EQ(r.SpeedupPct(), 100.0);
+  EXPECT_EQ(r.SpeedupRatio(), 0.0);  // guarded, not inf
+}
+
+}  // namespace
+}  // namespace daydream

@@ -269,6 +269,74 @@ TEST(TraceIo, RejectsMalformedEvent) {
   EXPECT_FALSE(ReadTrace(ss).has_value());
 }
 
+// One syntactically valid event line ("ev" + 15 fields) whose field at
+// `index` (0 = the "ev" tag) is replaced by `value`. Field order:
+// kind api memcpy comm start duration thread stream channel corr layer
+// phase marker bytes name.
+std::string EventLineWith(size_t index, const std::string& value) {
+  std::vector<std::string> fields = {"ev", "1", "1", "0", "0", "0",  "10", "0", "-1",
+                                     "-1", "7", "-1", "0", "0", "64", "k"};
+  fields[index] = value;
+  std::string line = "daydream-trace v1\n";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    line += fields[i];
+    line += i + 1 < fields.size() ? "\t" : "\n";
+  }
+  return line;
+}
+
+TEST(TraceIo, AcceptsControlEventLine) {
+  std::stringstream ss(EventLineWith(0, "ev"));
+  const std::optional<Trace> trace = ReadTrace(ss);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->size(), 1u);
+  EXPECT_EQ(trace->events()[0].kind, EventKind::kKernel);
+  EXPECT_EQ(trace->events()[0].bytes, 64);
+}
+
+TEST(TraceIo, RejectsOutOfRangeEnums) {
+  // Out-of-range integers must not be cast into invalid enum values that
+  // downstream switches mishandle.
+  const struct {
+    size_t field;
+    const char* value;
+  } corrupt[] = {
+      {1, "6"},  {1, "-1"}, {1, "99"},   // EventKind
+      {2, "10"}, {2, "-2"},              // ApiKind
+      {3, "4"},                          // MemcpyKind
+      {4, "6"},                          // CommKind
+      {12, "5"}, {12, "-1"},             // Phase
+  };
+  for (const auto& c : corrupt) {
+    std::stringstream ss(EventLineWith(c.field, c.value));
+    EXPECT_FALSE(ReadTrace(ss).has_value())
+        << "field " << c.field << " = " << c.value << " must reject the file";
+  }
+}
+
+TEST(TraceIo, RejectsNegativeTimesAndSizes) {
+  // Negative start/duration/bytes violate simulator invariants (progress
+  // would move backward); the file must be rejected, not simulated.
+  const struct {
+    size_t field;
+    const char* value;
+  } corrupt[] = {
+      {5, "-1"},     // start
+      {6, "-10"},    // duration
+      {14, "-64"},   // bytes
+  };
+  for (const auto& c : corrupt) {
+    std::stringstream ss(EventLineWith(c.field, c.value));
+    EXPECT_FALSE(ReadTrace(ss).has_value())
+        << "field " << c.field << " = " << c.value << " must reject the file";
+  }
+}
+
+TEST(TraceIo, RejectsNegativeGradientBytes) {
+  std::stringstream ss("daydream-trace v1\ngrad\t3\t-4096\t1\n");
+  EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
 TEST(ChromeTrace, ProducesJsonArray) {
   Trace t = ValidTwoKernelTrace();
   std::stringstream ss;

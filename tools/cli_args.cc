@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "src/util/string_util.h"
@@ -69,9 +70,10 @@ std::optional<double> ParseDouble(const std::string& text) {
   return value;
 }
 
-std::optional<ClusterConfig> ParseCluster(const Args& args) {
-  ClusterConfig cluster;
-  const std::string shape = args.Get("cluster", "4x1");
+namespace {
+
+// "MxG" → (machines, gpus); diagnostic + nullopt on anything else.
+std::optional<std::pair<int, int>> ParseShape(const std::string& shape) {
   const std::vector<std::string> parts = StrSplit(shape, 'x');
   std::optional<int> machines;
   std::optional<int> gpus;
@@ -83,16 +85,57 @@ std::optional<ClusterConfig> ParseCluster(const Args& args) {
     std::cerr << "bad --cluster '" << shape << "' (expected MxG, e.g. 4x2)\n";
     return std::nullopt;
   }
-  cluster.machines = *machines;
-  cluster.gpus_per_machine = *gpus;
-  const std::string gbps = args.Get("gbps", "10");
+  return std::make_pair(*machines, *gpus);
+}
+
+std::optional<double> ParseBandwidth(const std::string& gbps) {
   const std::optional<double> bandwidth = ParseDouble(gbps);
   if (!bandwidth.has_value() || *bandwidth <= 0) {
     std::cerr << "bad --gbps '" << gbps << "' (expected a positive number)\n";
     return std::nullopt;
   }
+  return bandwidth;
+}
+
+}  // namespace
+
+std::optional<ClusterConfig> ParseCluster(const Args& args) {
+  const std::optional<std::pair<int, int>> shape = ParseShape(args.Get("cluster", "4x1"));
+  if (!shape.has_value()) {
+    return std::nullopt;
+  }
+  const std::optional<double> bandwidth = ParseBandwidth(args.Get("gbps", "10"));
+  if (!bandwidth.has_value()) {
+    return std::nullopt;
+  }
+  ClusterConfig cluster;
+  cluster.machines = shape->first;
+  cluster.gpus_per_machine = shape->second;
   cluster.network.bandwidth_gbps = *bandwidth;
   return cluster;
+}
+
+std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args) {
+  std::vector<ClusterConfig> clusters;
+  for (const std::string& shape_text :
+       StrSplit(args.Get("cluster", "2x1,2x2,4x1,4x2"), ',')) {
+    const std::optional<std::pair<int, int>> shape = ParseShape(shape_text);
+    if (!shape.has_value()) {
+      return std::nullopt;
+    }
+    for (const std::string& gbps_text : StrSplit(args.Get("gbps", "10"), ',')) {
+      const std::optional<double> bandwidth = ParseBandwidth(gbps_text);
+      if (!bandwidth.has_value()) {
+        return std::nullopt;
+      }
+      ClusterConfig cluster;
+      cluster.machines = shape->first;
+      cluster.gpus_per_machine = shape->second;
+      cluster.network.bandwidth_gbps = *bandwidth;
+      clusters.push_back(cluster);
+    }
+  }
+  return clusters;
 }
 
 }  // namespace daydream

@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/comm/network_spec.h"
 
@@ -40,6 +41,12 @@ std::optional<double> ParseDouble(const std::string& text);
 // Builds a ClusterConfig from --cluster MxG and --gbps BW. Prints a
 // diagnostic to stderr and returns nullopt on malformed input.
 std::optional<ClusterConfig> ParseCluster(const Args& args);
+
+// Builds the cluster matrix for `daydream sweep`: the cross product of
+// --cluster (comma-separated MxG shapes, default "2x1,2x2,4x1,4x2") and
+// --gbps (comma-separated bandwidths, default "10"). Prints a diagnostic to
+// stderr and returns nullopt on malformed input.
+std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args);
 
 }  // namespace daydream
 

@@ -5,11 +5,13 @@
 //   daydream predict --trace profile.ddtrace --what-if amp
 //   daydream predict --trace profile.ddtrace --what-if fused_adam
 //   daydream predict --trace profile.ddtrace --what-if distributed --cluster 4x2 --gbps 25
+//   daydream sweep   --trace profile.ddtrace --cluster 2x2,4x2 --gbps 10,25 --csv sweep.csv
 //   daydream models
 //
 // `collect` runs the synthetic training substrate (in a real deployment this
 // step is the CUPTI profiling run); `report` and `predict` work on any
 // persisted trace — the paper's profile-once / ask-many-questions workflow.
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -21,9 +23,11 @@
 #include "src/core/optimizations/optimizations.h"
 #include "src/core/predictor.h"
 #include "src/runtime/ground_truth.h"
+#include "src/runtime/sweep.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/trace_io.h"
 #include "src/util/string_util.h"
+#include "src/util/table.h"
 #include "tools/cli_args.h"
 
 namespace daydream {
@@ -39,6 +43,9 @@ commands:
   report   --trace FILE                 breakdown + critical path + per-layer table
   predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3>
            [--cluster MxG] [--gbps BW]  (distributed/p3 options)
+  sweep    --trace FILE                 evaluate the whole what-if matrix concurrently
+           [--cluster M1xG1,M2xG2,...] [--gbps BW1,BW2,...] [--jobs N]
+           [--csv FILE] [--json FILE]
 )";
   return 2;
 }
@@ -103,6 +110,12 @@ std::optional<Trace> LoadTrace(const Args& args) {
   std::optional<Trace> trace = ReadTraceFile(path);
   if (!trace.has_value()) {
     std::cerr << "cannot read trace from " << path << "\n";
+    return std::nullopt;
+  }
+  if (trace->empty()) {
+    std::cerr << "trace " << path
+              << " contains no events; nothing to analyze (re-run `daydream collect`?)\n";
+    return std::nullopt;
   }
   return trace;
 }
@@ -196,6 +209,60 @@ int CmdPredict(const Args& args) {
   return 0;
 }
 
+int CmdSweep(const Args& args) {
+  const std::optional<Trace> trace = LoadTrace(args);
+  if (!trace.has_value()) {
+    return 2;
+  }
+  const std::optional<std::vector<ClusterConfig>> clusters = ParseClusterList(args);
+  if (!clusters.has_value()) {
+    return 2;
+  }
+  const std::optional<int> jobs = ParseInt(args.Get("jobs", "0"));
+  if (!jobs.has_value() || *jobs < 0) {
+    std::cerr << "bad --jobs '" << args.Get("jobs") << "' (expected a non-negative integer)\n";
+    return 2;
+  }
+
+  const Daydream daydream(*trace);
+  const std::vector<SweepCase> cases = BuildStandardSweep(*trace, *clusters);
+  SweepOptions options;
+  options.num_threads = *jobs;
+  std::vector<SweepOutcome> outcomes = SweepRunner(daydream, options).Run(cases);
+  RankBySpeedup(&outcomes);
+
+  std::cout << StrFormat("baseline (simulated): %.1f ms — %zu what-if cases\n\n",
+                         ToMs(daydream.BaselineSimTime()), outcomes.size());
+  TablePrinter table({"rank", "what-if", "predicted(ms)", "speedup(%)", "ratio", "tasks"});
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    table.AddRow({StrFormat("%zu", i + 1), o.name, StrFormat("%.1f", ToMs(o.prediction.predicted)),
+                  StrFormat("%+.1f", o.prediction.SpeedupPct()),
+                  StrFormat("%.2f", o.prediction.SpeedupRatio()), StrFormat("%d", o.tasks)});
+  }
+  table.Print(std::cout);
+
+  const std::string csv = args.Get("csv");
+  if (!csv.empty()) {
+    if (!WriteSweepCsv(outcomes, csv)) {
+      std::cerr << "cannot write " << csv << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << csv << "\n";
+  }
+  const std::string json = args.Get("json");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out.good()) {
+      std::cerr << "cannot write " << json << "\n";
+      return 1;
+    }
+    out << SweepReportJson(outcomes);
+    std::cout << "\nwrote " << json << "\n";
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -213,6 +280,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "predict") {
     return CmdPredict(args);
+  }
+  if (args.command == "sweep") {
+    return CmdSweep(args);
   }
   return Usage();
 }
