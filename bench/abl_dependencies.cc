@@ -62,7 +62,7 @@ int main() {
 
   TablePrinter table({"model", "full graph", "no launch->kernel", "no GPU->CPU sync",
                       "no gaps", "no sync & no gaps"});
-  CsvWriter csv(BenchOutPath("abl_dependencies.csv"),
+  CsvWriter csv = OpenBenchCsv("abl_dependencies.csv",
                 {"model", "full_pct", "no_correlation_pct", "no_sync_pct", "no_gaps_pct",
                  "no_sync_no_gaps_pct"});
 

@@ -24,7 +24,7 @@ int main() {
 
   TablePrinter table({"model", "AMP ground truth (ms)", "pred with gaps (ms)", "err",
                       "pred without gaps (ms)", "err"});
-  CsvWriter csv(BenchOutPath("abl_gaps.csv"),
+  CsvWriter csv = OpenBenchCsv("abl_gaps.csv",
                 {"model", "gt_ms", "pred_ms", "err_pct", "pred_nogap_ms", "err_nogap_pct"});
 
   for (ModelId model : {ModelId::kBertBase, ModelId::kBertLarge, ModelId::kResNet50}) {

@@ -10,4 +10,10 @@ std::string BenchOutPath(const std::string& name) {
   return std::string(kBenchOutDir) + "/" + name;
 }
 
+CsvWriter OpenBenchCsv(const std::string& name, const std::vector<std::string>& header) {
+  CsvWriter csv(BenchOutPath(name), header);
+  DD_CHECK(csv.ok()) << "cannot write bench artifact " << name;
+  return csv;
+}
+
 }  // namespace daydream

@@ -4,7 +4,10 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/util/csv.h"
+#include "src/util/logging.h"
 #include "src/util/string_util.h"
 #include "src/util/time_units.h"
 
@@ -21,6 +24,11 @@ inline void BenchHeader(const std::string& title, const std::string& paper_ref) 
 // Where benches drop machine-readable results.
 inline const char* kBenchOutDir = "bench_out";
 std::string BenchOutPath(const std::string& name);
+
+// Opens the CSV artifact for `name` under the bench output dir. Bench outputs
+// are required artifacts, so an unopenable path aborts here (CsvWriter itself
+// only reports the failure through ok()).
+CsvWriter OpenBenchCsv(const std::string& name, const std::vector<std::string>& header);
 
 }  // namespace daydream
 

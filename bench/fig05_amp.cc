@@ -20,7 +20,7 @@ int main() {
 
   TablePrinter table({"model", "baseline (ms)", "ground truth (ms)", "prediction (ms)",
                       "pred err", "GT speedup"});
-  CsvWriter csv(BenchOutPath("fig05_amp.csv"),
+  CsvWriter csv = OpenBenchCsv("fig05_amp.csv",
                 {"model", "baseline_ms", "ground_truth_ms", "prediction_ms", "error_pct",
                  "gt_speedup_pct"});
 

@@ -19,7 +19,7 @@ int main() {
 
   TablePrinter table(
       {"model", "precision", "total (ms)", "cpu-only (ms)", "gpu-only (ms)", "cpu+gpu (ms)"});
-  CsvWriter csv(BenchOutPath("fig06_breakdown.csv"),
+  CsvWriter csv = OpenBenchCsv("fig06_breakdown.csv",
                 {"model", "precision", "total_ms", "cpu_only_ms", "gpu_only_ms", "overlap_ms"});
 
   for (ModelId model :

@@ -22,7 +22,7 @@ int main() {
 
   TablePrinter table({"model", "baseline (ms)", "ground truth (ms)", "prediction (ms)",
                       "pred err", "GT speedup"});
-  CsvWriter csv(BenchOutPath("fig07_fused_adam.csv"),
+  CsvWriter csv = OpenBenchCsv("fig07_fused_adam.csv",
                 {"model", "baseline_ms", "ground_truth_ms", "prediction_ms", "error_pct",
                  "gt_speedup_pct"});
 

@@ -34,7 +34,7 @@ int main() {
   const std::vector<Shape> shapes = {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2}, {3, 2}, {4, 2}};
   const std::vector<double> bandwidths = {10.0, 20.0, 40.0};
 
-  CsvWriter csv(BenchOutPath("fig08_distributed.csv"),
+  CsvWriter csv = OpenBenchCsv("fig08_distributed.csv",
                 {"model", "machines", "gpus_per_machine", "bandwidth_gbps", "ground_truth_ms",
                  "prediction_ms", "error_pct"});
 

@@ -35,7 +35,7 @@ int main() {
 
   TablePrinter table({"bucket", "size (MiB)", "baseline (ms)", "sync (ms)", "optimal (ms)",
                       "theoretical (ms)", "base/theory"});
-  CsvWriter csv(BenchOutPath("fig09_nccl.csv"),
+  CsvWriter csv = OpenBenchCsv("fig09_nccl.csv",
                 {"bucket", "bytes", "baseline_ms", "sync_ms", "optimal_ms", "theoretical_ms"});
 
   RunningStats over_theory;

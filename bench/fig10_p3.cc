@@ -77,7 +77,7 @@ void RunModel(ModelId model, const std::vector<double>& bandwidths, CsvWriter* c
 int main() {
   BenchHeader("Figure 10: P3 over MXNet parameter server",
               "prediction follows the P3 trend; error <= 16.2%, optimistic at high bandwidth");
-  CsvWriter csv(BenchOutPath("fig10_p3.csv"),
+  CsvWriter csv = OpenBenchCsv("fig10_p3.csv",
                 {"model", "bandwidth_gbps", "baseline_ms", "p3_gt_ms", "p3_pred_ms", "error_pct"});
   RunModel(ModelId::kResNet50, {1.0, 2.0, 4.0, 6.0, 8.0}, &csv);
   RunModel(ModelId::kVgg19, {5.0, 10.0, 15.0, 20.0, 25.0}, &csv);

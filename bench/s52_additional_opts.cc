@@ -31,7 +31,7 @@ int main() {
   cluster.network.bandwidth_gbps = 10.0;
 
   TablePrinter table({"what-if (ResNet-50)", "predicted iter (ms)", "vs reference", "reference"});
-  CsvWriter csv(BenchOutPath("s52_additional_opts.csv"),
+  CsvWriter csv = OpenBenchCsv("s52_additional_opts.csv",
                 {"optimization", "reference_ms", "predicted_ms", "delta_pct"});
   auto row = [&](const std::string& name, TimeNs reference, TimeNs predicted,
                  const std::string& ref_label) {

@@ -43,7 +43,7 @@ int main() {
                 FmtPct(predicted_speedup - gt_speedup), "~5.7pp"});
   table.Print(std::cout);
 
-  CsvWriter csv(BenchOutPath("s64_restructured_bn.csv"),
+  CsvWriter csv = OpenBenchCsv("s64_restructured_bn.csv",
                 {"baseline_ms", "gt_ms", "predicted_ms", "predicted_speedup_pct",
                  "gt_speedup_pct"});
   csv.AddRow({FmtMs(baseline.IterationTime()), FmtMs(ground_truth.IterationTime()),

@@ -1,7 +1,6 @@
 #include "src/core/critical_path.h"
 
 #include <algorithm>
-#include <map>
 
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -46,21 +45,19 @@ CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph, const SimRe
     }
   }
 
-  // Same-thread predecessor lookup.
-  std::map<ExecThread, std::vector<TaskId>> by_thread;
+  // Same-thread predecessor lookup, precomputed so each path step is O(1)
+  // instead of a linear scan of the thread's sequence.
+  std::vector<TaskId> predecessor(static_cast<size_t>(graph.capacity()), kInvalidTask);
   for (const ExecThread& thread : graph.Threads()) {
     std::vector<TaskId> seq = graph.ThreadSequence(thread);
     std::sort(seq.begin(), seq.end(), [&](TaskId a, TaskId b) {
       return sim.start[static_cast<size_t>(a)] < sim.start[static_cast<size_t>(b)];
     });
-    by_thread[thread] = std::move(seq);
+    for (size_t i = 1; i < seq.size(); ++i) {
+      predecessor[static_cast<size_t>(seq[i])] = seq[i - 1];
+    }
   }
-  auto thread_predecessor = [&](TaskId id) -> TaskId {
-    const std::vector<TaskId>& seq = by_thread[graph.task(id).thread];
-    auto pos = std::find(seq.begin(), seq.end(), id);
-    DD_CHECK(pos != seq.end());
-    return pos == seq.begin() ? kInvalidTask : *(pos - 1);
-  };
+  auto thread_predecessor = [&](TaskId id) { return predecessor[static_cast<size_t>(id)]; };
 
   std::vector<TaskId> reversed;
   while (current != kInvalidTask) {

@@ -102,13 +102,10 @@ SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& schedule
   const FutureHeapCmp future_cmp{&tie};
   const GlobalHeapCmp global_cmp{&tie};
 
-  // Thread states, indexable from a task id.
-  const std::vector<ExecThread> threads = graph.Threads();
-  std::map<ExecThread, uint32_t> thread_index;
-  std::vector<ThreadState> states(threads.size());
-  for (uint32_t i = 0; i < threads.size(); ++i) {
-    thread_index.emplace(threads[i], i);
-  }
+  // Thread states, indexable from a task id via the graph's interned lane
+  // table (no per-run map rebuild; lanes whose tasks were all removed just
+  // stay empty).
+  std::vector<ThreadState> states(static_cast<size_t>(graph.num_lanes()));
   std::vector<uint32_t> task_thread(capacity, 0);
 
   auto insert_ready = [&](ThreadState& s, TaskId id, TimeNs bound) {
@@ -123,7 +120,7 @@ SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& schedule
 
   for (TaskId id : graph.AliveTasks()) {
     refs[Sz(id)] = static_cast<int>(graph.parents(id).size());
-    task_thread[Sz(id)] = thread_index.at(graph.task(id).thread);
+    task_thread[Sz(id)] = static_cast<uint32_t>(graph.lane_of(id));
     if (refs[Sz(id)] == 0) {
       insert_ready(states[task_thread[Sz(id)]], id, 0);
     }
@@ -143,7 +140,7 @@ SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& schedule
   };
 
   std::vector<GlobalEntry> global;
-  global.reserve(threads.size() + 16);
+  global.reserve(states.size() + 16);
   // Pushes the thread's current head (if any) and invalidates older entries.
   auto refresh = [&](uint32_t ti) {
     ThreadState& s = states[ti];
@@ -215,7 +212,7 @@ SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& schedule
 
   for (size_t i = 0; i < states.size(); ++i) {
     if (states[i].dispatched_any) {
-      result.thread_end[threads[i]] = states[i].progress;
+      result.thread_end[graph.lane_thread(static_cast<int>(i))] = states[i].progress;
     }
   }
   DD_CHECK_EQ(result.dispatched, graph.num_alive()) << "cycle or disconnected bookkeeping";

@@ -155,13 +155,7 @@ DependencyGraph BuildDependencyGraph(const Trace& trace, const GraphBuildOptions
   // the *next* CPU task on its thread depend on those GPU tasks, so that the
   // measured wait is reproduced — and shrinks when the GPU work shrinks.
   std::map<int, TaskId> last_enqueued;  // stream -> gpu task
-  auto next_on_thread = [&](TaskId id) -> TaskId {
-    const std::vector<TaskId> seq = graph.ThreadSequence(graph.task(id).thread);
-    auto pos = std::find(seq.begin(), seq.end(), id);
-    DD_CHECK(pos != seq.end());
-    ++pos;
-    return pos == seq.end() ? kInvalidTask : *pos;
-  };
+  auto next_on_thread = [&](TaskId id) { return graph.NextInThread(id); };
   for (size_t idx : order) {
     const TraceEvent& e = events[idx];
     if (e.kind == EventKind::kLayerMarker) {

@@ -34,8 +34,7 @@ void WhatIfBlueConnect(DependencyGraph* graph, const ClusterConfig& cluster) {
   const int m = cluster.machines;
   const NetworkSpec& net = cluster.network;
 
-  const std::vector<TaskId> allreduces =
-      graph->Select([](const Task& t) { return t.comm == CommKind::kAllReduce; });
+  const std::vector<TaskId> allreduces = graph->Select(CommIs(CommKind::kAllReduce));
 
   for (TaskId ar : allreduces) {
     const int64_t bytes = graph->task(ar).bytes;

@@ -33,8 +33,7 @@ TimeNs EstimateElementwiseDuration(const DependencyGraph& graph, int64_t bytes) 
 
 void WhatIfDgc(DependencyGraph* graph, const DgcWhatIf& options) {
   DD_CHECK_GT(options.compression_ratio, 0.0);
-  const std::vector<TaskId> allreduces =
-      graph->Select([](const Task& t) { return t.comm == CommKind::kAllReduce; });
+  const std::vector<TaskId> allreduces = graph->Select(CommIs(CommKind::kAllReduce));
 
   for (TaskId ar : allreduces) {
     Task& comm = graph->task(ar);

@@ -36,26 +36,28 @@ void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& 
   }
 
   // First weight-update task: every allReduce must finish before it
-  // (Algorithm 6 line 7: AddDependencies(AllReduceTask -> WU)).
-  const std::vector<TaskId> wu = graph->Select(PhaseIs(Phase::kWeightUpdate));
+  // (Algorithm 6 line 7: AddDependencies(AllReduceTask -> WU)). The weight
+  // update is a large fraction of the graph, so fold the minimum out of the
+  // streaming select instead of materializing the id vector.
   TaskId first_wu = kInvalidTask;
-  for (TaskId id : wu) {
-    if (first_wu == kInvalidTask || graph->task(id).start < graph->task(first_wu).start) {
-      first_wu = id;
+  TimeNs first_wu_start = 0;
+  graph->ForEachSelected(PhaseIs(Phase::kWeightUpdate), [&](const Task& t) {
+    if (first_wu == kInvalidTask || t.start < first_wu_start) {
+      first_wu = t.id;
+      first_wu_start = t.start;
     }
-  }
+  });
   DD_CHECK_NE(first_wu, kInvalidTask) << "no weight-update phase in the profile";
 
   // Last backward GPU task per layer (the moment that layer's gradients are
   // ready, per the synchronization-free layer mapping).
-  std::map<int, TaskId> last_bwd_gpu;
-  for (TaskId id : graph->Select(All(IsOnGpu(), PhaseIs(Phase::kBackward)))) {
-    const Task& t = graph->task(id);
-    auto it = last_bwd_gpu.find(t.layer_id);
-    if (it == last_bwd_gpu.end() || graph->task(it->second).start < t.start) {
-      last_bwd_gpu[t.layer_id] = id;
+  std::map<int, std::pair<TaskId, TimeNs>> last_bwd_gpu;
+  graph->ForEachSelected(All(IsOnGpu(), PhaseIs(Phase::kBackward)), [&](const Task& t) {
+    auto [it, inserted] = last_bwd_gpu.try_emplace(t.layer_id, t.id, t.start);
+    if (!inserted && it->second.second < t.start) {
+      it->second = {t.id, t.start};
     }
-  }
+  });
 
   TaskId previous_comm = kInvalidTask;
   for (const auto& [bucket_id, bucket] : buckets) {
@@ -72,7 +74,7 @@ void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& 
     for (int layer_id : bucket.layer_ids) {
       auto it = last_bwd_gpu.find(layer_id);
       if (it != last_bwd_gpu.end()) {
-        graph->AddEdge(it->second, comm_id);
+        graph->AddEdge(it->second.first, comm_id);
       }
     }
     graph->AddEdge(comm_id, first_wu);

@@ -9,14 +9,6 @@ namespace daydream {
 
 namespace {
 
-std::vector<TaskId> SortedLayerGpu(const DependencyGraph& graph, int layer_id, Phase phase) {
-  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
-  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-    return graph.task(a).start < graph.task(b).start;
-  });
-  return ids;
-}
-
 TaskId LaunchOf(const DependencyGraph& graph, TaskId gpu) {
   for (TaskId p : graph.parents(gpu)) {
     const Task& t = graph.task(p);
@@ -37,8 +29,8 @@ void WhatIfGist(DependencyGraph* graph, const ModelGraph& model, const GistWhatI
     if (!relu_target && !dpr_target) {
       continue;
     }
-    const std::vector<TaskId> fwd = SortedLayerGpu(*graph, layer.id, Phase::kForward);
-    const std::vector<TaskId> bwd = SortedLayerGpu(*graph, layer.id, Phase::kBackward);
+    const std::vector<TaskId> fwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
+    const std::vector<TaskId> bwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
     if (fwd.empty() || bwd.empty()) {
       continue;
     }

@@ -19,15 +19,6 @@ TimeNs SliceWireTime(int64_t bytes, const PsWhatIf& options) {
          options.network.inter_node_latency;
 }
 
-// GPU tasks of one layer and phase, sorted by measured start.
-std::vector<TaskId> LayerGpuTasks(const DependencyGraph& graph, int layer_id, Phase phase) {
-  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
-  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-    return graph.task(a).start < graph.task(b).start;
-  });
-  return ids;
-}
-
 }  // namespace
 
 void WhatIfP3(DependencyGraph* graph, const ModelGraph& model, const PsWhatIf& options) {
@@ -46,8 +37,8 @@ void WhatIfP3(DependencyGraph* graph, const ModelGraph& model, const PsWhatIf& o
     if (!layer.has_params()) {
       continue;
     }
-    const std::vector<TaskId> bwd = LayerGpuTasks(*graph, layer.id, Phase::kBackward);
-    const std::vector<TaskId> fwd = LayerGpuTasks(*graph, layer.id, Phase::kForward);
+    const std::vector<TaskId> bwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
+    const std::vector<TaskId> fwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
     if (bwd.empty() || fwd.empty()) {
       continue;
     }

@@ -10,14 +10,6 @@ namespace daydream {
 
 namespace {
 
-std::vector<TaskId> SortedLayerGpu(const DependencyGraph& graph, int layer_id, Phase phase) {
-  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
-  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
-    return graph.task(a).start < graph.task(b).start;
-  });
-  return ids;
-}
-
 // The CPU launch task of a GPU task (its launching parent).
 TaskId LaunchOf(const DependencyGraph& graph, TaskId gpu) {
   for (TaskId p : graph.parents(gpu)) {
@@ -57,7 +49,7 @@ void WhatIfVdnn(DependencyGraph* graph, const ModelGraph& model, const VdnnWhatI
     if (layer.kind != LayerKind::kConv2d) {
       continue;  // vDNN_conv policy: offload only convolution feature maps
     }
-    const std::vector<TaskId> fwd = SortedLayerGpu(*graph, layer.id, Phase::kForward);
+    const std::vector<TaskId> fwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
     if (fwd.empty()) {
       continue;
     }
@@ -82,7 +74,7 @@ void WhatIfVdnn(DependencyGraph* graph, const ModelGraph& model, const VdnnWhatI
     if (off == offload_of_layer.end()) {
       continue;
     }
-    const std::vector<TaskId> bwd = SortedLayerGpu(*graph, layer.id, Phase::kBackward);
+    const std::vector<TaskId> bwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
     if (bwd.empty()) {
       continue;
     }

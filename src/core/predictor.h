@@ -33,7 +33,10 @@ class Daydream {
 
   const Trace& trace() const { return trace_; }
   const DependencyGraph& graph() const { return graph_; }
-  DependencyGraph CloneGraph() const { return graph_; }
+  // Cheap per-what-if copy (DependencyGraph::Clone): dead-node payloads are
+  // compacted, insertion headroom is reserved, and the interned thread table
+  // plus warm select indexes are carried over instead of being rebuilt.
+  DependencyGraph CloneGraph() const { return graph_.Clone(); }
 
   // Simulated makespan of the baseline graph — should reproduce the measured
   // iteration time (validated in tests).

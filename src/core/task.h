@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/trace/trace_event.h"
 #include "src/util/time_units.h"
@@ -84,6 +86,58 @@ struct Task {
 };
 
 using TaskPredicate = std::function<bool(const Task&)>;
+
+// One bit per TaskType, for TaskQuery's type constraint.
+inline constexpr uint8_t TaskTypeBit(TaskType type) {
+  return static_cast<uint8_t>(uint8_t{1} << static_cast<int>(type));
+}
+inline constexpr uint8_t kAnyTaskType =
+    TaskTypeBit(TaskType::kCpu) | TaskTypeBit(TaskType::kGpu) | TaskTypeBit(TaskType::kDataLoad) |
+    TaskTypeBit(TaskType::kComm);
+
+// A select query with its indexable structure exposed.
+//
+// The graph keeps secondary indexes keyed on phase and layer; a query that
+// carries those fields as *data* (instead of burying them in an opaque
+// closure) lets DependencyGraph::Select answer from a bucket in O(matches)
+// rather than scanning every task. The predicate builders in
+// src/core/transform.h produce TaskQuery values, and All() merges their
+// structured keys; anything the indexes cannot serve (name substrings,
+// arbitrary lambdas, Any/Not compositions) rides along in `residual`.
+//
+// A TaskQuery is itself a predicate (callable on a Task), so code and tests
+// that apply selectors directly keep working.
+struct TaskQuery {
+  // Structured keys. Unset fields do not constrain the match.
+  std::optional<Phase> phase;
+  std::optional<int> layer_id;
+  uint8_t type_mask = kAnyTaskType;
+  // Contradictory keys (e.g. All of two different phases): matches nothing.
+  bool impossible = false;
+  // Unindexable constraints; every one must hold.
+  std::vector<TaskPredicate> residual;
+
+  TaskQuery() = default;
+  // Generic fallback: an opaque predicate, evaluated by full scan.
+  TaskQuery(TaskPredicate predicate) {  // NOLINT(google-explicit-constructor)
+    residual.push_back(std::move(predicate));
+  }
+
+  bool Matches(const Task& t) const {
+    if (impossible || (type_mask & TaskTypeBit(t.type)) == 0 ||
+        (phase.has_value() && t.phase != *phase) ||
+        (layer_id.has_value() && t.layer_id != *layer_id)) {
+      return false;
+    }
+    for (const TaskPredicate& p : residual) {
+      if (!p(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator()(const Task& t) const { return Matches(t); }
+};
 
 }  // namespace daydream
 

@@ -1,48 +1,107 @@
 #include "src/core/transform.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace daydream {
 
-TaskPredicate IsOnGpu() {
-  return [](const Task& t) { return t.is_gpu(); };
+TaskQuery IsOnGpu() {
+  TaskQuery q;
+  q.type_mask = TaskTypeBit(TaskType::kGpu);
+  return q;
 }
 
-TaskPredicate IsOnCpu() {
-  return [](const Task& t) { return t.is_cpu(); };
+TaskQuery IsOnCpu() {
+  TaskQuery q;
+  q.type_mask = TaskTypeBit(TaskType::kCpu) | TaskTypeBit(TaskType::kDataLoad);
+  return q;
 }
 
-TaskPredicate IsComm() {
-  return [](const Task& t) { return t.is_comm(); };
+TaskQuery IsComm() {
+  TaskQuery q;
+  q.type_mask = TaskTypeBit(TaskType::kComm);
+  return q;
 }
 
-TaskPredicate NameContains(std::string needle) {
-  return [needle = std::move(needle)](const Task& t) { return StrContains(t.name, needle); };
+TaskQuery NameContains(std::string needle) {
+  TaskQuery q;
+  q.residual.push_back(
+      [needle = std::move(needle)](const Task& t) { return StrContains(t.name, needle); });
+  return q;
 }
 
-TaskPredicate PhaseIs(Phase phase) {
-  return [phase](const Task& t) { return t.phase == phase; };
+TaskQuery PhaseIs(Phase phase) {
+  TaskQuery q;
+  q.phase = phase;
+  return q;
 }
 
-TaskPredicate LayerIs(int layer_id) {
-  return [layer_id](const Task& t) { return t.layer_id == layer_id; };
+TaskQuery LayerIs(int layer_id) {
+  TaskQuery q;
+  q.layer_id = layer_id;
+  return q;
 }
 
-TaskPredicate ApiIs(ApiKind api) {
-  return [api](const Task& t) { return t.api == api; };
+TaskQuery ApiIs(ApiKind api) {
+  TaskQuery q;
+  q.residual.push_back([api](const Task& t) { return t.api == api; });
+  return q;
 }
 
-TaskPredicate All(TaskPredicate a, TaskPredicate b) {
-  return [a = std::move(a), b = std::move(b)](const Task& t) { return a(t) && b(t); };
+TaskQuery CommIs(CommKind comm) {
+  TaskQuery q;
+  q.type_mask = TaskTypeBit(TaskType::kComm);
+  q.residual.push_back([comm](const Task& t) { return t.comm == comm; });
+  return q;
 }
 
-TaskPredicate Any(TaskPredicate a, TaskPredicate b) {
-  return [a = std::move(a), b = std::move(b)](const Task& t) { return a(t) || b(t); };
+TaskQuery All(TaskQuery a, TaskQuery b) {
+  TaskQuery q = std::move(a);
+  q.type_mask &= b.type_mask;
+  q.impossible = q.impossible || b.impossible || q.type_mask == 0;
+  if (b.phase.has_value()) {
+    if (q.phase.has_value() && *q.phase != *b.phase) {
+      q.impossible = true;
+    }
+    q.phase = b.phase;
+  }
+  if (b.layer_id.has_value()) {
+    if (q.layer_id.has_value() && *q.layer_id != *b.layer_id) {
+      q.impossible = true;
+    }
+    q.layer_id = b.layer_id;
+  }
+  for (TaskPredicate& p : b.residual) {
+    q.residual.push_back(std::move(p));
+  }
+  return q;
 }
 
-TaskPredicate Not(TaskPredicate a) {
-  return [a = std::move(a)](const Task& t) { return !a(t); };
+TaskQuery Any(TaskQuery a, TaskQuery b) {
+  // A disjunction has no single-bucket form; evaluate both sides in full.
+  TaskQuery q;
+  q.residual.push_back([a = std::move(a), b = std::move(b)](const Task& t) {
+    return a.Matches(t) || b.Matches(t);
+  });
+  return q;
+}
+
+TaskQuery Not(TaskQuery a) {
+  TaskQuery q;
+  q.residual.push_back([a = std::move(a)](const Task& t) { return !a.Matches(t); });
+  return q;
+}
+
+std::vector<TaskId> SelectLayerGpuSortedByStart(const DependencyGraph& graph, int layer_id,
+                                                Phase phase) {
+  std::vector<TaskId> ids = graph.Select(All(IsOnGpu(), All(LayerIs(layer_id), PhaseIs(phase))));
+  std::sort(ids.begin(), ids.end(), [&](TaskId a, TaskId b) {
+    return graph.task(a).start < graph.task(b).start;
+  });
+  return ids;
 }
 
 void ShrinkBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double divisor) {

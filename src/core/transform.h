@@ -3,6 +3,12 @@
 // The paper's what-if interface: Select tasks of interest, Scale/Shrink their
 // durations, Insert or Remove tasks, and override the scheduler. Optimization
 // models (src/core/optimizations) are built exclusively from these.
+//
+// The selector builders return TaskQuery values that expose their phase /
+// layer / type structure as data, so DependencyGraph::Select can answer from
+// its secondary indexes in O(matches). All() merges structure; Any() and
+// Not() have no indexable form and compose into the generic residual, and a
+// bare lambda still works through the TaskPredicate fallback.
 #ifndef SRC_CORE_TRANSFORM_H_
 #define SRC_CORE_TRANSFORM_H_
 
@@ -13,18 +19,24 @@
 
 namespace daydream {
 
-// ---- Select predicates ----
+// ---- Select queries ----
 
-TaskPredicate IsOnGpu();
-TaskPredicate IsOnCpu();
-TaskPredicate IsComm();
-TaskPredicate NameContains(std::string needle);
-TaskPredicate PhaseIs(Phase phase);
-TaskPredicate LayerIs(int layer_id);
-TaskPredicate ApiIs(ApiKind api);
-TaskPredicate All(TaskPredicate a, TaskPredicate b);
-TaskPredicate Any(TaskPredicate a, TaskPredicate b);
-TaskPredicate Not(TaskPredicate a);
+TaskQuery IsOnGpu();
+TaskQuery IsOnCpu();
+TaskQuery IsComm();
+TaskQuery NameContains(std::string needle);
+TaskQuery PhaseIs(Phase phase);
+TaskQuery LayerIs(int layer_id);
+TaskQuery ApiIs(ApiKind api);
+TaskQuery CommIs(CommKind comm);
+TaskQuery All(TaskQuery a, TaskQuery b);
+TaskQuery Any(TaskQuery a, TaskQuery b);
+TaskQuery Not(TaskQuery a);
+
+// GPU tasks of one layer and phase, sorted by measured start time — the
+// anchor lookup every layer-structured what-if (Gist, vDNN, P3) performs.
+std::vector<TaskId> SelectLayerGpuSortedByStart(const DependencyGraph& graph, int layer_id,
+                                                Phase phase);
 
 // ---- Scale / shrink ----
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <fstream>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -120,8 +119,11 @@ void RankBySpeedup(std::vector<SweepOutcome>* outcomes) {
 std::string SweepReportJson(const std::vector<SweepOutcome>& outcomes) {
   std::ostringstream os;
   os << "{\n";
-  os << StrFormat("  \"baseline_ms\": %.3f,\n",
-                  outcomes.empty() ? 0.0 : ToMs(outcomes.front().prediction.baseline));
+  // No outcomes means no baseline was simulated; omit the field rather than
+  // reporting a fake 0.0 ms baseline.
+  if (!outcomes.empty()) {
+    os << StrFormat("  \"baseline_ms\": %.3f,\n", ToMs(outcomes.front().prediction.baseline));
+  }
   os << "  \"cases\": [\n";
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const SweepOutcome& o = outcomes[i];
@@ -136,20 +138,21 @@ std::string SweepReportJson(const std::vector<SweepOutcome>& outcomes) {
 }
 
 bool WriteSweepCsv(const std::vector<SweepOutcome>& outcomes, const std::string& path) {
-  std::ofstream probe(path);
-  if (!probe.good()) {
-    return false;
-  }
-  probe.close();
+  // CsvWriter reports open failure itself — no probe open/close/reopen, which
+  // used to truncate the target twice.
   CsvWriter csv(path,
                 {"what_if", "baseline_ms", "predicted_ms", "speedup_pct", "speedup_ratio", "tasks"});
+  if (!csv.ok()) {
+    return false;
+  }
   for (const SweepOutcome& o : outcomes) {
     csv.AddRow({o.name, StrFormat("%.3f", ToMs(o.prediction.baseline)),
                 StrFormat("%.3f", ToMs(o.prediction.predicted)),
                 StrFormat("%.2f", o.prediction.SpeedupPct()),
                 StrFormat("%.3f", o.prediction.SpeedupRatio()), StrFormat("%d", o.tasks)});
   }
-  return true;
+  csv.Flush();  // surface flush-time failures (e.g. full disk) in the result
+  return csv.ok();
 }
 
 }  // namespace daydream

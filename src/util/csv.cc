@@ -7,7 +7,10 @@ namespace daydream {
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
     : out_(path), columns_(header.size()) {
-  DD_CHECK(out_.good()) << "cannot open " << path;
+  if (!out_.good()) {
+    DD_LOG(Error) << "cannot open " << path;
+    return;
+  }
   AddRow(header);
 }
 
@@ -15,6 +18,9 @@ CsvWriter::~CsvWriter() { out_.flush(); }
 
 void CsvWriter::AddRow(const std::vector<std::string>& cells) {
   DD_CHECK_EQ(cells.size(), columns_);
+  if (!ok()) {
+    return;
+  }
   for (size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) {
       out_ << ",";

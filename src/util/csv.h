@@ -10,10 +10,21 @@ namespace daydream {
 
 class CsvWriter {
  public:
-  // Opens `path` for writing and emits the header row. Fails the process if
-  // the file cannot be created (bench outputs are required artifacts).
+  // Opens `path` for writing and emits the header row. Check ok() afterwards:
+  // an unopenable path leaves the writer inert (AddRow becomes a no-op)
+  // instead of aborting, so callers can surface the failure themselves.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
   ~CsvWriter();
+
+  // False when the output file could not be opened or a write failed.
+  bool ok() const { return out_.good(); }
+
+  // Pushes buffered rows to disk; call before reading ok() as a final
+  // verdict (the destructor flushes too, but by then it is too late to
+  // report a flush-time failure).
+  void Flush() { out_.flush(); }
 
   void AddRow(const std::vector<std::string>& cells);
 

@@ -170,6 +170,128 @@ TEST(DependencyGraph, StatsCount) {
   EXPECT_EQ(s.threads, 3);
 }
 
+TEST(DependencyGraph, IntrusiveNeighbours) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(CpuTask("a"));
+  const TaskId b = g.AddTask(CpuTask("b"));
+  const TaskId c = g.AddTask(CpuTask("c"));
+  g.LinkSequential();
+  EXPECT_EQ(g.PrevInThread(a), kInvalidTask);
+  EXPECT_EQ(g.NextInThread(a), b);
+  EXPECT_EQ(g.PrevInThread(c), b);
+  EXPECT_EQ(g.NextInThread(c), kInvalidTask);
+  g.Remove(b);
+  EXPECT_EQ(g.NextInThread(a), c);
+  EXPECT_EQ(g.PrevInThread(c), a);
+}
+
+TEST(DependencyGraph, RemoveHeadAndTailRelink) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(CpuTask("a"));
+  const TaskId b = g.AddTask(CpuTask("b"));
+  const TaskId c = g.AddTask(CpuTask("c"));
+  g.LinkSequential();
+  g.Remove(a);
+  g.Remove(c);
+  EXPECT_EQ(g.ThreadSequence(ExecThread::Cpu(0)), (std::vector<TaskId>{b}));
+  const TaskId d = g.AddTask(CpuTask("d"));
+  EXPECT_EQ(g.ThreadSequence(ExecThread::Cpu(0)), (std::vector<TaskId>{b, d}));
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+}
+
+TEST(DependencyGraph, RemoveDeduplicatesRewiredEdges) {
+  // a -> b -> c plus a direct a -> c edge: removing b must not duplicate a->c.
+  DependencyGraph g;
+  const TaskId a = g.AddTask(CpuTask("a"));
+  const TaskId b = g.AddTask(CpuTask("b"));
+  const TaskId c = g.AddTask(CpuTask("c"));
+  g.LinkSequential();
+  g.AddEdge(a, c);
+  g.Remove(b);
+  EXPECT_EQ(g.children(a), std::vector<TaskId>{c});
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+}
+
+TEST(DependencyGraph, ThreadsSortedByExecThreadOrder) {
+  DependencyGraph g;
+  Task comm;
+  comm.type = TaskType::kComm;
+  comm.thread = ExecThread::Comm(0);
+  g.AddTask(std::move(comm));
+  g.AddTask(GpuTask("k"));
+  g.AddTask(CpuTask("a"));
+  const std::vector<ExecThread> threads = g.Threads();
+  ASSERT_EQ(threads.size(), 3u);
+  EXPECT_TRUE(threads[0] < threads[1]);
+  EXPECT_TRUE(threads[1] < threads[2]);
+}
+
+TEST(DependencyGraph, CloneCompactsDeadNodesAndStaysIndependent) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(CpuTask("a"));
+  const TaskId b = g.AddTask(CpuTask("b"));
+  const TaskId c = g.AddTask(CpuTask("c"));
+  g.LinkSequential();
+  g.Remove(b);
+
+  DependencyGraph clone = g.Clone();
+  EXPECT_EQ(clone.capacity(), g.capacity());  // ids keep their meaning
+  EXPECT_FALSE(clone.alive(b));
+  EXPECT_TRUE(clone.task(b).name.empty());  // dead payload dropped
+  EXPECT_EQ(clone.ThreadSequence(ExecThread::Cpu(0)), (std::vector<TaskId>{a, c}));
+  EXPECT_TRUE(clone.HasEdge(a, c));
+
+  clone.Remove(c);
+  EXPECT_TRUE(g.alive(c));  // originals unaffected
+  std::string error;
+  EXPECT_TRUE(clone.Validate(&error)) << error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+}
+
+TEST(DependencyGraph, IndexedSelectTracksFieldMutations) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(GpuTask("k1"));
+  const TaskId b = g.AddTask(GpuTask("k2"));
+  g.task(a).phase = Phase::kForward;
+  g.task(a).layer_id = 1;
+  g.task(b).phase = Phase::kForward;
+  g.task(b).layer_id = 2;
+  g.EnsureSelectIndexes();
+  TaskQuery forward;
+  forward.phase = Phase::kForward;
+  EXPECT_EQ(g.Select(forward), (std::vector<TaskId>{a, b}));
+
+  // Re-assign through the mutable accessor: the next structured Select must
+  // see the move between buckets.
+  g.task(b).phase = Phase::kBackward;
+  g.task(b).layer_id = 5;
+  TaskQuery backward;
+  backward.phase = Phase::kBackward;
+  TaskQuery layer5;
+  layer5.layer_id = 5;
+  EXPECT_EQ(g.Select(forward), std::vector<TaskId>{a});
+  EXPECT_EQ(g.Select(backward), std::vector<TaskId>{b});
+  EXPECT_EQ(g.Select(layer5), std::vector<TaskId>{b});
+
+  // And back again, which exercises bucket re-entry + sort/unique.
+  g.task(b).phase = Phase::kForward;
+  EXPECT_EQ(g.Select(forward), (std::vector<TaskId>{a, b}));
+  EXPECT_EQ(g.Select(forward), (std::vector<TaskId>{a, b}));  // stable on re-read
+}
+
+TEST(DependencyGraph, ValidateCatchesThreadFieldDesync) {
+  DependencyGraph g;
+  g.AddTask(CpuTask("a"));
+  const TaskId b = g.AddTask(CpuTask("b"));
+  EXPECT_TRUE(g.Validate());
+  g.task(b).thread = ExecThread::Gpu(3);  // desync: node stays filed under cpu:0
+  std::string error;
+  EXPECT_FALSE(g.Validate(&error));
+  EXPECT_NE(error.find("wrong thread"), std::string::npos);
+}
+
 TEST(ExecThread, OrderingAndLabels) {
   EXPECT_LT(ExecThread::Cpu(0), ExecThread::Gpu(0));
   EXPECT_LT(ExecThread::Gpu(0), ExecThread::Comm(0));

@@ -92,6 +92,26 @@ TEST(SweepRanking, SortsByPredictedAscending) {
   EXPECT_EQ(outcomes[2].name, "slow");
 }
 
+TEST(SweepSerialization, EmptyOutcomesOmitBaseline) {
+  const std::string json = SweepReportJson({});
+  EXPECT_EQ(json.find("baseline_ms"), std::string::npos)
+      << "no outcomes -> no fabricated 0.0 ms baseline";
+  EXPECT_NE(json.find("\"cases\": ["), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(SweepSerialization, SingleCaseKeepsBaseline) {
+  std::vector<SweepOutcome> outcomes(1);
+  outcomes[0].name = "amp";
+  outcomes[0].prediction = {Ms(100), Ms(80)};
+  outcomes[0].tasks = 7;
+  const std::string json = SweepReportJson(outcomes);
+  EXPECT_NE(json.find("\"baseline_ms\": 100.000"), std::string::npos);
+  EXPECT_NE(json.find("\"amp\""), std::string::npos);
+  // The single case must not carry a trailing comma.
+  EXPECT_EQ(json.find("},\n  ]"), std::string::npos);
+}
+
 TEST(SweepSerialization, JsonContainsEveryCase) {
   std::vector<SweepOutcome> outcomes(2);
   outcomes[0].name = "amp";

@@ -53,6 +53,54 @@ TEST(Predicates, ApiIs) {
   EXPECT_FALSE(ApiIs(ApiKind::kDeviceSynchronize)(cpu));
 }
 
+TEST(Predicates, CommIs) {
+  Task comm;
+  comm.type = TaskType::kComm;
+  comm.comm = CommKind::kAllReduce;
+  EXPECT_TRUE(CommIs(CommKind::kAllReduce)(comm));
+  EXPECT_FALSE(CommIs(CommKind::kPush)(comm));
+  EXPECT_FALSE(CommIs(CommKind::kAllReduce)(GpuTask("k", Us(1))));
+}
+
+TEST(Predicates, QueriesExposeStructuredKeys) {
+  const TaskQuery q = All(IsOnGpu(), All(LayerIs(3), PhaseIs(Phase::kBackward)));
+  ASSERT_TRUE(q.phase.has_value());
+  EXPECT_EQ(*q.phase, Phase::kBackward);
+  ASSERT_TRUE(q.layer_id.has_value());
+  EXPECT_EQ(*q.layer_id, 3);
+  EXPECT_EQ(q.type_mask, TaskTypeBit(TaskType::kGpu));
+  EXPECT_FALSE(q.impossible);
+}
+
+TEST(Predicates, ContradictoryTypeMasksAreImpossible) {
+  const TaskQuery q = All(IsOnGpu(), IsComm());
+  EXPECT_TRUE(q.impossible);
+  EXPECT_FALSE(q(GpuTask("k", Us(1))));
+}
+
+TEST(Predicates, ContradictoryAllMatchesNothing) {
+  const TaskQuery q = All(PhaseIs(Phase::kForward), PhaseIs(Phase::kBackward));
+  EXPECT_TRUE(q.impossible);
+  EXPECT_FALSE(q(GpuTask("k", Us(1), Phase::kForward)));
+  DependencyGraph g;
+  g.AddTask(GpuTask("k", Us(1), Phase::kForward));
+  EXPECT_TRUE(g.Select(q).empty());
+}
+
+TEST(Transform, SelectLayerGpuSortedByStart) {
+  DependencyGraph g;
+  Task late = GpuTask("late", Us(10), Phase::kBackward, 2);
+  late.start = Us(50);
+  Task early = GpuTask("early", Us(10), Phase::kBackward, 2);
+  early.start = Us(10);
+  Task other = GpuTask("other_layer", Us(10), Phase::kBackward, 3);
+  const TaskId l = g.AddTask(std::move(late));
+  const TaskId e = g.AddTask(std::move(early));
+  g.AddTask(std::move(other));
+  EXPECT_EQ(SelectLayerGpuSortedByStart(g, 2, Phase::kBackward), (std::vector<TaskId>{e, l}));
+  EXPECT_TRUE(SelectLayerGpuSortedByStart(g, 2, Phase::kForward).empty());
+}
+
 TEST(Transform, ShrinkBy) {
   DependencyGraph g;
   const TaskId a = g.AddTask(GpuTask("k", Us(90)));

@@ -199,11 +199,20 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::Escape("a\r\nb"), "\"a\r\nb\"");
 }
 
+TEST(Csv, ReportsOpenFailureInsteadOfAborting) {
+  CsvWriter w("/nonexistent-dir/out.csv", {"x", "y"});
+  EXPECT_FALSE(w.ok());
+  w.AddRow({"1", "2"});  // inert, not a crash
+  EXPECT_FALSE(w.ok());
+}
+
 TEST(Csv, WritesRows) {
   const std::string path = ::testing::TempDir() + "/test.csv";
   {
     CsvWriter w(path, {"x", "y"});
+    EXPECT_TRUE(w.ok());
     w.AddRow({"1", "2"});
+    EXPECT_TRUE(w.ok());
   }
   std::ifstream in(path);
   std::string line;

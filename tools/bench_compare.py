@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced BENCH_simulator.json against the committed baseline.
+
+Two kinds of gates:
+  1. Within-run speedup floors (dispatch, transform) read from the fresh
+     JSON's sections. These are machine-independent ratios — the hard gate.
+  2. Per-row wall-time regression vs the committed baseline, with a generous
+     multiplicative tolerance (CI runners differ from the machine that
+     produced the committed numbers; the tolerance absorbs that, not real
+     regressions).
+
+Prints a per-row delta table (markdown) and appends it to the file named by
+$GITHUB_STEP_SUMMARY when set, so the job summary shows the trajectory.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_simulator.json --fresh fresh.json \
+      [--tolerance 3.0]
+
+Exit code 0 when every gate passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_name(doc):
+    return {row["name"]: row["ms"] for row in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_simulator.json")
+    parser.add_argument("--fresh", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="fail a row when fresh_ms > baseline_ms * tolerance (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-gated-ms",
+        type=float,
+        default=5.0,
+        help="rows with a committed baseline below this are reported but not "
+        "gated — sub-millisecond best-of-N timings are too noisy on shared "
+        "runners for a wall-time gate (default 5.0)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    base_rows = rows_by_name(baseline)
+    fresh_rows = rows_by_name(fresh)
+
+    failures = []
+    lines = [
+        "### perf_core: fresh vs committed baseline",
+        "",
+        f"tolerance: fresh ≤ {args.tolerance:.1f}× committed (runner variance allowance)",
+        "",
+        "| benchmark | committed (ms) | fresh (ms) | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, fresh_ms in fresh_rows.items():
+        base_ms = base_rows.get(name)
+        if base_ms is None:
+            lines.append(f"| {name} | — | {fresh_ms:.2f} | — | new row |")
+            continue
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        status = "ok"
+        if base_ms < args.min_gated_ms:
+            status = "ok (not gated)" if ratio <= args.tolerance else "slow (not gated)"
+        elif ratio > args.tolerance:
+            status = "**REGRESSION**"
+            failures.append(
+                f"row '{name}': {fresh_ms:.2f} ms vs committed {base_ms:.2f} ms "
+                f"({ratio:.2f}x > {args.tolerance:.1f}x tolerance)"
+            )
+        lines.append(f"| {name} | {base_ms:.2f} | {fresh_ms:.2f} | {ratio:.2f}x | {status} |")
+    for name in sorted(set(base_rows) - set(fresh_rows)):
+        lines.append(f"| {name} | {base_rows[name]:.2f} | — | — | **MISSING** |")
+        failures.append(f"row '{name}' present in the baseline but missing from the fresh run")
+
+    lines.append("")
+    lines.append("| floor | required | fresh | status |")
+    lines.append("|---|---:|---:|---|")
+    for section in ("dispatch", "transform"):
+        sec = fresh.get(section)
+        if sec is None:
+            failures.append(f"fresh JSON lacks the '{section}' section")
+            continue
+        floor = float(sec.get("floor", 0.0))
+        speedup = float(sec.get("speedup", 0.0))
+        ok = speedup >= floor
+        if not ok:
+            failures.append(
+                f"{section} speedup {speedup:.2f}x is below the {floor:.1f}x floor"
+            )
+        lines.append(
+            f"| {section} speedup | ≥ {floor:.1f}x | {speedup:.2f}x | "
+            f"{'ok' if ok else '**BELOW FLOOR**'} |"
+        )
+
+    report = "\n".join(lines) + "\n"
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(report)
+
+    if failures:
+        print("bench_compare: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
