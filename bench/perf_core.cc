@@ -1,29 +1,34 @@
 // Performance microbenchmarks for Daydream's own machinery: trace generation,
-// dependency-graph construction, layer mapping, both simulator engines, the
-// graph-mutation layer (clone / select / distributed transform at cluster
-// scale) and a full what-if round trip. The paper's workflow ("profile once,
-// ask many questions", §7.1) depends on transformations+simulation being
-// cheap.
+// dependency-graph construction, layer mapping, the simulator engines
+// (compiled plan / pre-change event / reference scan), the graph-mutation
+// layer (clone / select / distributed transform at cluster scale), a full
+// what-if round trip, and an end-to-end cluster-scale sweep. The paper's
+// workflow ("profile once, ask many questions", §7.1) depends on
+// transformations+simulation being cheap.
 //
 // Self-contained timing harness (no external benchmark dependency) so the
 // binary builds everywhere and CI can track the perf trajectory: results are
 // printed as a table and written to a JSON file (default BENCH_simulator.json,
 // override with argv[1]).
 //
-// Two headline numbers on the cluster-scale graph (the single-worker profile
-// replicated across 64 workers), both enforced as hard floors:
-//   - dispatch: the indexed event-driven engine vs the reference frontier
-//     scan (>= 3x),
+// Three headline numbers on the cluster-scale graph (the single-worker
+// profile replicated across 64 workers), all enforced as hard floors:
+//   - dispatch: the compiled-plan engine vs the reference frontier scan
+//     (>= 3x),
+//   - plan: the compiled-plan engine vs a frozen transcription of the
+//     pre-plan event engine — graph-object walks, virtual tie-break calls and
+//     map-keyed thread accounting in the hot loop (>= 2x),
 //   - transform: WhatIfDistributed through the intrusive/indexed mutation
-//     layer vs a frozen transcription of the pre-change one — opaque-predicate
-//     full-scan selects plus a capacity-exact clone whose first insert pays an
-//     O(V) node move (>= 5x).
+//     layer vs a frozen transcription of the pre-change one (>= 5x).
+// Plus an end-to-end `sweep_cluster` cases/sec row demonstrating the
+// amortized setup (shared baseline plan, pipelined clone+transform).
 #include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -33,9 +38,11 @@
 #include "src/core/optimizations/amp.h"
 #include "src/core/optimizations/distributed.h"
 #include "src/core/predictor.h"
+#include "src/core/sim_plan.h"
 #include "src/core/simulator.h"
 #include "src/core/transform.h"
 #include "src/runtime/ground_truth.h"
+#include "src/runtime/sweep.h"
 #include "src/util/logging.h"
 #include "src/util/table.h"
 
@@ -45,8 +52,9 @@ namespace {
 constexpr ModelId kModel = ModelId::kBertLarge;
 constexpr int kReplicatedWorkers = 64;
 
-// Accepted floors; regressing past either fails the run (and CI).
-constexpr double kMinDispatchSpeedup = 3.0;
+// Accepted floors; regressing past any fails the run (and CI).
+constexpr double kMinDispatchSpeedup = 3.0;  // plan engine vs reference scan
+constexpr double kMinPlanSpeedup = 2.0;      // plan engine vs pre-change event engine
 constexpr double kMinTransformSpeedup = 5.0;
 
 using Clock = std::chrono::steady_clock;
@@ -91,30 +99,7 @@ double MeasureTransformMs(const std::function<DependencyGraph()>& make_graph,
   return best;
 }
 
-// W copies of the single-worker graph on disjoint execution lanes — the shape
-// a cluster-wide simulation dispatches over (wide frontier, many threads).
-DependencyGraph ReplicateWorkers(const DependencyGraph& base, int workers) {
-  DependencyGraph out;
-  const std::vector<TaskId> alive = base.AliveTasks();
-  out.Reserve(static_cast<int>(alive.size()) * workers);
-  for (int w = 0; w < workers; ++w) {
-    std::map<TaskId, TaskId> remap;
-    for (TaskId id : alive) {
-      Task t = base.task(id);
-      t.id = kInvalidTask;
-      t.thread.id += w * 1000;  // disjoint lane namespace per worker
-      remap[id] = out.AddTask(std::move(t));
-    }
-    for (TaskId id : alive) {
-      for (TaskId child : base.children(id)) {
-        out.AddEdge(remap.at(id), remap.at(child));
-      }
-    }
-  }
-  return out;
-}
-
-// ---- frozen pre-change reference (the transform floor's denominator) ----
+// ---- frozen pre-change references (the floors' denominators) ----
 
 // Opaque-predicate selectors exactly as the combinators composed them before
 // queries carried structure: every Select is a full scan through nested
@@ -186,6 +171,202 @@ void PreChangeWhatIfDistributed(DependencyGraph* graph, const std::vector<Gradie
   }
 }
 
+// The event engine as it shipped before compiled plans: per-dispatch
+// graph-object loads (~200-byte Task nodes), virtual TieBreakLess calls
+// inside every heap comparison, and map-keyed thread_busy accounting. Kept
+// verbatim (modulo the SimResult lane-vector conversion at the end) as the
+// measurable baseline the >= 2x plan floor divides by.
+struct PreChangeTieCmp {
+  const DependencyGraph* graph = nullptr;
+  const Scheduler* scheduler = nullptr;
+
+  bool Less(TaskId a, TaskId b) const {
+    const Task& ta = graph->task(a);
+    const Task& tb = graph->task(b);
+    if (scheduler->TieBreakLess(ta, tb)) {
+      return true;
+    }
+    if (scheduler->TieBreakLess(tb, ta)) {
+      return false;
+    }
+    return a < b;
+  }
+};
+
+struct PreChangeNowHeapCmp {
+  const PreChangeTieCmp* tie;
+  bool operator()(TaskId a, TaskId b) const { return tie->Less(b, a); }
+};
+
+struct PreChangeFutureHeapCmp {
+  const PreChangeTieCmp* tie;
+  bool operator()(const std::pair<TimeNs, TaskId>& a, const std::pair<TimeNs, TaskId>& b) const {
+    if (a.first != b.first) {
+      return b.first < a.first;
+    }
+    return tie->Less(b.second, a.second);
+  }
+};
+
+struct PreChangeThreadState {
+  TimeNs progress = 0;
+  bool dispatched_any = false;
+  std::vector<TaskId> now;
+  std::vector<std::pair<TimeNs, TaskId>> future;
+  uint32_t stamp = 0;
+};
+
+struct PreChangeGlobalEntry {
+  TimeNs feasible = 0;
+  TaskId task = kInvalidTask;
+  uint32_t thread = 0;
+  uint32_t stamp = 0;
+};
+
+struct PreChangeGlobalHeapCmp {
+  const PreChangeTieCmp* tie;
+  bool operator()(const PreChangeGlobalEntry& a, const PreChangeGlobalEntry& b) const {
+    if (a.feasible != b.feasible) {
+      return b.feasible < a.feasible;
+    }
+    if (a.task != b.task) {
+      return tie->Less(b.task, a.task);
+    }
+    return false;
+  }
+};
+
+SimResult PreChangeRunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler) {
+  auto sz = [](TaskId id) { return static_cast<size_t>(id); };
+  SimResult result;
+  const size_t capacity = static_cast<size_t>(graph.capacity());
+  result.start.assign(capacity, -1);
+  result.end.assign(capacity, -1);
+
+  std::vector<TimeNs> earliest(capacity, 0);
+  std::vector<int> refs(capacity, 0);
+
+  const PreChangeTieCmp tie{&graph, &scheduler};
+  const PreChangeNowHeapCmp now_cmp{&tie};
+  const PreChangeFutureHeapCmp future_cmp{&tie};
+  const PreChangeGlobalHeapCmp global_cmp{&tie};
+
+  std::vector<PreChangeThreadState> states(static_cast<size_t>(graph.num_lanes()));
+  std::vector<uint32_t> task_thread(capacity, 0);
+  // The historical per-dispatch accounting: one ordered-map lookup per task.
+  std::map<ExecThread, TimeNs> thread_busy;
+
+  auto insert_ready = [&](PreChangeThreadState& s, TaskId id, TimeNs bound) {
+    if (bound <= s.progress) {
+      s.now.push_back(id);
+      std::push_heap(s.now.begin(), s.now.end(), now_cmp);
+    } else {
+      s.future.emplace_back(bound, id);
+      std::push_heap(s.future.begin(), s.future.end(), future_cmp);
+    }
+  };
+
+  for (TaskId id : graph.AliveTasks()) {
+    refs[sz(id)] = static_cast<int>(graph.parents(id).size());
+    task_thread[sz(id)] = static_cast<uint32_t>(graph.lane_of(id));
+    if (refs[sz(id)] == 0) {
+      insert_ready(states[task_thread[sz(id)]], id, 0);
+    }
+  }
+
+  auto head = [](const PreChangeThreadState& s) -> std::pair<TimeNs, TaskId> {
+    if (!s.now.empty()) {
+      return {s.progress, s.now.front()};
+    }
+    if (!s.future.empty()) {
+      return s.future.front();
+    }
+    return {0, kInvalidTask};
+  };
+
+  std::vector<PreChangeGlobalEntry> global;
+  global.reserve(states.size() + 16);
+  auto refresh = [&](uint32_t ti) {
+    PreChangeThreadState& s = states[ti];
+    ++s.stamp;
+    const auto [feasible, task] = head(s);
+    if (task != kInvalidTask) {
+      global.push_back(PreChangeGlobalEntry{feasible, task, ti, s.stamp});
+      std::push_heap(global.begin(), global.end(), global_cmp);
+    }
+  };
+  for (uint32_t i = 0; i < states.size(); ++i) {
+    refresh(i);
+  }
+
+  while (!global.empty()) {
+    std::pop_heap(global.begin(), global.end(), global_cmp);
+    const PreChangeGlobalEntry entry = global.back();
+    global.pop_back();
+    PreChangeThreadState& s = states[entry.thread];
+    if (entry.stamp != s.stamp) {
+      continue;
+    }
+    const TaskId id = entry.task;
+    if (!s.now.empty()) {
+      std::pop_heap(s.now.begin(), s.now.end(), now_cmp);
+      s.now.pop_back();
+    } else {
+      std::pop_heap(s.future.begin(), s.future.end(), future_cmp);
+      s.future.pop_back();
+    }
+
+    const Task& task = graph.task(id);
+    result.start[sz(id)] = entry.feasible;
+    const TimeNs end = entry.feasible + task.duration;
+    result.end[sz(id)] = end;
+    s.progress = end + task.gap;
+    s.dispatched_any = true;
+    thread_busy[task.thread] += task.duration;
+    result.makespan = std::max(result.makespan, end);
+    ++result.dispatched;
+
+    while (!s.future.empty() && s.future.front().first <= s.progress) {
+      const TaskId migrated = s.future.front().second;
+      std::pop_heap(s.future.begin(), s.future.end(), future_cmp);
+      s.future.pop_back();
+      s.now.push_back(migrated);
+      std::push_heap(s.now.begin(), s.now.end(), now_cmp);
+    }
+
+    for (TaskId child : graph.children(id)) {
+      auto& e = earliest[sz(child)];
+      e = std::max(e, end);
+      if (--refs[sz(child)] == 0) {
+        const uint32_t ci = task_thread[sz(child)];
+        insert_ready(states[ci], child, e);
+        if (ci != entry.thread) {
+          refresh(ci);
+        }
+      }
+    }
+    refresh(entry.thread);
+  }
+
+  // Convert to the lane-vector SimResult shape (post-change bookkeeping; not
+  // part of the measured hot loop's cost profile in any meaningful way).
+  const size_t num_lanes = static_cast<size_t>(graph.num_lanes());
+  result.lane_threads.reserve(num_lanes);
+  for (int lane = 0; lane < graph.num_lanes(); ++lane) {
+    result.lane_threads.push_back(graph.lane_thread(lane));
+  }
+  result.lane_busy.assign(num_lanes, 0);
+  result.lane_end.assign(num_lanes, -1);
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i].dispatched_any) {
+      result.lane_end[i] = states[i].progress;
+      result.lane_busy[i] = thread_busy[graph.lane_thread(static_cast<int>(i))];
+    }
+  }
+  DD_CHECK_EQ(result.dispatched, graph.num_alive()) << "cycle or disconnected bookkeeping";
+  return result;
+}
+
 struct BenchRow {
   std::string name;
   double ms = 0.0;
@@ -211,8 +392,10 @@ int Main(int argc, char** argv) {
   rows.push_back({"what_if_amp_round_trip",
                   MeasureMs([&] { daydream.Predict([](DependencyGraph* g) { WhatIfAmp(g); }); })});
 
-  // The cluster-scale graph: 64 replicated workers, still untransformed so the
-  // distributed what-if itself can be benchmarked against it.
+  // The cluster-scale graph: 64 replicated workers (shared helper in
+  // ground_truth so tests exercise the same construction), still
+  // untransformed so the distributed what-if itself can be benchmarked
+  // against it.
   DependencyGraph cluster = ReplicateWorkers(graph, kReplicatedWorkers);
   const int base_cluster_tasks = cluster.num_alive();
   DistributedWhatIf dist;
@@ -270,20 +453,56 @@ int Main(int argc, char** argv) {
   const int cluster_tasks = dispatch_graph.num_alive();
 
   const Simulator simulator;
-  const SimResult event_result = simulator.Run(dispatch_graph);
+  const SimPlan dispatch_plan = simulator.Compile(dispatch_graph);
+  const SimResult plan_result = dispatch_plan.Run();
+  const SimResult prechange_result =
+      PreChangeRunEventEngine(dispatch_graph, *simulator.scheduler());
   const SimResult reference_result = simulator.RunReference(dispatch_graph);
-  DD_CHECK_EQ(event_result.makespan, reference_result.makespan)
-      << "engines disagree on the cluster graph";
-  DD_CHECK_EQ(event_result.dispatched, reference_result.dispatched);
+  DD_CHECK_EQ(plan_result.makespan, reference_result.makespan)
+      << "plan engine disagrees with the reference scan on the cluster graph";
+  DD_CHECK_EQ(plan_result.dispatched, reference_result.dispatched);
+  DD_CHECK_EQ(plan_result.makespan, prechange_result.makespan)
+      << "plan engine disagrees with the pre-change event engine";
+  DD_CHECK_EQ(plan_result.dispatched, prechange_result.dispatched);
 
-  const double event_ms = MeasureMs([&] { simulator.Run(dispatch_graph); });
+  const double compile_ms = MeasureMs([&] { simulator.Compile(dispatch_graph); });
+  const double plan_ms = MeasureMs([&] { dispatch_plan.Run(); });
+  const double prechange_event_ms = MeasureMs(
+      [&] { PreChangeRunEventEngine(dispatch_graph, *simulator.scheduler()); }, 3, 25, 1500.0);
   const double reference_ms =
       MeasureMs([&] { simulator.RunReference(dispatch_graph); }, 3, 25, 1500.0);
-  const double event_tps = static_cast<double>(cluster_tasks) / (event_ms / 1e3);
+  const double plan_tps = static_cast<double>(cluster_tasks) / (plan_ms / 1e3);
   const double reference_tps = static_cast<double>(cluster_tasks) / (reference_ms / 1e3);
-  const double dispatch_speedup = reference_ms / event_ms;
-  rows.push_back({"dispatch_event_cluster", event_ms});
+  const double dispatch_speedup = reference_ms / plan_ms;
+  const double plan_speedup = prechange_event_ms / plan_ms;
+  rows.push_back({"sim_plan_compile", compile_ms});
+  rows.push_back({"dispatch_plan_cluster", plan_ms});
+  rows.push_back({"dispatch_prechange_event_cluster", prechange_event_ms});
   rows.push_back({"dispatch_reference_cluster", reference_ms});
+
+  // End-to-end cluster-scale sweep: one shared baseline plan, pipelined
+  // clone+transform+compile against in-flight simulations. The case mix
+  // exercises both plan paths — `amp` is timing-only (retimes the shared
+  // structure), the distributed cases are structural (full compile).
+  std::vector<SweepCase> sweep_cases;
+  sweep_cases.push_back({"amp", [](DependencyGraph* g) { WhatIfAmp(g); }, nullptr});
+  for (const double gbps : {10.0, 25.0, 40.0}) {
+    DistributedWhatIf opts = dist;
+    opts.cluster.network.bandwidth_gbps = gbps;
+    sweep_cases.push_back({StrFormat("distributed 4x4 @ %.0f Gbps", gbps),
+                           [&trace, opts](DependencyGraph* g) {
+                             WhatIfDistributed(g, trace.gradients(), opts);
+                           },
+                           nullptr});
+  }
+  // The sweep's baseline is the *untransformed* cluster's makespan (the
+  // dispatch graph above already carries the distributed what-if).
+  const TimeNs cluster_baseline = Simulator().Run(cluster).makespan;
+  const SweepRunner sweep_runner(cluster, cluster_baseline);
+  const double sweep_ms = MeasureMs([&] { sweep_runner.Run(sweep_cases); }, 1, 3, 1.0);
+  const double sweep_cases_per_sec =
+      static_cast<double>(sweep_cases.size()) / (sweep_ms / 1e3);
+  rows.push_back({"sweep_cluster", sweep_ms});
 
   TablePrinter table({"benchmark", "best(ms)"});
   for (const BenchRow& row : rows) {
@@ -292,20 +511,25 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << StrFormat(
       "\ndispatch throughput (%d tasks, %d workers): reference %.0f tasks/s, "
-      "event %.0f tasks/s — %.1fx\n",
-      cluster_tasks, kReplicatedWorkers, reference_tps, event_tps, dispatch_speedup);
+      "plan %.0f tasks/s — %.1fx (pre-change event engine %.1f ms — %.1fx; "
+      "plan compile %.1f ms)\n",
+      cluster_tasks, kReplicatedWorkers, reference_tps, plan_tps, dispatch_speedup,
+      prechange_event_ms, plan_speedup, compile_ms);
   std::cout << StrFormat(
       "distributed transform (%d tasks): pre-change %.1f ms, intrusive+indexed %.1f ms — %.1fx "
       "(selects alone: %.1f ms -> %.1f ms, %.1fx)\n",
       base_cluster_tasks, transform_prechange_ms, transform_ms, transform_speedup, select_scan_ms,
       select_indexed_ms, select_speedup);
+  std::cout << StrFormat(
+      "cluster sweep (%zu cases over %d tasks): %.1f ms — %.2f cases/s\n",
+      sweep_cases.size(), base_cluster_tasks, sweep_ms, sweep_cases_per_sec);
 
   std::ofstream json(out_path);
   if (!json.good()) {
     std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
-  json << "{\n  \"schema\": \"daydream-bench-simulator-v2\",\n";
+  json << "{\n  \"schema\": \"daydream-bench-simulator-v3\",\n";
   json << StrFormat("  \"model\": \"%s\",\n", ModelName(kModel));
   json << "  \"benchmarks\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -318,11 +542,21 @@ int Main(int argc, char** argv) {
                     kReplicatedWorkers);
   json << StrFormat("    \"tasks\": %d,\n", cluster_tasks);
   json << StrFormat("    \"reference_ms\": %.3f,\n", reference_ms);
-  json << StrFormat("    \"event_ms\": %.3f,\n", event_ms);
+  json << StrFormat("    \"plan_ms\": %.3f,\n", plan_ms);
   json << StrFormat("    \"reference_tasks_per_sec\": %.0f,\n", reference_tps);
-  json << StrFormat("    \"event_tasks_per_sec\": %.0f,\n", event_tps);
+  json << StrFormat("    \"plan_tasks_per_sec\": %.0f,\n", plan_tps);
   json << StrFormat("    \"speedup\": %.2f,\n", dispatch_speedup);
   json << StrFormat("    \"floor\": %.1f\n", kMinDispatchSpeedup);
+  json << "  },\n";
+  json << "  \"plan\": {\n";
+  json << StrFormat("    \"graph\": \"%s x%d workers + distributed 4x4\",\n", ModelName(kModel),
+                    kReplicatedWorkers);
+  json << StrFormat("    \"tasks\": %d,\n", cluster_tasks);
+  json << StrFormat("    \"prechange_event_ms\": %.3f,\n", prechange_event_ms);
+  json << StrFormat("    \"plan_ms\": %.3f,\n", plan_ms);
+  json << StrFormat("    \"compile_ms\": %.3f,\n", compile_ms);
+  json << StrFormat("    \"speedup\": %.2f,\n", plan_speedup);
+  json << StrFormat("    \"floor\": %.1f\n", kMinPlanSpeedup);
   json << "  },\n";
   json << "  \"transform\": {\n";
   json << StrFormat("    \"graph\": \"%s x%d workers\",\n", ModelName(kModel), kReplicatedWorkers);
@@ -334,15 +568,27 @@ int Main(int argc, char** argv) {
   json << StrFormat("    \"select_indexed_ms\": %.3f,\n", select_indexed_ms);
   json << StrFormat("    \"speedup\": %.2f,\n", transform_speedup);
   json << StrFormat("    \"floor\": %.1f\n", kMinTransformSpeedup);
+  json << "  },\n";
+  json << "  \"sweep\": {\n";
+  json << StrFormat("    \"graph\": \"%s x%d workers\",\n", ModelName(kModel), kReplicatedWorkers);
+  json << StrFormat("    \"tasks\": %d,\n", base_cluster_tasks);
+  json << StrFormat("    \"cases\": %zu,\n", sweep_cases.size());
+  json << StrFormat("    \"ms\": %.3f,\n", sweep_ms);
+  json << StrFormat("    \"cases_per_sec\": %.2f\n", sweep_cases_per_sec);
   json << "  }\n}\n";
   std::cout << "wrote " << out_path << "\n";
 
-  // The rewrites' reasons to exist: fail the run (and CI) if either headline
+  // The rewrites' reasons to exist: fail the run (and CI) if any headline
   // advantage regresses below its accepted floor.
   bool failed = false;
   if (dispatch_speedup < kMinDispatchSpeedup) {
     std::cerr << StrFormat("FAIL: dispatch speedup %.2fx below the %.1fx floor\n",
                            dispatch_speedup, kMinDispatchSpeedup);
+    failed = true;
+  }
+  if (plan_speedup < kMinPlanSpeedup) {
+    std::cerr << StrFormat("FAIL: plan-vs-prechange-event speedup %.2fx below the %.1fx floor\n",
+                           plan_speedup, kMinPlanSpeedup);
     failed = true;
   }
   if (transform_speedup < kMinTransformSpeedup) {

@@ -46,10 +46,16 @@ CriticalPathReport ComputeCriticalPath(const DependencyGraph& graph, const SimRe
   }
 
   // Same-thread predecessor lookup, precomputed so each path step is O(1)
-  // instead of a linear scan of the thread's sequence.
+  // instead of a linear scan of the thread's sequence. One pass buckets alive
+  // tasks by the graph's interned lane index (no map lookups); each lane is
+  // then ordered by simulated start, which may differ from the sequence order
+  // under priority scheduling.
   std::vector<TaskId> predecessor(static_cast<size_t>(graph.capacity()), kInvalidTask);
-  for (const ExecThread& thread : graph.Threads()) {
-    std::vector<TaskId> seq = graph.ThreadSequence(thread);
+  std::vector<std::vector<TaskId>> lane_tasks(static_cast<size_t>(graph.num_lanes()));
+  for (TaskId id : graph.AliveTasks()) {
+    lane_tasks[static_cast<size_t>(graph.lane_of(id))].push_back(id);
+  }
+  for (std::vector<TaskId>& seq : lane_tasks) {
     std::sort(seq.begin(), seq.end(), [&](TaskId a, TaskId b) {
       return sim.start[static_cast<size_t>(a)] < sim.start[static_cast<size_t>(b)];
     });

@@ -1,6 +1,7 @@
 #include "src/core/dependency_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <utility>
 
@@ -8,6 +9,20 @@
 #include "src/util/string_util.h"
 
 namespace daydream {
+
+namespace {
+
+// Globally unique structural-version values: every structural mutation takes
+// a fresh stamp from one process-wide counter, so equal stamps can only mean
+// "same copy/clone lineage with zero structural mutations since" — two
+// unrelated graphs that happen to have performed the same number of
+// mutations can never collide.
+uint64_t NextStructureStamp() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 DependencyGraph::Node& DependencyGraph::node(TaskId id) {
   DD_CHECK_GE(id, 0);
@@ -39,6 +54,7 @@ TaskId DependencyGraph::MakeNode(Task task) {
   n.task = std::move(task);
   tasks_.push_back(std::move(n));
   ++num_alive_;
+  structure_stamp_ = NextStructureStamp();
   return id;
 }
 
@@ -135,6 +151,7 @@ void DependencyGraph::AddEdge(TaskId from, TaskId to) {
   }
   children.push_back(to);
   node(to).parents.push_back(from);
+  structure_stamp_ = NextStructureStamp();
 }
 
 void DependencyGraph::RemoveEdge(TaskId from, TaskId to) {
@@ -148,6 +165,7 @@ void DependencyGraph::RemoveEdge(TaskId from, TaskId to) {
   auto pit = std::find(parents.begin(), parents.end(), from);
   DD_CHECK(pit != parents.end());
   parents.erase(pit);
+  structure_stamp_ = NextStructureStamp();
 }
 
 bool DependencyGraph::HasEdge(TaskId from, TaskId to) const {
@@ -256,6 +274,7 @@ void DependencyGraph::Remove(TaskId id) {
   }
   n.alive = false;
   --num_alive_;
+  structure_stamp_ = NextStructureStamp();
   if (indexes_built_) {
     meta_[static_cast<size_t>(id)].bits = 0;  // bucket compaction drops the entry
   }
@@ -464,7 +483,9 @@ void DependencyGraph::FlushDirtyIndexEntries() const {
 
 Task& DependencyGraph::task(TaskId id) {
   // The caller may change any field, including phase/layer: remember the id so
-  // the next structured Select re-buckets it.
+  // the next structured Select re-buckets it. Exception: `thread` must not be
+  // reassigned here — the intrusive lane sequences (and any compiled SimPlan)
+  // key off it; moving a task between lanes is not a supported mutation.
   MarkDirty(id);
   return node(id).task;
 }
@@ -561,6 +582,7 @@ DependencyGraph DependencyGraph::Clone() const {
     }
   }
   out.num_alive_ = num_alive_;
+  out.structure_stamp_ = structure_stamp_;
   out.threads_ = threads_;
   out.thread_index_ = thread_index_;
   out.select_indexing_enabled_ = select_indexing_enabled_;

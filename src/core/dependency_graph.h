@@ -124,6 +124,16 @@ class DependencyGraph {
   // payload — task data of dead ids is default-constructed in the clone.
   DependencyGraph Clone() const;
 
+  // Version of the graph's *structure*: task creation/removal and edge
+  // surgery each take a fresh globally-unique stamp; timing edits through the
+  // mutable task() accessor do not. Clone() (and the copy constructor) carry
+  // the value over, so two graphs with equal stamps share a copy lineage with
+  // zero structural mutations since — i.e. they are structurally identical
+  // (the contract SimPlan::Retime relies on). Distinct construction always
+  // yields distinct stamps, even for identical structures (conservatively
+  // forcing a fresh plan compile).
+  uint64_t structure_stamp() const { return structure_stamp_; }
+
   // ---- Validation & stats ----
 
   // Checks: edges reference alive tasks, no duplicate edges, acyclic,
@@ -221,6 +231,7 @@ class DependencyGraph {
 
   std::vector<Node> tasks_;
   int num_alive_ = 0;
+  uint64_t structure_stamp_ = 1;
   std::vector<ThreadSeq> threads_;
   std::unordered_map<uint64_t, int32_t> thread_index_;  // ThreadKey -> lane
 

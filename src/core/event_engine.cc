@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -11,212 +11,195 @@
 namespace daydream {
 namespace {
 
-inline size_t Sz(TaskId id) { return static_cast<size_t>(id); }
+// Plan index of a packed order key (upper 32 bits are the scheduler key).
+inline size_t IndexOf(uint64_t packed) { return static_cast<size_t>(packed & 0xffffffffu); }
 
-// Total order over equally-feasible tasks: scheduler tie-break refined by id.
-struct TieCmp {
-  const DependencyGraph* graph = nullptr;
-  const Scheduler* scheduler = nullptr;
-
-  bool Less(TaskId a, TaskId b) const {
-    const Task& ta = graph->task(a);
-    const Task& tb = graph->task(b);
-    if (scheduler->TieBreakLess(ta, tb)) {
-      return true;
-    }
-    if (scheduler->TieBreakLess(tb, ta)) {
-      return false;
-    }
-    return a < b;
-  }
-};
+// Sentinel for "lane has no ready task".
+constexpr uint64_t kNoHead = ~uint64_t{0};
 
 // All ready structures are binary min-heaps over plain vectors (std::*_heap
-// needs a "greater" comparator for a min-heap): no per-node allocation, which
-// keeps the engine's constant factor below the reference scan even on narrow
-// graphs where the frontier never grows.
+// needs a "greater" comparator for a min-heap): no per-node allocation, and
+// every comparison is a plain integer compare on pre-resolved keys.
 
-// Tasks feasible right now on one thread; ordered purely by the tie-break.
-struct NowHeapCmp {
-  const TieCmp* tie;
-  bool operator()(TaskId a, TaskId b) const { return tie->Less(b, a); }
-};
-
-// Tasks still gated by a parent's completion bound: (bound, tie-break).
-struct FutureHeapCmp {
-  const TieCmp* tie;
-  bool operator()(const std::pair<TimeNs, TaskId>& a, const std::pair<TimeNs, TaskId>& b) const {
-    if (a.first != b.first) {
-      return b.first < a.first;
-    }
-    return tie->Less(b.second, a.second);
-  }
-};
-
-struct ThreadState {
+struct LaneState {
   TimeNs progress = 0;
   bool dispatched_any = false;
-  std::vector<TaskId> now;                       // heap over NowHeapCmp
-  std::vector<std::pair<TimeNs, TaskId>> future; // heap over FutureHeapCmp
+  std::vector<uint64_t> now;  // packed keys; heap over std::greater
+  // (bound, packed key): pair's lexicographic order is exactly (bound, key).
+  std::vector<std::pair<TimeNs, uint64_t>> future;
   // Generation stamp for lazy invalidation of global-index entries: bumped on
   // every head change, so stale entries are skipped when popped.
   uint32_t stamp = 0;
 };
 
-// One global-index entry: a thread's head task at the time it was pushed.
+// One global-index entry: a lane's head task at the time it was pushed.
 struct GlobalEntry {
   TimeNs feasible = 0;
-  TaskId task = kInvalidTask;
-  uint32_t thread = 0;
+  uint64_t packed = 0;
+  uint32_t lane = 0;
   uint32_t stamp = 0;
 };
 
 struct GlobalHeapCmp {
-  const TieCmp* tie;
   bool operator()(const GlobalEntry& a, const GlobalEntry& b) const {
     if (a.feasible != b.feasible) {
       return b.feasible < a.feasible;
     }
-    if (a.task != b.task) {
-      return tie->Less(b.task, a.task);
-    }
-    return false;  // same head, different stamps: order irrelevant
+    return b.packed < a.packed;  // same head, different stamps: order irrelevant
   }
 };
 
 }  // namespace
 
-SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler) {
-  DD_CHECK(scheduler.comparator_based()) << "event engine needs a comparator-based scheduler";
-
+SimResult RunEventEngine(const SimPlan& plan) {
   SimResult result;
-  const size_t capacity = static_cast<size_t>(graph.capacity());
-  result.start.assign(capacity, -1);
-  result.end.assign(capacity, -1);
+  if (plan.empty()) {
+    return result;
+  }
+  const SimPlan::Structure& s = *plan.structure_;
+  const std::vector<TimeNs>& duration = plan.duration_;
+  const std::vector<TimeNs>& gap = plan.gap_;
+  const std::vector<uint64_t>& order_key = plan.order_key_;
+  const size_t n = s.task_ids.size();
 
-  std::vector<TimeNs> earliest(capacity, 0);
-  std::vector<int> refs(capacity, 0);
+  result.start.assign(static_cast<size_t>(s.capacity), -1);
+  result.end.assign(static_cast<size_t>(s.capacity), -1);
+  result.lane_threads = s.lane_threads;
+  result.lane_busy.assign(s.lane_threads.size(), 0);
+  result.lane_end.assign(s.lane_threads.size(), -1);
 
-  const TieCmp tie{&graph, &scheduler};
-  const NowHeapCmp now_cmp{&tie};
-  const FutureHeapCmp future_cmp{&tie};
-  const GlobalHeapCmp global_cmp{&tie};
+  std::vector<TimeNs> earliest(n, 0);
+  std::vector<int32_t> refs = s.pred_count;
 
-  // Thread states, indexable from a task id via the graph's interned lane
-  // table (no per-run map rebuild; lanes whose tasks were all removed just
-  // stay empty).
-  std::vector<ThreadState> states(static_cast<size_t>(graph.num_lanes()));
-  std::vector<uint32_t> task_thread(capacity, 0);
+  std::vector<LaneState> lanes(s.lane_threads.size());
+  // Per-lane heap capacity: a lane's ready set never exceeds its task count.
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    const size_t lane_tasks = static_cast<size_t>(s.lane_offset[lane + 1] - s.lane_offset[lane]);
+    lanes[lane].now.reserve(std::min<size_t>(lane_tasks, 64));
+    lanes[lane].future.reserve(std::min<size_t>(lane_tasks, 64));
+  }
 
-  auto insert_ready = [&](ThreadState& s, TaskId id, TimeNs bound) {
-    if (bound <= s.progress) {
-      s.now.push_back(id);
-      std::push_heap(s.now.begin(), s.now.end(), now_cmp);
+  auto insert_ready = [&](LaneState& lane, size_t idx, TimeNs bound) {
+    if (bound <= lane.progress) {
+      lane.now.push_back(order_key[idx]);
+      std::push_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
     } else {
-      s.future.emplace_back(bound, id);
-      std::push_heap(s.future.begin(), s.future.end(), future_cmp);
+      lane.future.emplace_back(bound, order_key[idx]);
+      std::push_heap(lane.future.begin(), lane.future.end(),
+                     std::greater<std::pair<TimeNs, uint64_t>>());
     }
   };
 
-  for (TaskId id : graph.AliveTasks()) {
-    refs[Sz(id)] = static_cast<int>(graph.parents(id).size());
-    task_thread[Sz(id)] = static_cast<uint32_t>(graph.lane_of(id));
-    if (refs[Sz(id)] == 0) {
-      insert_ready(states[task_thread[Sz(id)]], id, 0);
-    }
+  // The initial ready set: all bounds are 0 <= progress 0, straight into now.
+  for (int32_t idx : s.initial_ready) {
+    LaneState& lane = lanes[static_cast<size_t>(s.lane[static_cast<size_t>(idx)])];
+    lane.now.push_back(order_key[static_cast<size_t>(idx)]);
+  }
+  for (LaneState& lane : lanes) {
+    std::make_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
   }
 
-  // Feasible time + task of a thread's next dispatch. Tasks in `now` are
+  // Feasible time + packed key of a lane's next dispatch. Tasks in `now` are
   // feasible at `progress`, which is <= every bound in `future`, so `now`'s
   // head wins whenever it exists.
-  auto head = [](const ThreadState& s) -> std::pair<TimeNs, TaskId> {
-    if (!s.now.empty()) {
-      return {s.progress, s.now.front()};
+  auto head = [](const LaneState& lane) -> std::pair<TimeNs, uint64_t> {
+    if (!lane.now.empty()) {
+      return {lane.progress, lane.now.front()};
     }
-    if (!s.future.empty()) {
-      return s.future.front();
+    if (!lane.future.empty()) {
+      return lane.future.front();
     }
-    return {0, kInvalidTask};
+    return {0, kNoHead};
   };
 
   std::vector<GlobalEntry> global;
-  global.reserve(states.size() + 16);
-  // Pushes the thread's current head (if any) and invalidates older entries.
-  auto refresh = [&](uint32_t ti) {
-    ThreadState& s = states[ti];
-    ++s.stamp;
-    const auto [feasible, task] = head(s);
-    if (task != kInvalidTask) {
-      global.push_back(GlobalEntry{feasible, task, ti, s.stamp});
+  global.reserve(lanes.size() + 16);
+  const GlobalHeapCmp global_cmp;
+  // Pushes the lane's current head (if any) and invalidates older entries.
+  auto refresh = [&](uint32_t li) {
+    LaneState& lane = lanes[li];
+    ++lane.stamp;
+    const auto [feasible, packed] = head(lane);
+    if (packed != kNoHead) {
+      global.push_back(GlobalEntry{feasible, packed, li, lane.stamp});
       std::push_heap(global.begin(), global.end(), global_cmp);
     }
   };
-  for (uint32_t i = 0; i < states.size(); ++i) {
-    refresh(i);
+  for (uint32_t li = 0; li < lanes.size(); ++li) {
+    refresh(li);
   }
 
   while (!global.empty()) {
     std::pop_heap(global.begin(), global.end(), global_cmp);
     const GlobalEntry entry = global.back();
     global.pop_back();
-    ThreadState& s = states[entry.thread];
-    if (entry.stamp != s.stamp) {
-      continue;  // stale: this thread's head changed since the push
+    LaneState& lane = lanes[entry.lane];
+    if (entry.stamp != lane.stamp) {
+      continue;  // stale: this lane's head changed since the push
     }
-    const TaskId id = entry.task;
-    if (!s.now.empty()) {
-      DD_CHECK_EQ(s.now.front(), id);
-      std::pop_heap(s.now.begin(), s.now.end(), now_cmp);
-      s.now.pop_back();
+    const size_t idx = IndexOf(entry.packed);
+    if (!lane.now.empty()) {
+      DD_CHECK_EQ(lane.now.front(), entry.packed);
+      std::pop_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
+      lane.now.pop_back();
     } else {
-      DD_CHECK_EQ(s.future.front().second, id);
-      std::pop_heap(s.future.begin(), s.future.end(), future_cmp);
-      s.future.pop_back();
+      DD_CHECK_EQ(lane.future.front().second, entry.packed);
+      std::pop_heap(lane.future.begin(), lane.future.end(),
+                    std::greater<std::pair<TimeNs, uint64_t>>());
+      lane.future.pop_back();
     }
 
-    const Task& task = graph.task(id);
-    result.start[Sz(id)] = entry.feasible;
-    const TimeNs end = entry.feasible + task.duration;
-    result.end[Sz(id)] = end;
-    s.progress = end + task.gap;  // gap occupies the thread (Alg. 1 line 13)
-    s.dispatched_any = true;
-    result.thread_busy[task.thread] += task.duration;
+    const TimeNs start = entry.feasible;
+    const TimeNs end = start + duration[idx];
+    const size_t id = static_cast<size_t>(s.task_ids[idx]);
+    result.start[id] = start;
+    result.end[id] = end;
+    lane.progress = end + gap[idx];  // gap occupies the lane (Alg. 1 line 13)
+    lane.dispatched_any = true;
+    result.lane_busy[entry.lane] += duration[idx];
     result.makespan = std::max(result.makespan, end);
     ++result.dispatched;
 
-    // Bounds the thread just crossed become plain tie-break candidates.
-    while (!s.future.empty() && s.future.front().first <= s.progress) {
-      const TaskId migrated = s.future.front().second;
-      std::pop_heap(s.future.begin(), s.future.end(), future_cmp);
-      s.future.pop_back();
-      s.now.push_back(migrated);
-      std::push_heap(s.now.begin(), s.now.end(), now_cmp);
+    // Bounds the lane just crossed become plain tie-break candidates.
+    while (!lane.future.empty() && lane.future.front().first <= lane.progress) {
+      const uint64_t migrated = lane.future.front().second;
+      std::pop_heap(lane.future.begin(), lane.future.end(),
+                    std::greater<std::pair<TimeNs, uint64_t>>());
+      lane.future.pop_back();
+      lane.now.push_back(migrated);
+      std::push_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
     }
 
-    for (TaskId child : graph.children(id)) {
-      auto& e = earliest[Sz(child)];
+    const int32_t* child = s.succ.data() + s.succ_offset[idx];
+    const int32_t* child_end = s.succ.data() + s.succ_offset[idx + 1];
+    for (; child != child_end; ++child) {
+      const size_t ci = static_cast<size_t>(*child);
+      TimeNs& e = earliest[ci];
       // Same deviation from Algorithm 1 line 16 as the reference engine: the
-      // trailing gap delays the task's own thread but not cross-thread
-      // children.
+      // trailing gap delays the task's own lane but not cross-lane children.
       e = std::max(e, end);
-      if (--refs[Sz(child)] == 0) {
-        const uint32_t ci = task_thread[Sz(child)];
-        insert_ready(states[ci], child, e);
-        if (ci != entry.thread) {
-          refresh(ci);
+      if (--refs[ci] == 0) {
+        const uint32_t cl = static_cast<uint32_t>(s.lane[ci]);
+        insert_ready(lanes[cl], ci, e);
+        if (cl != entry.lane) {
+          refresh(cl);
         }
       }
     }
-    refresh(entry.thread);
+    refresh(entry.lane);
   }
 
-  for (size_t i = 0; i < states.size(); ++i) {
-    if (states[i].dispatched_any) {
-      result.thread_end[graph.lane_thread(static_cast<int>(i))] = states[i].progress;
+  for (size_t li = 0; li < lanes.size(); ++li) {
+    if (lanes[li].dispatched_any) {
+      result.lane_end[li] = lanes[li].progress;
     }
   }
-  DD_CHECK_EQ(result.dispatched, graph.num_alive()) << "cycle or disconnected bookkeeping";
+  DD_CHECK_EQ(result.dispatched, static_cast<int>(n)) << "cycle or disconnected bookkeeping";
   return result;
+}
+
+SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler) {
+  return SimPlan::Compile(graph, scheduler).Run();
 }
 
 }  // namespace daydream

@@ -1,37 +1,44 @@
-// Indexed, event-driven implementation of Algorithm 1.
+// Indexed, event-driven implementation of Algorithm 1 over a compiled plan.
 //
 // The reference engine re-scans the whole frontier on every dispatch and
 // erases from the middle of a vector — O(N·F) on the wide graphs the
-// distributed and P3 what-ifs produce. This engine keeps the ready set
-// indexed so one dispatch costs O(log F):
+// distributed and P3 what-ifs produce. This engine runs over a SimPlan
+// (src/core/sim_plan.h): the graph's structure is frozen into SoA/CSR arrays
+// and the scheduler's tie-break into packed integer keys, so one dispatch
+// costs O(log F) with no virtual calls and no graph indirection:
 //
-//   per thread:   now    — ready tasks whose earliest-start bound has already
-//                          passed; they are feasible exactly at the thread's
-//                          progress, so only the scheduler tie-break orders
-//                          them (std::set over TieBreakLess ∘ id).
+//   per lane:     now    — ready tasks whose earliest-start bound has already
+//                          passed; they are feasible exactly at the lane's
+//                          progress, so only the pre-resolved key orders them
+//                          (a min-heap of packed uint64 keys).
 //                 future — ready tasks still gated by a parent's completion,
-//                          ordered by (earliest bound, tie-break). When the
-//                          thread's progress advances past a bound the task
-//                          migrates to `now` (each task migrates at most once).
-//   globally:     one entry per thread — its head task keyed by feasible time
-//                 and tie-break — in an ordered index; the minimum is the next
+//                          ordered by (earliest bound, key). When the lane's
+//                          progress advances past a bound the task migrates
+//                          to `now` (each task migrates at most once).
+//   globally:     one entry per lane — its head task keyed by feasible time
+//                 and key — in an ordered index; the minimum is the next
 //                 dispatch, exactly the task Algorithm 1's scan would pick.
 //
-// Dispatching a task touches only its own thread's structures plus the threads
+// Dispatching a task touches only its own lane's structures plus the lanes
 // of any children it makes ready, so the engine is event-driven in the DES
 // sense: dispatch times are non-decreasing and no state is recomputed.
 #ifndef SRC_CORE_EVENT_ENGINE_H_
 #define SRC_CORE_EVENT_ENGINE_H_
 
 #include "src/core/dependency_graph.h"
+#include "src/core/sim_plan.h"
 #include "src/core/simulator.h"
 
 namespace daydream {
 
-// Runs the event-driven engine; `scheduler` must be comparator-based
-// (Scheduler::comparator_based() true). Produces the same SimResult as
-// Simulator::RunReference for the built-in schedulers.
+// Compile-and-run convenience: freezes `graph` for `scheduler` (must be
+// comparator-based) and dispatches the plan. Produces the same SimResult as
+// Simulator::RunReference. Callers that simulate one graph repeatedly (or
+// retime it) should hold the SimPlan themselves and call plan.Run().
 SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler);
+
+// The plan-dispatch loop itself is declared in src/core/sim_plan.h
+// (RunEventEngine(const SimPlan&)) and defined in event_engine.cc.
 
 }  // namespace daydream
 

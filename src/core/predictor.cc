@@ -1,5 +1,7 @@
 #include "src/core/predictor.h"
 
+#include <utility>
+
 #include "src/util/logging.h"
 
 namespace daydream {
@@ -23,29 +25,40 @@ Daydream::Daydream(Trace trace, GraphBuildOptions options)
   std::string error;
   DD_CHECK(graph_.Validate(&error)) << "invalid dependency graph: " << error;
   // Build the select indexes once on the baseline graph ("profile once"):
-  // every per-case clone starts warm instead of paying the build per what-if.
+  // every per-case clone starts with warm indexes.
   graph_.EnsureSelectIndexes();
-  baseline_sim_ = Simulator().Run(graph_).makespan;
+  // Compile the baseline plan once, too: the baseline simulation runs over
+  // it, and its structure block is shared with every timing-only what-if.
+  baseline_plan_ = Simulator().Compile(graph_);
+  baseline_sim_ = baseline_plan_.Run().makespan;
 }
 
 TimeNs Daydream::BaselineSimTime() const { return baseline_sim_; }
 
 PredictionResult Daydream::Predict(const std::function<void(DependencyGraph*)>& transform,
-                                   std::shared_ptr<Scheduler> scheduler) const {
+                                   std::shared_ptr<Scheduler> scheduler, EngineKind engine) const {
   DependencyGraph transformed = graph_.Clone();
   transform(&transformed);
-  return Evaluate(transformed, std::move(scheduler));
+  return Evaluate(transformed, std::move(scheduler), engine);
 }
 
 PredictionResult Daydream::Evaluate(const DependencyGraph& transformed,
-                                    std::shared_ptr<Scheduler> scheduler) const {
+                                    std::shared_ptr<Scheduler> scheduler,
+                                    EngineKind engine) const {
   std::string error;
   DD_CHECK(transformed.Validate(&error)) << "transformed graph invalid: " << error;
-  Simulator simulator =
-      scheduler == nullptr ? Simulator() : Simulator(std::move(scheduler));
+  const Simulator simulator =
+      scheduler == nullptr ? Simulator(std::make_shared<EarliestStartScheduler>(), engine)
+                           : Simulator(std::move(scheduler), engine);
   PredictionResult result;
   result.baseline = baseline_sim_;
-  result.predicted = simulator.Run(transformed).makespan;
+  if (engine == EngineKind::kEvent && simulator.scheduler()->comparator_based()) {
+    // A clone whose transform only edited timings retimes the baseline plan
+    // (shared structure block) instead of recompiling the CSR arrays.
+    result.predicted = simulator.Compile(transformed, &baseline_plan_).Run().makespan;
+  } else {
+    result.predicted = simulator.Run(transformed).makespan;
+  }
   return result;
 }
 

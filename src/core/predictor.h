@@ -14,6 +14,7 @@
 
 #include "src/core/dependency_graph.h"
 #include "src/core/graph_builder.h"
+#include "src/core/sim_plan.h"
 #include "src/core/simulator.h"
 #include "src/trace/trace.h"
 
@@ -38,21 +39,32 @@ class Daydream {
   // plus warm select indexes are carried over instead of being rebuilt.
   DependencyGraph CloneGraph() const { return graph_.Clone(); }
 
+  // The baseline graph compiled once for the default scheduler ("profile
+  // once"): Evaluate retimes it for timing-only what-ifs, and SweepRunner
+  // shares its structure block across every case that leaves the graph
+  // structure untouched.
+  const SimPlan& baseline_plan() const { return baseline_plan_; }
+
   // Simulated makespan of the baseline graph — should reproduce the measured
   // iteration time (validated in tests).
   TimeNs BaselineSimTime() const;
 
   // Applies `transform` to a copy of the graph and simulates it.
+  // `engine` selects the simulation engine (EngineKind::kReference is the
+  // differential-debugging path behind `--engine=reference`).
   PredictionResult Predict(const std::function<void(DependencyGraph*)>& transform,
-                           std::shared_ptr<Scheduler> scheduler = nullptr) const;
+                           std::shared_ptr<Scheduler> scheduler = nullptr,
+                           EngineKind engine = EngineKind::kEvent) const;
 
   // Simulates an already-transformed graph against this baseline.
   PredictionResult Evaluate(const DependencyGraph& transformed,
-                            std::shared_ptr<Scheduler> scheduler = nullptr) const;
+                            std::shared_ptr<Scheduler> scheduler = nullptr,
+                            EngineKind engine = EngineKind::kEvent) const;
 
  private:
   Trace trace_;
   DependencyGraph graph_;
+  SimPlan baseline_plan_;
   TimeNs baseline_sim_;
 };
 

@@ -1,0 +1,167 @@
+#include "src/core/sim_plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace daydream {
+
+int SimPlan::num_tasks() const {
+  return structure_ == nullptr ? 0 : static_cast<int>(structure_->task_ids.size());
+}
+
+int SimPlan::num_lanes() const {
+  return structure_ == nullptr ? 0 : static_cast<int>(structure_->lane_threads.size());
+}
+
+bool SimPlan::CompatibleWith(const DependencyGraph& graph) const {
+  return structure_ != nullptr && structure_->graph_stamp == graph.structure_stamp() &&
+         structure_->capacity == graph.capacity();
+}
+
+SimResult SimPlan::Run() const { return RunEventEngine(*this); }
+
+void SimPlan::FillTimingAndKeys(const DependencyGraph& graph, const Scheduler& scheduler) {
+  const Structure& s = *structure_;
+  const size_t n = s.task_ids.size();
+  duration_.resize(n);
+  gap_.resize(n);
+  order_key_.resize(n);
+
+  bool static_keys = true;
+  for (size_t i = 0; i < n; ++i) {
+    const Task& task = graph.task(s.task_ids[i]);
+    duration_[i] = task.duration;
+    gap_[i] = task.gap;
+    uint32_t key = 0;
+    if (!scheduler.StaticPlanKey(task, &key)) {
+      static_keys = false;
+      break;
+    }
+    order_key_[i] = (static_cast<uint64_t>(key) << 32) | static_cast<uint32_t>(i);
+  }
+  if (static_keys) {
+    return;
+  }
+
+  // Fallback for comparator-based schedulers without a static key: rank every
+  // task with one TieBreakLess sort. Plan indices ascend with task id, so
+  // refining the tie-break by plan index preserves the documented id order.
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const Task& ta = graph.task(s.task_ids[static_cast<size_t>(a)]);
+    const Task& tb = graph.task(s.task_ids[static_cast<size_t>(b)]);
+    if (scheduler.TieBreakLess(ta, tb)) {
+      return true;
+    }
+    if (scheduler.TieBreakLess(tb, ta)) {
+      return false;
+    }
+    return a < b;
+  });
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t i = static_cast<size_t>(order[rank]);
+    const Task& task = graph.task(s.task_ids[i]);
+    duration_[i] = task.duration;
+    gap_[i] = task.gap;
+    order_key_[i] = (static_cast<uint64_t>(rank) << 32) | static_cast<uint32_t>(i);
+  }
+}
+
+SimPlan SimPlan::Compile(const DependencyGraph& graph, const Scheduler& scheduler) {
+  DD_CHECK(scheduler.comparator_based()) << "plan compilation needs a comparator-based scheduler";
+
+  auto s = std::make_shared<Structure>();
+  s->capacity = graph.capacity();
+  s->graph_stamp = graph.structure_stamp();
+
+  const int num_lanes = graph.num_lanes();
+  s->lane_threads.reserve(static_cast<size_t>(num_lanes));
+  for (int lane = 0; lane < num_lanes; ++lane) {
+    s->lane_threads.push_back(graph.lane_thread(lane));
+  }
+
+  const size_t n = static_cast<size_t>(graph.num_alive());
+  s->task_ids.reserve(n);
+  // Dense plan index <- alive ids in ascending order; the reverse map is only
+  // needed during compilation.
+  std::vector<int32_t> plan_of(static_cast<size_t>(graph.capacity()), -1);
+  for (TaskId id = 0; id < graph.capacity(); ++id) {
+    if (graph.alive(id)) {
+      plan_of[static_cast<size_t>(id)] = static_cast<int32_t>(s->task_ids.size());
+      s->task_ids.push_back(id);
+    }
+  }
+  DD_CHECK_EQ(s->task_ids.size(), n);
+
+  s->lane.resize(n);
+  s->pred_count.resize(n);
+  s->succ_offset.assign(n + 1, 0);
+  s->lane_offset.assign(static_cast<size_t>(num_lanes) + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const TaskId id = s->task_ids[i];
+    s->lane[i] = static_cast<int32_t>(graph.lane_of(id));
+    s->pred_count[i] = static_cast<int32_t>(graph.parents(id).size());
+    s->succ_offset[i + 1] = static_cast<int32_t>(graph.children(id).size());
+    ++s->lane_offset[static_cast<size_t>(s->lane[i]) + 1];
+    if (s->pred_count[i] == 0) {
+      s->initial_ready.push_back(static_cast<int32_t>(i));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    s->succ_offset[i + 1] += s->succ_offset[i];
+  }
+  for (int lane = 0; lane < num_lanes; ++lane) {
+    s->lane_offset[static_cast<size_t>(lane) + 1] +=
+        s->lane_offset[static_cast<size_t>(lane)];
+  }
+
+  s->succ.resize(static_cast<size_t>(s->succ_offset[n]));
+  std::vector<int32_t> lane_cursor(s->lane_offset.begin(), s->lane_offset.end() - 1);
+  s->lane_tasks.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TaskId id = s->task_ids[i];
+    int32_t cursor = s->succ_offset[i];
+    for (TaskId child : graph.children(id)) {
+      const int32_t child_index = plan_of[static_cast<size_t>(child)];
+      DD_CHECK_GE(child_index, 0) << "edge to dead task " << child;
+      s->succ[static_cast<size_t>(cursor++)] = child_index;
+    }
+    s->lane_tasks[static_cast<size_t>(lane_cursor[static_cast<size_t>(s->lane[i])]++)] =
+        static_cast<int32_t>(i);
+  }
+
+  SimPlan plan;
+  plan.structure_ = std::move(s);
+  plan.FillTimingAndKeys(graph, scheduler);
+  return plan;
+}
+
+SimPlan SimPlan::Retime(const SimPlan& donor, const DependencyGraph& graph,
+                        const Scheduler& scheduler) {
+  DD_CHECK(!donor.empty()) << "retime needs a compiled donor plan";
+  DD_CHECK(scheduler.comparator_based()) << "plan compilation needs a comparator-based scheduler";
+  DD_CHECK(donor.CompatibleWith(graph))
+      << "retime requires a graph structurally unchanged since the donor was compiled "
+      << "(stamp " << graph.structure_stamp() << " vs " << donor.structure_->graph_stamp << ")";
+  DD_CHECK_EQ(static_cast<int>(donor.structure_->task_ids.size()), graph.num_alive());
+  // Reassigning task.thread through the mutable accessor is unsupported (it
+  // would desync the graph's intrusive lane sequences, not just this plan)
+  // and does not bump the structure stamp — cheap insurance that the frozen
+  // lane table still matches before the timings are trusted.
+  for (size_t i = 0; i < donor.structure_->task_ids.size(); ++i) {
+    DD_CHECK_EQ(graph.lane_of(donor.structure_->task_ids[i]),
+                static_cast<int>(donor.structure_->lane[i]))
+        << "task " << donor.structure_->task_ids[i] << " changed lanes since the donor compile";
+  }
+
+  SimPlan plan;
+  plan.structure_ = donor.structure_;  // shared, immutable
+  plan.FillTimingAndKeys(graph, scheduler);
+  return plan;
+}
+
+}  // namespace daydream

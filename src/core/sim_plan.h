@@ -1,0 +1,115 @@
+// Compiled simulation plans: a DependencyGraph frozen for dispatch.
+//
+// Simulation is Daydream's innermost loop — a sweep answers every what-if by
+// re-simulating a transformed graph (§7.1), so on cluster-scale graphs the
+// dispatch loop dominates end-to-end latency. Walking the graph's node
+// objects during dispatch is cache-hostile: each step loads a ~200-byte Task
+// (with a std::string name), chases per-node edge vectors, and virtual-calls
+// the scheduler's tie-break several times per heap operation.
+//
+// A SimPlan freezes one graph + one scheduler into the dense form the event
+// engine actually needs:
+//   - structure-of-arrays timing: duration[] and gap[] indexed by a dense
+//     plan index (alive tasks in ascending id order),
+//   - CSR successor lists and predecessor counts (plain int32 spans instead
+//     of per-node vectors),
+//   - the interned lane table plus dense per-lane task sequences,
+//   - pre-resolved scheduler keys: the comparator policy lowers to one
+//     uint64 per task — packed (tie-break key << 32 | plan index) — so the
+//     hot loop orders tasks with single integer compares, zero virtual calls
+//     and zero graph indirection.
+//
+// The structure block (everything except durations/gaps/keys) is immutable
+// and shared: Compile() with a donor plan — or Simulator::Compile(graph,
+// &donor) — reuses it when the graph is structurally unchanged since the
+// donor was compiled, which is how a sweep retimes timing-only what-ifs
+// (AMP-style duration scaling) without re-walking a million edges.
+//
+// Invalidation: a plan captures the graph at compile time and never observes
+// later mutations. DependencyGraph::structure_stamp() is the cheap validity
+// check — Clone() carries the stamp, structural mutation bumps it, and
+// CompatibleWith() compares it; timing edits through the mutable task()
+// accessor do not invalidate the structure, they are exactly what Retime
+// re-reads.
+#ifndef SRC_CORE_SIM_PLAN_H_
+#define SRC_CORE_SIM_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/dependency_graph.h"
+#include "src/core/simulator.h"
+
+namespace daydream {
+
+class SimPlan {
+ public:
+  SimPlan() = default;
+
+  // Freezes `graph` for `scheduler` (must be comparator_based()). Tie-break
+  // keys come from Scheduler::StaticPlanKey when provided, otherwise from one
+  // rank-assigning sort over TieBreakLess — always possible because the order
+  // is state-independent.
+  static SimPlan Compile(const DependencyGraph& graph, const Scheduler& scheduler);
+
+  // Rebuilds only the timing and key arrays over `donor`'s shared structure
+  // block. Requires `graph` to be structurally identical to the graph the
+  // donor was compiled from: same structure_stamp(), same capacity — the
+  // contract a Clone() that only edited durations/gaps/priorities satisfies.
+  static SimPlan Retime(const SimPlan& donor, const DependencyGraph& graph,
+                        const Scheduler& scheduler);
+
+  // Dispatches the plan (implemented by the event engine,
+  // src/core/event_engine.cc). Produces the same SimResult as
+  // Simulator::RunReference on the graph the plan was compiled from.
+  SimResult Run() const;
+
+  bool empty() const { return structure_ == nullptr; }
+  int num_tasks() const;
+  int num_lanes() const;
+  // True when `graph` is still the structure this plan was compiled from
+  // (stamp + capacity match). Only meaningful between a graph and its clones;
+  // see DependencyGraph::structure_stamp().
+  bool CompatibleWith(const DependencyGraph& graph) const;
+
+ private:
+  friend SimResult RunEventEngine(const SimPlan& plan);
+
+  // Immutable after compilation; shared between a plan and its retimes.
+  struct Structure {
+    int capacity = 0;          // graph.capacity() — sizes SimResult start/end
+    uint64_t graph_stamp = 0;  // graph.structure_stamp() at compile time
+    std::vector<TaskId> task_ids;    // plan index -> task id (ascending)
+    std::vector<int32_t> lane;       // plan index -> lane
+    std::vector<ExecThread> lane_threads;  // lane -> ExecThread
+    // CSR successors over plan indices.
+    std::vector<int32_t> succ_offset;  // size num_tasks + 1
+    std::vector<int32_t> succ;
+    std::vector<int32_t> pred_count;   // in-degree per plan index
+    // Dense per-lane task sequences (plan indices grouped by lane, ascending
+    // within each lane): sizes the engine's per-lane ready structures and
+    // gives analyses a map-free lane walk.
+    std::vector<int32_t> lane_offset;  // size num_lanes + 1
+    std::vector<int32_t> lane_tasks;
+    // Plan indices with no predecessors — the initial ready set.
+    std::vector<int32_t> initial_ready;
+  };
+
+  std::shared_ptr<const Structure> structure_;
+  // Structure-of-arrays timing, rebuilt by Retime.
+  std::vector<TimeNs> duration_;
+  std::vector<TimeNs> gap_;
+  // Packed dispatch order per task: (tie-break key << 32) | plan index.
+  // Ascending packed order == scheduler tie-break refined by task id.
+  std::vector<uint64_t> order_key_;
+
+  void FillTimingAndKeys(const DependencyGraph& graph, const Scheduler& scheduler);
+};
+
+// Runs the event-driven engine over a compiled plan (same as plan.Run()).
+SimResult RunEventEngine(const SimPlan& plan);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_SIM_PLAN_H_

@@ -8,10 +8,13 @@
 // vDNN install custom policies (§4.4 "Schedule", appendix Algorithms 7/10).
 //
 // Two engines implement the traversal:
-//   - the indexed event-driven engine (src/core/event_engine.h): per-thread
-//     ready structures plus a global ordered index of thread heads, giving an
-//     O(log F) dispatch. Used whenever the scheduler expresses its policy as
-//     a feasible-time order with a state-independent tie-break
+//   - the compiled-plan event engine (src/core/sim_plan.h +
+//     src/core/event_engine.h): the graph is first frozen into an immutable
+//     structure-of-arrays / CSR SimPlan with the scheduler's tie-break
+//     lowered to plain integer keys, then dispatched with an O(log F) indexed
+//     ready set — the hot loop does no virtual calls and no node-object
+//     indirection. Used whenever the scheduler expresses its policy as a
+//     feasible-time order with a state-independent tie-break
 //     (Scheduler::comparator_based()).
 //   - the reference engine (Simulator::RunReference): the literal Algorithm-1
 //     transcription with a linear frontier scan. It is the differential-
@@ -20,6 +23,7 @@
 #ifndef SRC_CORE_SIMULATOR_H_
 #define SRC_CORE_SIMULATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -28,18 +32,29 @@
 
 namespace daydream {
 
+class SimPlan;
+
 struct SimResult {
   TimeNs makespan = 0;
   // Simulated start/end time per task id (dead tasks keep -1). Indexable by
   // graph.capacity().
   std::vector<TimeNs> start;
   std::vector<TimeNs> end;
-  // Per-thread busy time (sum of durations) and final progress.
-  std::map<ExecThread, TimeNs> thread_busy;
-  std::map<ExecThread, TimeNs> thread_end;
+  // Flat per-lane accounting, indexed by the graph's interned lane table
+  // (lane_threads mirrors lane -> ExecThread): busy is the sum of dispatched
+  // durations, end the lane's final progress (duration + trailing gap of the
+  // last task). Lanes that never dispatched keep busy 0 and end -1.
+  std::vector<ExecThread> lane_threads;
+  std::vector<TimeNs> lane_busy;
+  std::vector<TimeNs> lane_end;
   int dispatched = 0;
 
   TimeNs EndOf(TaskId id) const;
+
+  // Map-shaped compatibility accessors: one entry per lane that dispatched at
+  // least one task (the shape the historical std::map members had).
+  std::map<ExecThread, TimeNs> thread_busy() const;
+  std::map<ExecThread, TimeNs> thread_end() const;
 };
 
 // Scheduling policy: given the frontier (ready tasks), pick which to dispatch.
@@ -49,12 +64,13 @@ class Scheduler {
 
   struct Context {
     const DependencyGraph* graph = nullptr;
-    // Current progress of each execution thread.
-    const std::map<ExecThread, TimeNs>* progress = nullptr;
+    // Current progress of each execution lane, indexed by the graph's
+    // interned lane table (graph->lane_of(id)).
+    const std::vector<TimeNs>* progress = nullptr;
     // Current earliest-start bound per task (updated by finished parents).
     const std::vector<TimeNs>* earliest = nullptr;
 
-    // Feasible dispatch time of a task: max(thread progress, earliest bound).
+    // Feasible dispatch time of a task: max(lane progress, earliest bound).
     TimeNs FeasibleTime(TaskId id) const;
   };
 
@@ -66,9 +82,9 @@ class Scheduler {
   //
   // A scheduler whose policy is "dispatch the task with the earliest feasible
   // time, breaking ties with a fixed order" returns true here, and
-  // Simulator::Run uses the O(log F) event-driven engine. Policies that need
-  // the whole frontier (custom Pick overrides) keep the default false and run
-  // on the reference engine.
+  // Simulator::Run compiles the graph into a SimPlan and dispatches it with
+  // the event-driven engine. Policies that need the whole frontier (custom
+  // Pick overrides) keep the default false and run on the reference engine.
   virtual bool comparator_based() const { return false; }
 
   // Tie-break among tasks feasible at the same instant. Must be a strict weak
@@ -76,6 +92,14 @@ class Scheduler {
   // frontier contents); the engine refines "equal" pairs by task id, so the
   // order need not be total. Default: ascending task id.
   virtual bool TieBreakLess(const Task& a, const Task& b) const;
+
+  // Plan-compilation contract: lowers the tie-break to a per-task integer so
+  // the compiled engine compares plain keys instead of virtual-dispatching
+  // into TieBreakLess. Returns true and sets *key such that ascending
+  // (key, task id) reproduces TieBreakLess refined by id. Schedulers that are
+  // comparator-based but keep the default false still compile — SimPlan falls
+  // back to ranking every task with one TieBreakLess sort at compile time.
+  virtual bool StaticPlanKey(const Task& task, uint32_t* key) const;
 };
 
 // Default policy: dispatch the frontier task with the earliest feasible start;
@@ -84,6 +108,7 @@ class EarliestStartScheduler : public Scheduler {
  public:
   size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
   bool comparator_based() const override { return true; }
+  bool StaticPlanKey(const Task& task, uint32_t* key) const override;
 };
 
 // P3-style policy (appendix Algorithm 7): earliest feasible start, but among
@@ -101,24 +126,44 @@ class PriorityCommScheduler : public Scheduler {
   size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override;
   bool comparator_based() const override { return true; }
   bool TieBreakLess(const Task& a, const Task& b) const override;
+  bool StaticPlanKey(const Task& task, uint32_t* key) const override;
 };
+
+// Which engine a Simulator (or the CLI's --engine flag) drives.
+//   kEvent:     compiled-plan event engine when the scheduler supports it,
+//               reference otherwise (the default).
+//   kReference: always the literal Algorithm-1 scan — the differential-
+//               debugging path (`--engine=reference`).
+enum class EngineKind { kEvent, kReference };
 
 class Simulator {
  public:
   Simulator();
-  explicit Simulator(std::shared_ptr<Scheduler> scheduler);
+  explicit Simulator(std::shared_ptr<Scheduler> scheduler,
+                     EngineKind engine = EngineKind::kEvent);
 
-  // Simulates `graph`: event-driven engine when the scheduler supports it,
-  // reference engine otherwise. Both produce identical SimResults for the
-  // built-in schedulers.
+  // Simulates `graph`: compiled-plan event engine when the scheduler supports
+  // it (and the engine kind allows), reference engine otherwise. Both produce
+  // identical SimResults for the built-in schedulers.
   SimResult Run(const DependencyGraph& graph) const;
 
   // Literal Algorithm-1 transcription (O(F) frontier scan per dispatch).
   // Exposed as the differential-testing oracle.
   SimResult RunReference(const DependencyGraph& graph) const;
 
+  // Freezes `graph` into an immutable plan for this simulator's scheduler
+  // (requires scheduler()->comparator_based()). `donor` optionally shares a
+  // previously compiled plan: when `graph` is structurally unchanged since
+  // the donor was compiled (DependencyGraph::structure_stamp()), only the
+  // timing/key arrays are rebuilt and the CSR structure block is reused.
+  SimPlan Compile(const DependencyGraph& graph, const SimPlan* donor = nullptr) const;
+
+  const std::shared_ptr<Scheduler>& scheduler() const { return scheduler_; }
+  EngineKind engine() const { return engine_; }
+
  private:
   std::shared_ptr<Scheduler> scheduler_;
+  EngineKind engine_ = EngineKind::kEvent;
 };
 
 }  // namespace daydream

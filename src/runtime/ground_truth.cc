@@ -1,5 +1,7 @@
 #include "src/runtime/ground_truth.h"
 
+#include <algorithm>
+
 #include "src/comm/bucketing.h"
 #include "src/comm/param_server.h"
 #include "src/models/model_zoo.h"
@@ -57,6 +59,37 @@ Trace CollectBaselineTrace(const RunConfig& config, int iterations) {
   baseline.comm = CommBackend::kNone;
   baseline.cluster = ClusterConfig{};
   return RunGroundTruth(baseline, iterations).trace;
+}
+
+DependencyGraph ReplicateWorkers(const DependencyGraph& base, int workers) {
+  DependencyGraph out;
+  const std::vector<TaskId> alive = base.AliveTasks();
+  out.Reserve(static_cast<int>(alive.size()) * workers);
+  // Per-worker lane namespaces must be truly disjoint whatever thread ids the
+  // base graph uses (communication channels carry negative ids): stride by
+  // the base's id span.
+  int min_id = 0;
+  int max_id = 0;
+  for (TaskId id : alive) {
+    min_id = std::min(min_id, base.task(id).thread.id);
+    max_id = std::max(max_id, base.task(id).thread.id);
+  }
+  const int stride = max_id - min_id + 1;
+  std::vector<TaskId> remap(static_cast<size_t>(base.capacity()), kInvalidTask);
+  for (int w = 0; w < workers; ++w) {
+    for (TaskId id : alive) {
+      Task t = base.task(id);
+      t.id = kInvalidTask;
+      t.thread.id += w * stride;  // disjoint lane namespace per worker
+      remap[static_cast<size_t>(id)] = out.AddTask(std::move(t));
+    }
+    for (TaskId id : alive) {
+      for (TaskId child : base.children(id)) {
+        out.AddEdge(remap[static_cast<size_t>(id)], remap[static_cast<size_t>(child)]);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace daydream

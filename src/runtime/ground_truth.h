@@ -6,6 +6,7 @@
 #ifndef SRC_RUNTIME_GROUND_TRUTH_H_
 #define SRC_RUNTIME_GROUND_TRUTH_H_
 
+#include "src/core/dependency_graph.h"
 #include "src/runtime/executor.h"
 
 namespace daydream {
@@ -20,6 +21,13 @@ ExecutionResult RunGroundTruth(const RunConfig& config, int iterations = 1);
 // Daydream's prediction side is allowed to see. Ground-truth options and
 // communication backends in `config` are ignored.
 Trace CollectBaselineTrace(const RunConfig& config, int iterations = 1);
+
+// W disjoint copies of `base`'s alive tasks and edges, each worker on its own
+// lane namespace — the cluster-scale graph shape a multi-worker simulation
+// dispatches over (wide frontier, many lanes). Shared by perf_core and the
+// engine differential tests so bench and test always exercise the same
+// cluster construction.
+DependencyGraph ReplicateWorkers(const DependencyGraph& base, int workers);
 
 }  // namespace daydream
 

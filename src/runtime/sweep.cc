@@ -1,7 +1,9 @@
 #include "src/runtime/sweep.h"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -29,48 +31,146 @@ std::optional<ModelId> LookupModel(const std::string& name) {
 
 }  // namespace
 
+// One case through the prepare stage. Exactly one of `plan` / `graph` is
+// live: the compiled-engine path frees the transformed clone as soon as its
+// plan exists, the reference path keeps the graph (and its scheduler) for
+// Simulate.
+struct SweepRunner::Prepared {
+  size_t index = 0;
+  int tasks = 0;
+  SimPlan plan;
+  std::unique_ptr<DependencyGraph> graph;
+  std::shared_ptr<Scheduler> scheduler;
+};
+
 SweepRunner::SweepRunner(const Daydream& daydream, SweepOptions options)
-    : daydream_(&daydream), options_(options) {}
+    : baseline_graph_(&daydream.graph()),
+      baseline_sim_(daydream.BaselineSimTime()),
+      baseline_plan_(&daydream.baseline_plan()),
+      options_(options) {}
+
+SweepRunner::SweepRunner(const DependencyGraph& baseline, TimeNs baseline_sim,
+                         SweepOptions options)
+    : baseline_graph_(&baseline), baseline_sim_(baseline_sim), options_(options) {
+  // A reference-engine run never touches a plan; don't pay the cluster-scale
+  // compile for it.
+  if (options_.engine == EngineKind::kEvent) {
+    owned_plan_ = Simulator().Compile(baseline);
+  }
+  baseline_plan_ = &owned_plan_;
+}
+
+SweepRunner::Prepared SweepRunner::Prepare(const SweepCase& sweep_case, size_t index) const {
+  Prepared prepared;
+  prepared.index = index;
+  auto transformed = std::make_unique<DependencyGraph>(baseline_graph_->Clone());
+  if (sweep_case.transform) {
+    sweep_case.transform(transformed.get());
+  }
+  std::string error;
+  DD_CHECK(transformed->Validate(&error))
+      << "sweep case '" << sweep_case.name << "' produced an invalid graph: " << error;
+  prepared.tasks = transformed->num_alive();
+
+  std::shared_ptr<Scheduler> scheduler = sweep_case.scheduler != nullptr
+                                             ? sweep_case.scheduler
+                                             : std::make_shared<EarliestStartScheduler>();
+  if (options_.engine == EngineKind::kEvent && scheduler->comparator_based()) {
+    // Timing-only cases retime the shared baseline plan (structure block
+    // reused); structural cases pay a full compile of their own plan.
+    prepared.plan = Simulator(scheduler).Compile(*transformed, baseline_plan_);
+    // The plan is self-contained: release the clone before simulating so a
+    // prepared-but-unsimulated case holds plan-sized, not graph-sized, memory.
+    transformed.reset();
+  } else {
+    prepared.graph = std::move(transformed);
+    prepared.scheduler = std::move(scheduler);
+  }
+  return prepared;
+}
+
+TimeNs SweepRunner::Simulate(Prepared* prepared) {
+  if (prepared->graph == nullptr) {
+    return prepared->plan.Run().makespan;
+  }
+  return Simulator(prepared->scheduler, EngineKind::kReference).Run(*prepared->graph).makespan;
+}
 
 std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) const {
   std::vector<SweepOutcome> outcomes(cases.size());
   if (cases.empty()) {
     return outcomes;
   }
+  auto record = [&](Prepared* prepared, const SweepCase& sweep_case) {
+    SweepOutcome& out = outcomes[prepared->index];
+    out.name = sweep_case.name;
+    out.tasks = prepared->tasks;
+    out.prediction.baseline = baseline_sim_;
+    out.prediction.predicted = Simulate(prepared);
+  };
+
   int workers = options_.num_threads;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
   }
   workers = std::clamp(workers, 1, static_cast<int>(cases.size()));
+  if (workers == 1) {
+    for (size_t i = 0; i < cases.size(); ++i) {
+      Prepared prepared = Prepare(cases[i], i);
+      record(&prepared, cases[i]);
+    }
+    return outcomes;
+  }
 
-  // Work queue: each worker claims the next unevaluated case. All shared state
-  // (the Daydream instance, the case transforms) is only read; every worker
-  // mutates its own clone of the baseline graph.
-  std::atomic<size_t> next{0};
+  // Two-stage pipeline over one worker pool: each worker drains ready plans
+  // first (simulation is the stage that retires cases) and otherwise claims
+  // the next case to prepare. `depth` bounds prepared-but-unsimulated cases
+  // so a fast prepare stage cannot balloon memory.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Prepared> ready;
+  size_t next_case = 0;
+  size_t simulated = 0;
+  size_t preparing = 0;
+  const size_t depth = static_cast<size_t>(workers) + 2;
+
   auto work = [&]() {
-    for (size_t i = next.fetch_add(1); i < cases.size(); i = next.fetch_add(1)) {
-      const SweepCase& c = cases[i];
-      DependencyGraph transformed = daydream_->CloneGraph();
-      if (c.transform) {
-        c.transform(&transformed);
+    std::unique_lock<std::mutex> lock(mu);
+    while (simulated < cases.size()) {
+      if (!ready.empty()) {
+        Prepared prepared = std::move(ready.front());
+        ready.pop_front();
+        cv.notify_all();  // queue space freed for preparers
+        lock.unlock();
+        record(&prepared, cases[prepared.index]);
+        lock.lock();
+        if (++simulated == cases.size()) {
+          cv.notify_all();
+        }
+        continue;
       }
-      SweepOutcome& out = outcomes[i];
-      out.name = c.name;
-      out.tasks = transformed.num_alive();
-      out.prediction = daydream_->Evaluate(transformed, c.scheduler);
+      if (next_case < cases.size() && ready.size() + preparing < depth) {
+        const size_t i = next_case++;
+        ++preparing;
+        lock.unlock();
+        Prepared prepared = Prepare(cases[i], i);
+        lock.lock();
+        --preparing;
+        ready.push_back(std::move(prepared));
+        cv.notify_all();
+        continue;
+      }
+      cv.wait(lock);
     }
   };
-  if (workers == 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back(work);
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back(work);
+  }
+  for (std::thread& t : pool) {
+    t.join();
   }
   return outcomes;
 }

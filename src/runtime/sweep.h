@@ -2,11 +2,25 @@
 //
 // A SweepRunner evaluates a matrix of optimization × cluster configurations
 // against one parsed trace. The expensive per-trace work (parsing, dependency
-// graph construction, baseline simulation) happens exactly once, in the shared
-// Daydream instance; each sweep case then pays only a graph clone, its
-// transformation, and one simulation, and the cases run concurrently on a
-// thread pool. This is the workflow §7.1 of the paper argues for: the profile
-// is collected once, and every question asked of it is cheap.
+// graph construction, baseline simulation, baseline plan compilation) happens
+// exactly once, in the shared Daydream instance. Each sweep case is then a
+// two-stage pipeline job:
+//
+//   prepare:  clone the baseline graph, apply the transformation, freeze the
+//             result into a SimPlan. Timing-only transformations (duration /
+//             gap / priority edits — AMP-style scaling) retime the shared
+//             baseline plan instead of recompiling its CSR structure
+//             (DependencyGraph::structure_stamp() certifies this).
+//   simulate: dispatch the compiled plan. The source clone is released as
+//             soon as the plan exists, so a prepared case holds plan-sized
+//             memory, not graph-sized memory.
+//
+// Workers interleave the two stages from a shared queue with a bounded number
+// of prepared-but-unsimulated cases in flight: a case's clone+transform
+// overlaps other cases' simulations instead of serializing in front of its
+// own, which is what makes wide sweep matrices approach full-machine
+// throughput (§7.1's workflow: the profile is collected once, and every
+// question asked of it is cheap).
 #ifndef SRC_RUNTIME_SWEEP_H_
 #define SRC_RUNTIME_SWEEP_H_
 
@@ -39,20 +53,44 @@ struct SweepOutcome {
 struct SweepOptions {
   // Worker threads; 0 = one per hardware thread (at least 1).
   int num_threads = 0;
+  // Simulation engine per case; kReference is the differential-debugging
+  // path (`daydream sweep --engine=reference`). Cases whose scheduler is not
+  // comparator-based run on the reference engine regardless.
+  EngineKind engine = EngineKind::kEvent;
 };
 
 class SweepRunner {
  public:
-  // Keeps a reference to `daydream`; the caller must keep it alive for the
-  // runner's lifetime. All concurrent access to it is read-only.
+  // Keeps a reference to `daydream` (graph, baseline simulation and baseline
+  // plan); the caller must keep it alive for the runner's lifetime. All
+  // concurrent access to it is read-only.
   explicit SweepRunner(const Daydream& daydream, SweepOptions options = SweepOptions{});
+
+  // Benchmark/testing entry: sweep over a pre-built baseline graph without
+  // the trace machinery. `baseline_sim` is the makespan reported as every
+  // outcome's baseline; the baseline plan is compiled here, once.
+  SweepRunner(const DependencyGraph& baseline, TimeNs baseline_sim,
+              SweepOptions options = SweepOptions{});
+
+  // Non-copyable/movable: baseline_plan_ may point into owned_plan_, and the
+  // runner references caller-owned state anyway.
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   // Evaluates every case (concurrently when options.num_threads != 1);
   // outcomes are returned in case order.
   std::vector<SweepOutcome> Run(const std::vector<SweepCase>& cases) const;
 
  private:
-  const Daydream* daydream_;
+  struct Prepared;
+
+  Prepared Prepare(const SweepCase& sweep_case, size_t index) const;
+  static TimeNs Simulate(Prepared* prepared);
+
+  const DependencyGraph* baseline_graph_;
+  TimeNs baseline_sim_;
+  const SimPlan* baseline_plan_;  // Daydream's, or owned_plan_
+  SimPlan owned_plan_;
   SweepOptions options_;
 };
 

@@ -135,6 +135,26 @@ TEST(ParseClusterList, CrossProductOfShapesAndBandwidths) {
   EXPECT_EQ((*clusters)[3].gpus_per_machine, 4);
 }
 
+TEST(ParseEngineKind, DefaultsToEvent) {
+  EXPECT_EQ(ParseEngineKind(Args{}), EngineKind::kEvent);
+}
+
+TEST(ParseEngineKind, AcceptsBothEngines) {
+  Args args;
+  args.flags["engine"] = "event";
+  EXPECT_EQ(ParseEngineKind(args), EngineKind::kEvent);
+  args.flags["engine"] = "reference";
+  EXPECT_EQ(ParseEngineKind(args), EngineKind::kReference);
+}
+
+TEST(ParseEngineKind, RejectsUnknownValues) {
+  for (const char* bad : {"Event", "ref", "plan", "", " event"}) {
+    Args args;
+    args.flags["engine"] = bad;
+    EXPECT_FALSE(ParseEngineKind(args).has_value()) << "--engine '" << bad << "'";
+  }
+}
+
 TEST(ParseClusterList, RejectsAnyBadEntry) {
   for (const char* bad : {"2x2,4xa", "2x2,", ",2x2", "0x1"}) {
     Args args;

@@ -1,9 +1,12 @@
-// Differential test between the two simulator engines: the indexed
-// event-driven engine (Simulator::Run with a comparator-based scheduler) must
-// reproduce the reference Algorithm-1 scan (Simulator::RunReference) *exactly*
-// — same makespan, same per-task start/end, same per-thread accounting — on
-// every model in the zoo under every what-if transformation, on P3's
-// priority-scheduled parameter-server graphs, and on seeded random DAGs.
+// Differential test between the two simulator engines: the compiled-plan
+// event engine (Simulator::Run with a comparator-based scheduler, or an
+// explicit SimPlan) must reproduce the reference Algorithm-1 scan
+// (Simulator::RunReference) *exactly* — same makespan, same per-task
+// start/end, same per-lane accounting — on every model in the zoo under every
+// what-if transformation, on P3's priority-scheduled parameter-server graphs,
+// on replicated multi-worker cluster graphs, and on seeded random DAGs. The
+// plan Retime path (shared structure block, rebuilt timings/keys) gets the
+// same treatment.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -19,6 +22,8 @@
 #include "src/core/graph_builder.h"
 #include "src/core/optimizations/optimizations.h"
 #include "src/core/predictor.h"
+#include "src/core/sim_plan.h"
+#include "src/core/transform.h"
 #include "src/runtime/ground_truth.h"
 
 namespace daydream {
@@ -28,8 +33,11 @@ void ExpectSameResult(const SimResult& reference, const SimResult& event) {
   EXPECT_EQ(reference.makespan, event.makespan);
   EXPECT_EQ(reference.start, event.start);
   EXPECT_EQ(reference.end, event.end);
-  EXPECT_EQ(reference.thread_busy, event.thread_busy);
-  EXPECT_EQ(reference.thread_end, event.thread_end);
+  EXPECT_EQ(reference.lane_threads, event.lane_threads);
+  EXPECT_EQ(reference.lane_busy, event.lane_busy);
+  EXPECT_EQ(reference.lane_end, event.lane_end);
+  EXPECT_EQ(reference.thread_busy(), event.thread_busy());
+  EXPECT_EQ(reference.thread_end(), event.thread_end());
   EXPECT_EQ(reference.dispatched, event.dispatched);
 }
 
@@ -202,6 +210,153 @@ TEST_P(RandomGraphEquivalence, PriorityComm) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphEquivalence, ::testing::Range(1, 13));
+
+// ---- Compiled-plan specifics: explicit Compile / Retime / invalidation ----
+
+TEST(SimPlanDifferential, ClusterGraphsMatchReferenceUnderBothSchedulers) {
+  // Distributed data-parallel cluster graphs: the single-worker profile
+  // replicated across workers (the shared ReplicateWorkers helper perf_core
+  // benches with), plus the allReduce schedule of the what-if.
+  const Trace& trace = CachedTrace(ModelId::kResNet50);
+  DependencyGraph worker = BuildDependencyGraph(trace);
+  DistributedWhatIf opts;
+  opts.cluster.machines = 2;
+  opts.cluster.gpus_per_machine = 2;
+  WhatIfDistributed(&worker, trace.gradients(), opts);
+  const DependencyGraph cluster = ReplicateWorkers(worker, 4);
+
+  for (const auto& scheduler : {std::shared_ptr<Scheduler>(new EarliestStartScheduler()),
+                                std::shared_ptr<Scheduler>(new PriorityCommScheduler())}) {
+    const Simulator simulator(scheduler);
+    const SimPlan plan = simulator.Compile(cluster);
+    EXPECT_EQ(plan.num_tasks(), cluster.num_alive());
+    EXPECT_EQ(plan.num_lanes(), cluster.num_lanes());
+    ExpectSameResult(simulator.RunReference(cluster), plan.Run());
+  }
+}
+
+TEST(SimPlanDifferential, RetimeMatchesFreshCompileAndReference) {
+  const Trace& trace = CachedTrace(ModelId::kGnmt);
+  const Daydream daydream(trace);
+
+  // A timing-only what-if: AMP-style duration scaling plus gap and priority
+  // edits — everything Retime must re-read, nothing that bumps the stamp.
+  DependencyGraph transformed = daydream.CloneGraph();
+  ASSERT_EQ(transformed.structure_stamp(), daydream.graph().structure_stamp());
+  WhatIfAmp(&transformed);
+  int flip = 0;
+  for (TaskId id : transformed.Select(IsOnCpu())) {
+    Task& t = transformed.task(id);
+    t.gap = t.gap / 2;
+    t.priority = (++flip % 3) - 1;
+  }
+  ASSERT_EQ(transformed.structure_stamp(), daydream.graph().structure_stamp());
+  ASSERT_TRUE(daydream.baseline_plan().CompatibleWith(transformed));
+
+  for (const auto& scheduler : {std::shared_ptr<Scheduler>(new EarliestStartScheduler()),
+                                std::shared_ptr<Scheduler>(new PriorityCommScheduler())}) {
+    const Simulator simulator(scheduler);
+    const SimPlan retimed = simulator.Compile(transformed, &daydream.baseline_plan());
+    const SimPlan fresh = SimPlan::Compile(transformed, *scheduler);
+    const SimResult reference = simulator.RunReference(transformed);
+    ExpectSameResult(reference, retimed.Run());
+    ExpectSameResult(reference, fresh.Run());
+  }
+}
+
+TEST(SimPlanDifferential, StructuralMutationInvalidatesCompatibility) {
+  const Trace& trace = CachedTrace(ModelId::kResNet50);
+  const Daydream daydream(trace);
+
+  DependencyGraph timing_only = daydream.CloneGraph();
+  WhatIfAmp(&timing_only);
+  EXPECT_TRUE(daydream.baseline_plan().CompatibleWith(timing_only));
+
+  DependencyGraph structural = daydream.CloneGraph();
+  WhatIfFusedAdam(&structural);  // removes tasks
+  EXPECT_FALSE(daydream.baseline_plan().CompatibleWith(structural));
+
+  // Simulator::Compile silently falls back to a full compile — and the full
+  // compile still matches the reference engine on the mutated graph.
+  const Simulator simulator;
+  const SimPlan plan = simulator.Compile(structural, &daydream.baseline_plan());
+  ExpectSameResult(simulator.RunReference(structural), plan.Run());
+}
+
+// A comparator-based scheduler without a StaticPlanKey: longest duration
+// first, ties by id. Exercises the compile-time rank-by-sort fallback.
+class LongestFirstScheduler : public Scheduler {
+ public:
+  size_t Pick(const std::vector<TaskId>& frontier, const Context& context) override {
+    // The reference engine's scan over this scheduler's own tie-break order
+    // (earliest feasible first, then TieBreakLess, then id).
+    size_t best = 0;
+    for (size_t i = 1; i < frontier.size(); ++i) {
+      const TimeNs t = context.FeasibleTime(frontier[i]);
+      const TimeNs best_time = context.FeasibleTime(frontier[best]);
+      const Task& candidate = context.graph->task(frontier[i]);
+      const Task& current = context.graph->task(frontier[best]);
+      if (t < best_time ||
+          (t == best_time && (TieBreakLess(candidate, current) ||
+                              (!TieBreakLess(current, candidate) &&
+                               frontier[i] < frontier[best])))) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  bool comparator_based() const override { return true; }
+  bool TieBreakLess(const Task& a, const Task& b) const override {
+    if (a.duration != b.duration) {
+      return a.duration > b.duration;
+    }
+    return a.id < b.id;
+  }
+};
+
+TEST(SimPlanDifferential, RankFallbackSchedulerMatchesStaticKeyOrder) {
+  // Oracle: a PriorityComm clone that withholds its static key must produce
+  // the identical plan order via the rank fallback.
+  class RankedPriorityComm : public PriorityCommScheduler {
+   public:
+    bool StaticPlanKey(const Task&, uint32_t*) const override { return false; }
+  };
+  for (int seed = 1; seed <= 6; ++seed) {
+    const DependencyGraph g = RandomGraph(seed + 500, /*with_priorities=*/true);
+    const SimResult via_static =
+        SimPlan::Compile(g, PriorityCommScheduler()).Run();
+    const SimResult via_rank = SimPlan::Compile(g, RankedPriorityComm()).Run();
+    ExpectSameResult(via_static, via_rank);
+  }
+}
+
+TEST(SimPlanDifferential, RankFallbackCustomOrderOnRandomGraphs) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    const DependencyGraph g = RandomGraph(seed + 700, /*with_priorities=*/false);
+    const Simulator simulator(std::make_shared<LongestFirstScheduler>());
+    ExpectSameResult(simulator.RunReference(g), simulator.Run(g));
+  }
+}
+
+TEST(SimPlanDifferential, RandomGraphRetime) {
+  std::mt19937 rng(4242);
+  for (int seed = 1; seed <= 8; ++seed) {
+    const DependencyGraph base = RandomGraph(seed + 900, /*with_priorities=*/true);
+    const SimPlan donor = SimPlan::Compile(base, EarliestStartScheduler());
+    DependencyGraph scaled = base.Clone();
+    for (TaskId id : scaled.AliveTasks()) {
+      Task& t = scaled.task(id);
+      t.duration = t.duration / (1 + static_cast<TimeNs>(rng() % 3));
+      if (rng() % 4 == 0) {
+        t.gap = 0;
+      }
+    }
+    ASSERT_TRUE(donor.CompatibleWith(scaled));
+    const EarliestStartScheduler scheduler;
+    const SimPlan retimed = SimPlan::Retime(donor, scaled, scheduler);
+    ExpectSameResult(Simulator().RunReference(scaled), retimed.Run());
+  }
+}
 
 // ---- Deterministic tie-break regression ----
 //

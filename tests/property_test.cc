@@ -139,8 +139,8 @@ TEST_P(RandomGraphSweep, MakespanLowerBounds) {
   const DependencyGraph g = RandomDag(static_cast<uint64_t>(GetParam()), 120);
   const SimResult r = Simulator().Run(g);
   // Lower bound 1: busiest lane.
-  for (const auto& [thread, busy] : r.thread_busy) {
-    EXPECT_GE(r.makespan, busy) << thread.Label();
+  for (size_t lane = 0; lane < r.lane_busy.size(); ++lane) {
+    EXPECT_GE(r.makespan, r.lane_busy[lane]) << r.lane_threads[lane].Label();
   }
   // Lower bound 2: every edge is respected.
   for (TaskId id : g.AliveTasks()) {

@@ -99,7 +99,27 @@ TEST(Simulator, ThreadBusyAccounting) {
   g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
   g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(15)));
   const SimResult r = Simulator().Run(g);
-  EXPECT_EQ(r.thread_busy.at(ExecThread::Cpu(0)), Us(25));
+  // Flat lane-indexed accounting plus the map-shaped compatibility view.
+  ASSERT_EQ(r.lane_busy.size(), 1u);
+  EXPECT_EQ(r.lane_threads[0], ExecThread::Cpu(0));
+  EXPECT_EQ(r.lane_busy[0], Us(25));
+  EXPECT_EQ(r.lane_end[0], Us(25));
+  EXPECT_EQ(r.thread_busy().at(ExecThread::Cpu(0)), Us(25));
+  EXPECT_EQ(r.thread_end().at(ExecThread::Cpu(0)), Us(25));
+}
+
+TEST(Simulator, LanesThatNeverDispatchStayOutOfTheMapViews) {
+  DependencyGraph g;
+  const TaskId a = g.AddTask(Make(TaskType::kCpu, ExecThread::Cpu(0), Us(10)));
+  g.AddTask(Make(TaskType::kGpu, ExecThread::Gpu(0), Us(10)));
+  g.Remove(a);  // lane 0 stays interned but has no alive tasks
+  const SimResult r = Simulator().Run(g);
+  ASSERT_EQ(r.lane_end.size(), 2u);
+  EXPECT_EQ(r.lane_end[0], -1);
+  EXPECT_EQ(r.lane_busy[0], 0);
+  EXPECT_EQ(r.thread_busy().count(ExecThread::Cpu(0)), 0u);
+  EXPECT_EQ(r.thread_end().count(ExecThread::Cpu(0)), 0u);
+  EXPECT_EQ(r.thread_end().at(ExecThread::Gpu(0)), Us(10));
 }
 
 TEST(Simulator, DispatchCountsAliveOnly) {

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/core/optimizations/optimizations.h"
 #include "src/runtime/ground_truth.h"
 #include "src/runtime/sweep.h"
 
@@ -60,6 +61,45 @@ TEST(SweepRunner, ParallelOutcomesMatchSerialPredictions) {
     EXPECT_EQ(parallel[i].prediction.predicted, serial.predicted) << cases[i].name;
     EXPECT_GT(parallel[i].tasks, 0);
   }
+}
+
+TEST(SweepRunner, ReferenceEngineMatchesCompiledPlans) {
+  // --engine=reference differential: the pipelined plan path and the
+  // Algorithm-1 scan must agree on every standard case.
+  const Daydream daydream(ResNetTrace());
+  const std::vector<SweepCase> cases = BuildStandardSweep(ResNetTrace(), Clusters());
+
+  SweepOptions event_options;
+  event_options.num_threads = 4;
+  SweepOptions reference_options;
+  reference_options.num_threads = 4;
+  reference_options.engine = EngineKind::kReference;
+  const std::vector<SweepOutcome> via_plan = SweepRunner(daydream, event_options).Run(cases);
+  const std::vector<SweepOutcome> via_reference =
+      SweepRunner(daydream, reference_options).Run(cases);
+  ASSERT_EQ(via_plan.size(), via_reference.size());
+  for (size_t i = 0; i < via_plan.size(); ++i) {
+    EXPECT_EQ(via_plan[i].prediction.predicted, via_reference[i].prediction.predicted)
+        << cases[i].name;
+    EXPECT_EQ(via_plan[i].tasks, via_reference[i].tasks) << cases[i].name;
+  }
+}
+
+TEST(SweepRunner, GraphBaselineConstructorSweepsWithoutATrace) {
+  // The bench entry point: a pre-built baseline graph, no trace machinery.
+  const Daydream daydream(ResNetTrace());
+  const TimeNs baseline = daydream.BaselineSimTime();
+  const SweepRunner runner(daydream.graph(), baseline);
+  const std::vector<SweepOutcome> outcomes =
+      runner.Run({{"amp", [](DependencyGraph* g) { WhatIfAmp(g); }, nullptr},
+                  {"noop", nullptr, nullptr}});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].prediction.baseline, baseline);
+  EXPECT_EQ(outcomes[0].prediction.predicted,
+            daydream.Predict([](DependencyGraph* g) { WhatIfAmp(g); }).predicted);
+  // The untransformed case retimes the baseline plan and must reproduce the
+  // baseline simulation exactly.
+  EXPECT_EQ(outcomes[1].prediction.predicted, baseline);
 }
 
 TEST(SweepRunner, SingleThreadAndEmptyCases) {

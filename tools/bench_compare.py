@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
 """Compare a freshly produced BENCH_simulator.json against the committed baseline.
 
-Two kinds of gates:
-  1. Within-run speedup floors (dispatch, transform) read from the fresh
-     JSON's sections. These are machine-independent ratios — the hard gate.
+Three kinds of gates:
+  1. Within-run speedup floors read from the fresh JSON's sections — every
+     top-level object with both "speedup" and "floor" keys (dispatch, plan,
+     transform, ...) is gated. These are machine-independent ratios — the
+     hard gate. A section that the baseline had but the fresh run dropped is
+     a failure too (a silently deleted gate is a regression).
   2. Per-row wall-time regression vs the committed baseline, with a generous
      multiplicative tolerance (CI runners differ from the machine that
      produced the committed numbers; the tolerance absorbs that, not real
      regressions).
+  3. Row-set drift, reported by name in both directions: rows present only
+     in the baseline ("MISSING") always fail — a renamed or deleted
+     benchmark must update the committed baseline. Rows present only in the
+     fresh run ("NEW") fail by default so a rename cannot slip through as
+     delete+add; pass --allow-new-rows for PRs that intentionally add
+     benchmarks ahead of regenerating the committed file.
 
 Prints a per-row delta table (markdown) and appends it to the file named by
 $GITHUB_STEP_SUMMARY when set, so the job summary shows the trajectory.
 
 Usage:
   tools/bench_compare.py --baseline BENCH_simulator.json --fresh fresh.json \
-      [--tolerance 3.0]
+      [--tolerance 3.0] [--allow-new-rows]
 
 Exit code 0 when every gate passes, 1 otherwise. Stdlib only.
 """
@@ -32,6 +41,15 @@ def load(path):
 
 def rows_by_name(doc):
     return {row["name"]: row["ms"] for row in doc.get("benchmarks", [])}
+
+
+def floor_sections(doc):
+    """Top-level sections carrying a within-run speedup gate."""
+    return {
+        name: section
+        for name, section in doc.items()
+        if isinstance(section, dict) and "floor" in section and "speedup" in section
+    }
 
 
 def main():
@@ -52,6 +70,12 @@ def main():
         "gated — sub-millisecond best-of-N timings are too noisy on shared "
         "runners for a wall-time gate (default 5.0)",
     )
+    parser.add_argument(
+        "--allow-new-rows",
+        action="store_true",
+        help="accept rows present only in the fresh run (for PRs that add "
+        "benchmarks before the committed baseline is regenerated)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -68,10 +92,13 @@ def main():
         "| benchmark | committed (ms) | fresh (ms) | ratio | status |",
         "|---|---:|---:|---:|---|",
     ]
+    new_rows = sorted(set(fresh_rows) - set(base_rows))
+    missing_rows = sorted(set(base_rows) - set(fresh_rows))
     for name, fresh_ms in fresh_rows.items():
         base_ms = base_rows.get(name)
         if base_ms is None:
-            lines.append(f"| {name} | — | {fresh_ms:.2f} | — | new row |")
+            status = "new row" if args.allow_new_rows else "**NEW (unexpected)**"
+            lines.append(f"| {name} | — | {fresh_ms:.2f} | — | {status} |")
             continue
         ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
         status = "ok"
@@ -84,18 +111,28 @@ def main():
                 f"({ratio:.2f}x > {args.tolerance:.1f}x tolerance)"
             )
         lines.append(f"| {name} | {base_ms:.2f} | {fresh_ms:.2f} | {ratio:.2f}x | {status} |")
-    for name in sorted(set(base_rows) - set(fresh_rows)):
+    for name in missing_rows:
         lines.append(f"| {name} | {base_rows[name]:.2f} | — | — | **MISSING** |")
-        failures.append(f"row '{name}' present in the baseline but missing from the fresh run")
+    if missing_rows:
+        failures.append(
+            "rows present in the baseline but missing from the fresh run: "
+            + ", ".join(f"'{name}'" for name in missing_rows)
+        )
+    if new_rows and not args.allow_new_rows:
+        failures.append(
+            "rows present only in the fresh run: "
+            + ", ".join(f"'{name}'" for name in new_rows)
+            + " (regenerate the committed baseline, or pass --allow-new-rows)"
+        )
 
     lines.append("")
     lines.append("| floor | required | fresh | status |")
     lines.append("|---|---:|---:|---|")
-    for section in ("dispatch", "transform"):
-        sec = fresh.get(section)
-        if sec is None:
-            failures.append(f"fresh JSON lacks the '{section}' section")
-            continue
+    fresh_sections = floor_sections(fresh)
+    for section in sorted(set(floor_sections(baseline)) - set(fresh_sections)):
+        lines.append(f"| {section} speedup | — | — | **SECTION MISSING** |")
+        failures.append(f"fresh JSON lacks the gated '{section}' section the baseline has")
+    for section, sec in sorted(fresh_sections.items()):
         floor = float(sec.get("floor", 0.0))
         speedup = float(sec.get("speedup", 0.0))
         ok = speedup >= floor

@@ -99,6 +99,18 @@ std::optional<double> ParseBandwidth(const std::string& gbps) {
 
 }  // namespace
 
+std::optional<EngineKind> ParseEngineKind(const Args& args) {
+  const std::string engine = args.Get("engine", "event");
+  if (engine == "event") {
+    return EngineKind::kEvent;
+  }
+  if (engine == "reference") {
+    return EngineKind::kReference;
+  }
+  std::cerr << "bad --engine '" << engine << "' (expected event or reference)\n";
+  return std::nullopt;
+}
+
 std::optional<ClusterConfig> ParseCluster(const Args& args) {
   const std::optional<std::pair<int, int>> shape = ParseShape(args.Get("cluster", "4x1"));
   if (!shape.has_value()) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/comm/network_spec.h"
+#include "src/core/simulator.h"
 
 namespace daydream {
 
@@ -41,6 +42,12 @@ std::optional<double> ParseDouble(const std::string& text);
 // Builds a ClusterConfig from --cluster MxG and --gbps BW. Prints a
 // diagnostic to stderr and returns nullopt on malformed input.
 std::optional<ClusterConfig> ParseCluster(const Args& args);
+
+// Parses --engine {event,reference} for `daydream predict`/`sweep` (default
+// "event", the compiled-plan engine; "reference" forces the Algorithm-1 scan
+// for differential debugging without a rebuild). Prints a diagnostic to
+// stderr and returns nullopt on any other value.
+std::optional<EngineKind> ParseEngineKind(const Args& args);
 
 // Builds the cluster matrix for `daydream sweep`: the cross product of
 // --cluster (comma-separated MxG shapes, default "2x1,2x2,4x1,4x2") and

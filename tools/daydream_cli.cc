@@ -43,9 +43,11 @@ commands:
   report   --trace FILE                 breakdown + critical path + per-layer table
   predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3>
            [--cluster MxG] [--gbps BW]  (distributed/p3 options)
+           [--engine event|reference]   (reference = Algorithm-1 scan, for
+                                         differential debugging)
   sweep    --trace FILE                 evaluate the whole what-if matrix concurrently
            [--cluster M1xG1,M2xG2,...] [--gbps BW1,BW2,...] [--jobs N]
-           [--csv FILE] [--json FILE]
+           [--engine event|reference] [--csv FILE] [--json FILE]
 )";
   return 2;
 }
@@ -142,6 +144,10 @@ int CmdPredict(const Args& args) {
   }
   const std::string what_if = args.Get("what-if");
   const std::optional<ModelId> model_id = LookupModel(trace->model_name());
+  const std::optional<EngineKind> engine = ParseEngineKind(args);
+  if (!engine.has_value()) {
+    return 2;
+  }
 
   Daydream daydream(*trace);
   std::function<void(DependencyGraph*)> transform;
@@ -201,7 +207,7 @@ int CmdPredict(const Args& args) {
     return Usage();
   }
 
-  const PredictionResult r = daydream.Predict(transform, scheduler);
+  const PredictionResult r = daydream.Predict(transform, scheduler, *engine);
   std::cout << StrFormat(
       "baseline (simulated): %.1f ms\n"
       "predicted with '%s': %.1f ms (%+.1f%%)\n",
@@ -223,11 +229,16 @@ int CmdSweep(const Args& args) {
     std::cerr << "bad --jobs '" << args.Get("jobs") << "' (expected a non-negative integer)\n";
     return 2;
   }
+  const std::optional<EngineKind> engine = ParseEngineKind(args);
+  if (!engine.has_value()) {
+    return 2;
+  }
 
   const Daydream daydream(*trace);
   const std::vector<SweepCase> cases = BuildStandardSweep(*trace, *clusters);
   SweepOptions options;
   options.num_threads = *jobs;
+  options.engine = *engine;
   std::vector<SweepOutcome> outcomes = SweepRunner(daydream, options).Run(cases);
   RankBySpeedup(&outcomes);
 
