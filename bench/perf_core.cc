@@ -37,6 +37,7 @@
 #include "src/core/layer_map.h"
 #include "src/core/optimizations/amp.h"
 #include "src/core/optimizations/distributed.h"
+#include "src/core/optimizations/pipeline_transform.h"
 #include "src/core/predictor.h"
 #include "src/core/sim_plan.h"
 #include "src/core/simulator.h"
@@ -504,6 +505,26 @@ int Main(int argc, char** argv) {
       static_cast<double>(sweep_cases.size()) / (sweep_ms / 1e3);
   rows.push_back({"sweep_cluster", sweep_ms});
 
+  // Pipeline-parallel what-if at cluster scale: an 8-stage x 32-micro-batch
+  // 1F1B schedule predicted from the single-GPU profile, replicated across 16
+  // data-parallel workers. The lane count scales with stages x workers (the
+  // first workload family whose lanes grow with the what-if itself), so this
+  // row tracks SimPlan compilation + dispatch on many-lane graphs.
+  PipelineWhatIf pipe_opts;
+  pipe_opts.num_stages = 8;
+  pipe_opts.num_microbatches = 32;
+  DependencyGraph pipe_worker = graph.Clone();
+  WhatIfPipeline(&pipe_worker, BuildModel(kModel), pipe_opts);
+  const DependencyGraph pipe_cluster = ReplicateWorkers(pipe_worker, 16);
+  const SimPlan pipe_plan = simulator.Compile(pipe_cluster);
+  DD_CHECK_EQ(pipe_plan.Run().makespan, simulator.RunReference(pipe_cluster).makespan)
+      << "plan engine disagrees with the reference scan on the pipeline cluster graph";
+  const double pipeline_ms = MeasureMs([&] {
+    simulator.Compile(pipe_cluster);
+    pipe_plan.Run();
+  });
+  rows.push_back({"pipeline_cluster", pipeline_ms});
+
   TablePrinter table({"benchmark", "best(ms)"});
   for (const BenchRow& row : rows) {
     table.AddRow({row.name, StrFormat("%.2f", row.ms)});
@@ -523,6 +544,10 @@ int Main(int argc, char** argv) {
   std::cout << StrFormat(
       "cluster sweep (%zu cases over %d tasks): %.1f ms — %.2f cases/s\n",
       sweep_cases.size(), base_cluster_tasks, sweep_ms, sweep_cases_per_sec);
+  std::cout << StrFormat(
+      "pipeline cluster (8st x 32mb 1f1b x 16 workers: %d tasks, %d lanes): "
+      "compile+dispatch %.1f ms\n",
+      pipe_cluster.num_alive(), pipe_cluster.num_lanes(), pipeline_ms);
 
   std::ofstream json(out_path);
   if (!json.good()) {

@@ -1,6 +1,7 @@
 #include "src/core/optimizations/distributed.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "src/comm/collectives.h"
@@ -18,16 +19,84 @@ TimeNs PredictAllReduceDuration(int64_t bytes, const DistributedWhatIf& options)
   return NcclExclusiveTime(theoretical);
 }
 
+namespace {
+
+struct Bucket {
+  int64_t bytes = 0;
+  std::vector<int> layer_ids;
+};
+
+// Multi-iteration path: one DDP allReduce schedule per iteration window, each
+// anchored on that window's own last-backward / first-weight-update tasks.
+// Only reached for multi-iteration profiles (small: P3-style 2-iteration
+// traces), so the extra IterationStarts scans are off the sweep's hot path.
+void InsertPerIterationAllReduces(DependencyGraph* graph, const std::map<int, Bucket>& buckets,
+                                  const DistributedWhatIf& options) {
+  const std::vector<TimeNs> iterations = IterationStarts(*graph);
+  const size_t num_iterations = iterations.size();
+  auto iteration_of = [&](TimeNs start) {
+    const auto it = std::upper_bound(iterations.begin(), iterations.end(), start);
+    return static_cast<size_t>(it - iterations.begin()) - 1;
+  };
+
+  std::vector<TaskId> first_wu(num_iterations, kInvalidTask);
+  std::vector<TimeNs> first_wu_start(num_iterations, 0);
+  graph->ForEachSelected(PhaseIs(Phase::kWeightUpdate), [&](const Task& t) {
+    const size_t i = iteration_of(t.start);
+    if (first_wu[i] == kInvalidTask || t.start < first_wu_start[i]) {
+      first_wu[i] = t.id;
+      first_wu_start[i] = t.start;
+    }
+  });
+
+  std::vector<std::map<int, std::pair<TaskId, TimeNs>>> last_bwd_gpu(num_iterations);
+  graph->ForEachSelected(All(IsOnGpu(), PhaseIs(Phase::kBackward)), [&](const Task& t) {
+    auto& per_layer = last_bwd_gpu[iteration_of(t.start)];
+    auto [it, inserted] = per_layer.try_emplace(t.layer_id, t.id, t.start);
+    if (!inserted && it->second.second < t.start) {
+      it->second = {t.id, t.start};
+    }
+  });
+
+  TaskId previous_comm = kInvalidTask;  // NCCL serializes across iterations too
+  for (size_t i = 0; i < num_iterations; ++i) {
+    if (first_wu[i] == kInvalidTask) {
+      continue;  // truncated profile tail without an optimizer step
+    }
+    for (const auto& [bucket_id, bucket] : buckets) {
+      Task comm;
+      comm.type = TaskType::kComm;
+      comm.comm = CommKind::kAllReduce;
+      comm.name = StrFormat("allReduce_bucket%d_it%zu", bucket_id, i);
+      comm.thread = ExecThread::Comm(kAllReduceChannel);
+      comm.duration = PredictAllReduceDuration(bucket.bytes, options);
+      comm.bytes = bucket.bytes;
+      comm.phase = Phase::kBackward;
+      const TaskId comm_id = graph->AddTask(std::move(comm));
+
+      for (int layer_id : bucket.layer_ids) {
+        auto it = last_bwd_gpu[i].find(layer_id);
+        if (it != last_bwd_gpu[i].end()) {
+          graph->AddEdge(it->second.first, comm_id);
+        }
+      }
+      graph->AddEdge(comm_id, first_wu[i]);
+      if (previous_comm != kInvalidTask) {
+        graph->AddEdge(previous_comm, comm_id);
+      }
+      previous_comm = comm_id;
+    }
+  }
+}
+
+}  // namespace
+
 void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& gradients,
                        const DistributedWhatIf& options) {
   if (options.cluster.total_gpus() <= 1) {
     return;
   }
 
-  struct Bucket {
-    int64_t bytes = 0;
-    std::vector<int> layer_ids;
-  };
   std::map<int, Bucket> buckets;
   for (const GradientInfo& g : gradients) {
     DD_CHECK_GE(g.bucket_id, 0) << "trace lacks the layer->bucket instrumentation";
@@ -50,14 +119,29 @@ void WhatIfDistributed(DependencyGraph* graph, const std::vector<GradientInfo>& 
   DD_CHECK_NE(first_wu, kInvalidTask) << "no weight-update phase in the profile";
 
   // Last backward GPU task per layer (the moment that layer's gradients are
-  // ready, per the synchronization-free layer mapping).
+  // ready, per the synchronization-free layer mapping). max_bwd_start rides
+  // along to certify the single-iteration shape below.
   std::map<int, std::pair<TaskId, TimeNs>> last_bwd_gpu;
+  TimeNs max_bwd_start = std::numeric_limits<TimeNs>::min();
   graph->ForEachSelected(All(IsOnGpu(), PhaseIs(Phase::kBackward)), [&](const Task& t) {
+    max_bwd_start = std::max(max_bwd_start, t.start);
     auto [it, inserted] = last_bwd_gpu.try_emplace(t.layer_id, t.id, t.start);
     if (!inserted && it->second.second < t.start) {
       it->second = {t.id, t.start};
     }
   });
+
+  // Anchors must be resolved per training iteration: on a multi-iteration
+  // profile the global "last backward" is iteration N's while the first
+  // weight update is iteration 1's — wiring those together points an edge
+  // backward in time (a cycle). A single-iteration profile (every backward
+  // before the first optimizer step — certified by the folds above at no
+  // extra cost, the shape every cluster-scale sweep case has) takes the
+  // direct path; anything else re-resolves anchors per iteration window.
+  if (max_bwd_start >= first_wu_start) {
+    InsertPerIterationAllReduces(graph, buckets, options);
+    return;
+  }
 
   TaskId previous_comm = kInvalidTask;
   for (const auto& [bucket_id, bucket] : buckets) {

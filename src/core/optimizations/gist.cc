@@ -19,9 +19,96 @@ TaskId LaunchOf(const DependencyGraph& graph, TaskId gpu) {
   return kInvalidTask;
 }
 
+// One training iteration's worth of a layer's forward/backward GPU tasks.
+struct IterationSpan {
+  std::vector<TaskId> fwd;
+  std::vector<TaskId> bwd;
+};
+
+// Buckets a layer's (start-sorted) forward and backward task lists by the
+// profile's IterationStarts windows. Encoding the last forward of iteration 2
+// and splicing its decode before the first backward of iteration 1 used to
+// point an edge backward in time — a cycle — on every multi-iteration
+// profile (e.g. the 2-iteration traces P3 needs).
+std::vector<IterationSpan> SplitIterations(const DependencyGraph& graph,
+                                           const std::vector<TimeNs>& iteration_starts,
+                                           const std::vector<TaskId>& fwd,
+                                           const std::vector<TaskId>& bwd) {
+  std::vector<IterationSpan> spans(iteration_starts.size());
+  auto window_of = [&](TimeNs start) {
+    const auto it = std::upper_bound(iteration_starts.begin(), iteration_starts.end(), start);
+    return static_cast<size_t>(it - iteration_starts.begin()) - 1;
+  };
+  for (TaskId id : fwd) {
+    spans[window_of(graph.task(id).start)].fwd.push_back(id);
+  }
+  for (TaskId id : bwd) {
+    spans[window_of(graph.task(id).start)].bwd.push_back(id);
+  }
+  return spans;
+}
+
+// Inserts one encode-after-forward / decode-before-backward pair for a
+// layer's tasks within a single iteration.
+void ApplyGistToSpan(DependencyGraph* graph, const Layer& layer, bool relu_target,
+                     const GistWhatIf& options, const std::vector<TaskId>& fwd,
+                     const std::vector<TaskId>& bwd) {
+  // Estimate codec cost from this layer's own (elementwise) forward kernel:
+  // encode/decode make one extra pass over the same activation data.
+  const TimeNs codec = static_cast<TimeNs>(static_cast<double>(graph->task(fwd.back()).duration) *
+                                           options.codec_cost_factor);
+  const char* scheme = relu_target ? (options.lossy ? "binarize" : "ssdc") : "dpr";
+
+  Task encode;
+  encode.type = TaskType::kGpu;
+  encode.name = StrFormat("elementwise_kernel_gist_encode_%s", scheme);
+  encode.thread = graph->task(fwd.back()).thread;
+  encode.duration = codec;
+  encode.layer_id = layer.id;
+  encode.phase = Phase::kForward;
+  const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
+  const InsertedKernel enc = InsertKernelAfter(
+      graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, fwd.back(),
+      std::move(encode));
+  graph->AddEdge(fwd.back(), enc.kernel);
+
+  Task decode;
+  decode.type = TaskType::kGpu;
+  decode.name = StrFormat("elementwise_kernel_gist_decode_%s", scheme);
+  decode.thread = graph->task(bwd.front()).thread;
+  decode.duration = codec;
+  decode.layer_id = layer.id;
+  decode.phase = Phase::kBackward;
+  const TaskId bwd_launch = LaunchOf(*graph, bwd.front());
+  // Decode immediately before the backward task: splice the GPU task before
+  // it on the stream so the backward consumes decoded data.
+  const TaskId launch_anchor = bwd_launch == kInvalidTask ? bwd.front() : bwd_launch;
+  Task decode_launch;
+  decode_launch.type = TaskType::kCpu;
+  decode_launch.api = ApiKind::kLaunchKernel;
+  decode_launch.name = StrFormat("cudaLaunchKernel(%s)", decode.name.c_str());
+  decode_launch.thread = graph->task(launch_anchor).is_cpu()
+                             ? graph->task(launch_anchor).thread
+                             : ExecThread::Cpu(0);
+  decode_launch.duration = 7 * kMicrosecond;
+  decode_launch.layer_id = layer.id;
+  decode_launch.phase = Phase::kBackward;
+  TaskId dl;
+  if (graph->task(launch_anchor).is_cpu()) {
+    dl = graph->InsertBefore(launch_anchor, std::move(decode_launch));
+  } else {
+    dl = graph->InsertAfter(launch_anchor, std::move(decode_launch));
+  }
+  const TaskId dk = graph->InsertBefore(bwd.front(), std::move(decode));
+  graph->AddEdge(dl, dk);
+  graph->AddEdge(enc.kernel, dk);
+  graph->AddEdge(dk, bwd.front());
+}
+
 }  // namespace
 
 void WhatIfGist(DependencyGraph* graph, const ModelGraph& model, const GistWhatIf& options) {
+  const std::vector<TimeNs> iteration_starts = IterationStarts(*graph);
   for (const Layer& layer : model.layers()) {
     const bool relu_target = layer.kind == LayerKind::kReLU;
     const bool dpr_target = options.lossy && (layer.kind == LayerKind::kMaxPool ||
@@ -29,61 +116,18 @@ void WhatIfGist(DependencyGraph* graph, const ModelGraph& model, const GistWhatI
     if (!relu_target && !dpr_target) {
       continue;
     }
-    const std::vector<TaskId> fwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
-    const std::vector<TaskId> bwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
-    if (fwd.empty() || bwd.empty()) {
-      continue;
+    const std::vector<TaskId> all_fwd =
+        SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
+    const std::vector<TaskId> all_bwd =
+        SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
+    // Encode/decode pairs must stay within one iteration (multi-iteration
+    // profiles interleave fwd/bwd groups in time).
+    for (const IterationSpan& span : SplitIterations(*graph, iteration_starts, all_fwd, all_bwd)) {
+      if (span.fwd.empty() || span.bwd.empty()) {
+        continue;
+      }
+      ApplyGistToSpan(graph, layer, relu_target, options, span.fwd, span.bwd);
     }
-    // Estimate codec cost from this layer's own (elementwise) forward kernel:
-    // encode/decode make one extra pass over the same activation data.
-    const TimeNs codec = static_cast<TimeNs>(static_cast<double>(graph->task(fwd.back()).duration) *
-                                             options.codec_cost_factor);
-    const char* scheme = relu_target ? (options.lossy ? "binarize" : "ssdc") : "dpr";
-
-    Task encode;
-    encode.type = TaskType::kGpu;
-    encode.name = StrFormat("elementwise_kernel_gist_encode_%s", scheme);
-    encode.thread = graph->task(fwd.back()).thread;
-    encode.duration = codec;
-    encode.layer_id = layer.id;
-    encode.phase = Phase::kForward;
-    const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
-    const InsertedKernel enc = InsertKernelAfter(
-        graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, fwd.back(),
-        std::move(encode));
-    graph->AddEdge(fwd.back(), enc.kernel);
-
-    Task decode;
-    decode.type = TaskType::kGpu;
-    decode.name = StrFormat("elementwise_kernel_gist_decode_%s", scheme);
-    decode.thread = graph->task(bwd.front()).thread;
-    decode.duration = codec;
-    decode.layer_id = layer.id;
-    decode.phase = Phase::kBackward;
-    const TaskId bwd_launch = LaunchOf(*graph, bwd.front());
-    // Decode immediately before the backward task: splice the GPU task before
-    // it on the stream so the backward consumes decoded data.
-    const TaskId launch_anchor = bwd_launch == kInvalidTask ? bwd.front() : bwd_launch;
-    Task decode_launch;
-    decode_launch.type = TaskType::kCpu;
-    decode_launch.api = ApiKind::kLaunchKernel;
-    decode_launch.name = StrFormat("cudaLaunchKernel(%s)", decode.name.c_str());
-    decode_launch.thread = graph->task(launch_anchor).is_cpu()
-                               ? graph->task(launch_anchor).thread
-                               : ExecThread::Cpu(0);
-    decode_launch.duration = 7 * kMicrosecond;
-    decode_launch.layer_id = layer.id;
-    decode_launch.phase = Phase::kBackward;
-    TaskId dl;
-    if (graph->task(launch_anchor).is_cpu()) {
-      dl = graph->InsertBefore(launch_anchor, std::move(decode_launch));
-    } else {
-      dl = graph->InsertAfter(launch_anchor, std::move(decode_launch));
-    }
-    const TaskId dk = graph->InsertBefore(bwd.front(), std::move(decode));
-    graph->AddEdge(dl, dk);
-    graph->AddEdge(enc.kernel, dk);
-    graph->AddEdge(dk, bwd.front());
   }
 }
 

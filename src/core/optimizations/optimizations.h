@@ -10,6 +10,7 @@
 #include "src/core/optimizations/gist.h"
 #include "src/core/optimizations/metaflow.h"
 #include "src/core/optimizations/p3.h"
+#include "src/core/optimizations/pipeline_transform.h"
 #include "src/core/optimizations/restructured_batchnorm.h"
 #include "src/core/optimizations/vdnn.h"
 

@@ -1,0 +1,117 @@
+#include "src/core/optimizations/pipeline_transform.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/transform.h"
+#include "src/util/logging.h"
+
+namespace daydream {
+
+namespace {
+
+// Accumulates per-layer GPU time for one phase; returns the unattributed
+// (layer_id < 0 or out-of-range) remainder.
+TimeNs AccumulatePhase(const DependencyGraph& graph, Phase phase, int num_layers,
+                       std::vector<TimeNs>* per_layer,
+                       TimeNs PipelineLayerCost::*slot,
+                       std::vector<PipelineLayerCost>* costs) {
+  TimeNs unattributed = 0;
+  graph.ForEachSelected(All(IsOnGpu(), PhaseIs(phase)), [&](const Task& t) {
+    if (t.layer_id >= 0 && t.layer_id < num_layers) {
+      (*per_layer)[static_cast<size_t>(t.layer_id)] += t.duration;
+    } else {
+      unattributed += t.duration;
+    }
+  });
+  for (int l = 0; l < num_layers; ++l) {
+    (*costs)[static_cast<size_t>(l)].*slot = (*per_layer)[static_cast<size_t>(l)];
+    (*per_layer)[static_cast<size_t>(l)] = 0;
+  }
+  return unattributed;
+}
+
+// Spreads `extra` over the layers proportionally to their already-attributed
+// time in `slot` (evenly when nothing was attributed), conserving totals.
+void SpreadUnattributed(TimeNs extra, TimeNs PipelineLayerCost::*slot,
+                        std::vector<PipelineLayerCost>* costs) {
+  if (extra <= 0 || costs->empty()) {
+    return;
+  }
+  TimeNs attributed = 0;
+  for (const PipelineLayerCost& c : *costs) {
+    attributed += c.*slot;
+  }
+  const int n = static_cast<int>(costs->size());
+  if (attributed <= 0) {
+    for (PipelineLayerCost& c : *costs) {
+      c.*slot += extra / n;
+    }
+    return;
+  }
+  for (PipelineLayerCost& c : *costs) {
+    c.*slot += static_cast<TimeNs>(static_cast<double>(extra) * static_cast<double>(c.*slot) /
+                                   static_cast<double>(attributed));
+  }
+}
+
+}  // namespace
+
+std::vector<PipelineLayerCost> MeasureLayerCosts(const DependencyGraph& graph,
+                                                 const ModelGraph& model) {
+  const int num_layers = model.num_layers();
+  DD_CHECK_GE(num_layers, 1) << "model has no layers";
+  std::vector<PipelineLayerCost> costs(static_cast<size_t>(num_layers));
+  std::vector<TimeNs> scratch(static_cast<size_t>(num_layers), 0);
+
+  const TimeNs stray_fwd =
+      AccumulatePhase(graph, Phase::kForward, num_layers, &scratch, &PipelineLayerCost::fwd, &costs);
+  const TimeNs stray_bwd = AccumulatePhase(graph, Phase::kBackward, num_layers, &scratch,
+                                           &PipelineLayerCost::bwd, &costs);
+  SpreadUnattributed(stray_fwd, &PipelineLayerCost::fwd, &costs);
+  SpreadUnattributed(stray_bwd, &PipelineLayerCost::bwd, &costs);
+
+  for (int l = 0; l < num_layers; ++l) {
+    const Layer& layer = model.layer(l);
+    costs[static_cast<size_t>(l)].param_bytes = layer.param_bytes_fp32();
+    costs[static_cast<size_t>(l)].activation_bytes = layer.output_elems * 4;
+  }
+  return costs;
+}
+
+TimeNs MeasureWeightUpdateTime(const DependencyGraph& graph) {
+  TimeNs total = 0;
+  graph.ForEachSelected(All(IsOnGpu(), PhaseIs(Phase::kWeightUpdate)),
+                        [&](const Task& t) { total += t.duration; });
+  return total;
+}
+
+PipelineBuild BuildPipelineWhatIf(const DependencyGraph& profiled, const ModelGraph& model,
+                                  const PipelineWhatIf& options) {
+  const std::vector<PipelineLayerCost> costs = MeasureLayerCosts(profiled, model);
+
+  StagePartition partition;
+  if (!options.boundaries.empty()) {
+    partition = PartitionAtBoundaries(model.num_layers(), options.boundaries);
+  } else {
+    const int stages = std::clamp(options.num_stages, 1, model.num_layers());
+    partition = PartitionBalanced(costs, stages);
+  }
+
+  PipelineScheduleOptions schedule;
+  schedule.num_microbatches = std::max(1, options.num_microbatches);
+  schedule.schedule = options.schedule;
+  schedule.network = options.network;
+  schedule.launch_overhead = options.launch_overhead;
+  schedule.microbatch_efficiency = options.microbatch_efficiency;
+  schedule.weight_update_total = MeasureWeightUpdateTime(profiled);
+  return BuildPipelineGraph(costs, partition, schedule);
+}
+
+void WhatIfPipeline(DependencyGraph* graph, const ModelGraph& model,
+                    const PipelineWhatIf& options) {
+  PipelineBuild build = BuildPipelineWhatIf(*graph, model, options);
+  *graph = std::move(build.graph);
+}
+
+}  // namespace daydream

@@ -1,0 +1,69 @@
+// What-if model for pipeline parallelism (GPipe / PipeDream-style 1F1B).
+//
+// From a *single-GPU* profile, predicts the per-iteration time of the same
+// model trained as an S-stage pipeline with M micro-batches: per-layer
+// forward/backward GPU costs are measured from the profiled dependency graph
+// (the synchronization-free layer mapping attributes every kernel), the stage
+// partitioner splits the layer range — balanced by measured cost, or at
+// explicit boundaries — and the schedule builder (src/parallel/pipeline.h)
+// emits the pipelined execution as a fresh dependency graph that replaces the
+// profiled one. Inter-stage activation/gradient transfers are priced as P2P
+// wire time over the configured network; per-stage optimizer time is the
+// profile's weight-update GPU time split by parameter volume.
+//
+// Like every Daydream what-if, the prediction deliberately omits effects the
+// profile cannot see: micro-batching efficiency loss defaults to none
+// (options.microbatch_efficiency) and the per-stage CPU lanes carry only
+// launch overhead, not the framework's Python dispatch structure.
+#ifndef SRC_CORE_OPTIMIZATIONS_PIPELINE_TRANSFORM_H_
+#define SRC_CORE_OPTIMIZATIONS_PIPELINE_TRANSFORM_H_
+
+#include <vector>
+
+#include "src/comm/network_spec.h"
+#include "src/core/dependency_graph.h"
+#include "src/models/model_graph.h"
+#include "src/parallel/pipeline.h"
+
+namespace daydream {
+
+struct PipelineWhatIf {
+  // Stage count is clamped to the model's layer count.
+  int num_stages = 2;
+  int num_microbatches = 4;
+  PipelineScheduleKind schedule = PipelineScheduleKind::k1F1B;
+  // Explicit partition: first layers of stages 1..S-1 (overrides num_stages
+  // when non-empty). Empty = balanced by measured cost.
+  std::vector<int> boundaries;
+  // Inter-stage P2P link.
+  NetworkSpec network;
+  TimeNs launch_overhead = 7 * kMicrosecond;
+  double microbatch_efficiency = 1.0;
+};
+
+// Per-layer costs measured from a profiled single-GPU graph: sums of GPU-task
+// durations by (layer, phase). GPU time the layer map could not attribute
+// (layer_id < 0) is spread across layers proportionally to their attributed
+// cost so the pipelined total conserves the profiled compute. Parameter and
+// activation sizes come from the model graph.
+std::vector<PipelineLayerCost> MeasureLayerCosts(const DependencyGraph& graph,
+                                                 const ModelGraph& model);
+
+// Total weight-update GPU time of the profile (split across stages by the
+// schedule builder).
+TimeNs MeasureWeightUpdateTime(const DependencyGraph& graph);
+
+// Builds the pipeline execution graph predicted for `profiled` under
+// `options` without touching `profiled` (exposed for tests and benches that
+// need the task-id maps).
+PipelineBuild BuildPipelineWhatIf(const DependencyGraph& profiled, const ModelGraph& model,
+                                  const PipelineWhatIf& options);
+
+// The SweepRunner-shaped entry point: replaces `*graph` (a clone of the
+// profiled single-GPU graph) with the predicted pipeline execution graph.
+void WhatIfPipeline(DependencyGraph* graph, const ModelGraph& model,
+                    const PipelineWhatIf& options);
+
+}  // namespace daydream
+
+#endif  // SRC_CORE_OPTIMIZATIONS_PIPELINE_TRANSFORM_H_

@@ -1,6 +1,7 @@
 #include "src/core/transform.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -102,6 +103,54 @@ std::vector<TaskId> SelectLayerGpuSortedByStart(const DependencyGraph& graph, in
     return graph.task(a).start < graph.task(b).start;
   });
   return ids;
+}
+
+std::vector<TimeNs> IterationStarts(const DependencyGraph& graph) {
+  constexpr TimeNs kMin = std::numeric_limits<TimeNs>::min();
+  constexpr TimeNs kMax = std::numeric_limits<TimeNs>::max();
+
+  // Single-iteration fast path: when every forward-phase GPU task precedes
+  // all backward/weight-update GPU work there is exactly one iteration, and
+  // two streaming folds over the phase indexes settle it — no sort, no
+  // per-task allocation. This is the shape every sweep case hits at cluster
+  // scale (perf_core's distributed-transform floor rides on it).
+  TimeNs max_fwd = kMin;
+  graph.ForEachSelected(All(IsOnGpu(), PhaseIs(Phase::kForward)),
+                        [&](const Task& t) { max_fwd = std::max(max_fwd, t.start); });
+  TimeNs min_post = kMax;
+  for (const Phase phase : {Phase::kBackward, Phase::kWeightUpdate}) {
+    graph.ForEachSelected(All(IsOnGpu(), PhaseIs(phase)),
+                          [&](const Task& t) { min_post = std::min(min_post, t.start); });
+  }
+  if (max_fwd == kMin || min_post == kMax || max_fwd < min_post) {
+    return {kMin};
+  }
+
+  // Multi-iteration profile (small: P3-style 2-iteration traces): sort the
+  // phase-cycle timeline and split on backward->forward transitions.
+  std::vector<std::pair<TimeNs, Phase>> gpu;
+  graph.ForEachSelected(IsOnGpu(), [&](const Task& t) {
+    if (t.phase == Phase::kForward || t.phase == Phase::kBackward ||
+        t.phase == Phase::kWeightUpdate) {
+      gpu.emplace_back(t.start, t.phase);
+    }
+  });
+  std::sort(gpu.begin(), gpu.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<TimeNs> starts = {kMin};
+  bool past_forward = false;
+  for (const auto& [start, phase] : gpu) {
+    if (phase == Phase::kForward) {
+      if (past_forward) {
+        starts.push_back(start);
+        past_forward = false;
+      }
+    } else {
+      past_forward = true;
+    }
+  }
+  return starts;
 }
 
 void ShrinkBy(DependencyGraph* graph, const std::vector<TaskId>& ids, double divisor) {

@@ -38,6 +38,16 @@ TaskQuery Not(TaskQuery a);
 std::vector<TaskId> SelectLayerGpuSortedByStart(const DependencyGraph& graph, int layer_id,
                                                 Phase phase);
 
+// Iteration segmentation of a (possibly multi-iteration) profile: ascending
+// start markers such that a task belongs to iteration i when
+// starts[i] <= task.start < starts[i+1] (the last iteration is unbounded).
+// Derived from the GPU phase cycle — a forward-phase task that appears after
+// backward/weight-update work opens the next iteration. Single-iteration
+// profiles yield one marker. What-ifs that anchor edges on "the last backward"
+// or "the first weight update" must resolve those anchors per iteration, or
+// they wire edges backward in time on multi-iteration traces.
+std::vector<TimeNs> IterationStarts(const DependencyGraph& graph);
+
 // ---- Scale / shrink ----
 
 // Divides the duration of each selected task by `divisor` (> 0). A divisor of

@@ -18,11 +18,18 @@ const char* ModelName(ModelId id) {
       return "BERT_Base";
     case ModelId::kBertLarge:
       return "BERT_Large";
+    case ModelId::kTinyMlp:
+      return "TinyMLP";
   }
   return "?";
 }
 
 std::vector<ModelId> AllModels() {
+  return {ModelId::kResNet50, ModelId::kVgg19,    ModelId::kDenseNet121, ModelId::kGnmt,
+          ModelId::kBertBase, ModelId::kBertLarge, ModelId::kTinyMlp};
+}
+
+std::vector<ModelId> PaperModels() {
   return {ModelId::kResNet50, ModelId::kVgg19,    ModelId::kDenseNet121,
           ModelId::kGnmt,     ModelId::kBertBase, ModelId::kBertLarge};
 }
@@ -41,6 +48,8 @@ int64_t DefaultBatch(ModelId id) {
       return 8;
     case ModelId::kBertLarge:
       return 2;  // 11 GB with 384-token sequences
+    case ModelId::kTinyMlp:
+      return 32;
   }
   DD_LOG(Fatal) << "unknown model";
   return 1;
@@ -60,6 +69,8 @@ ModelGraph BuildModel(ModelId id, int64_t batch) {
       return BuildBertBase(batch);
     case ModelId::kBertLarge:
       return BuildBertLarge(batch);
+    case ModelId::kTinyMlp:
+      return BuildTinyMlp(batch);
   }
   DD_LOG(Fatal) << "unknown model";
   return ModelGraph("invalid", 1);

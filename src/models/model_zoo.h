@@ -4,6 +4,9 @@
 //   Machine translation:  GNMT (WMT16)
 //   Language modeling:    BERT base / BERT large (SQuAD)
 //
+// Plus TinyMLP, a milliseconds-scale smoke model (not in the paper) used by
+// the golden-fixture and pipeline-schedule tests.
+//
 // Builders produce layer graphs with the real layer counts and parameter
 // shapes of the published architectures; parameter totals are asserted
 // against the literature values in tests/models_test.cc.
@@ -24,10 +27,15 @@ enum class ModelId {
   kGnmt,
   kBertBase,
   kBertLarge,
+  kTinyMlp,
 };
 
 const char* ModelName(ModelId id);
 std::vector<ModelId> AllModels();
+// The paper's evaluation set (Table 2): AllModels() without TinyMLP. Tests
+// that assert paper-scale magnitudes (iteration times, accuracy bounds,
+// sample-count floors) iterate these.
+std::vector<ModelId> PaperModels();
 
 // Per-GPU mini-batch sizes matching the paper's 11 GB RTX 2080 Ti budget.
 int64_t DefaultBatch(ModelId id);
@@ -45,6 +53,8 @@ ModelGraph BuildGnmt(int64_t batch, int64_t seq_len = 32);
 // BERT for SQuAD: 384-token sequences.
 ModelGraph BuildBertBase(int64_t batch, int64_t seq_len = 384);
 ModelGraph BuildBertLarge(int64_t batch, int64_t seq_len = 384);
+// Four small linear layers + loss; the fast smoke/fixture model.
+ModelGraph BuildTinyMlp(int64_t batch);
 
 }  // namespace daydream
 

@@ -1,0 +1,25 @@
+// TinyMLP: a deliberately small MNIST-scale MLP for fast end-to-end fixtures.
+//
+// Not part of the paper's evaluation set — it exists so golden-fixture tests
+// and pipeline-schedule differentials can collect, persist and re-simulate a
+// complete trace in milliseconds, with committed fixtures small enough to
+// diff. Three hidden linear layers of decreasing width give the stage
+// partitioner genuinely unbalanced per-layer costs.
+#include "src/models/model_zoo.h"
+
+namespace daydream {
+
+ModelGraph BuildTinyMlp(int64_t batch) {
+  ModelGraph g("TinyMLP", batch);
+  int prev = g.AddLayer(MakeLinear("fc1", batch, 784, 256), {});
+  prev = g.AddLayer(MakeReLU("fc1.relu", batch * 256), {prev});
+  prev = g.AddLayer(MakeLinear("fc2", batch, 256, 128), {prev});
+  prev = g.AddLayer(MakeReLU("fc2.relu", batch * 128), {prev});
+  prev = g.AddLayer(MakeLinear("fc3", batch, 128, 64), {prev});
+  prev = g.AddLayer(MakeReLU("fc3.relu", batch * 64), {prev});
+  prev = g.AddLayer(MakeLinear("fc4", batch, 64, 10), {prev});
+  g.AddLayer(MakeSoftmaxLoss("loss", batch, 10), {prev});
+  return g;
+}
+
+}  // namespace daydream

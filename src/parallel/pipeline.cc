@@ -1,0 +1,403 @@
+#include "src/parallel/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/comm/collectives.h"
+#include "src/kernels/layer_kernels.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+const char* ToString(PipelineScheduleKind kind) {
+  switch (kind) {
+    case PipelineScheduleKind::kGPipe:
+      return "gpipe";
+    case PipelineScheduleKind::k1F1B:
+      return "1f1b";
+  }
+  return "?";
+}
+
+std::vector<PipelineLayerCost> EstimateLayerCosts(const ModelGraph& model,
+                                                  const CostModel& cost_model) {
+  std::vector<PipelineLayerCost> costs;
+  costs.reserve(static_cast<size_t>(model.num_layers()));
+  for (const Layer& layer : model.layers()) {
+    PipelineLayerCost c;
+    const LayerKernelSet kernels = ExpandLayer(layer);
+    for (const KernelSpec& k : kernels.forward) {
+      c.fwd += cost_model.KernelDuration(k, Precision::kFp32);
+    }
+    for (const KernelSpec& k : kernels.backward) {
+      c.bwd += cost_model.KernelDuration(k, Precision::kFp32);
+    }
+    c.param_bytes = layer.param_bytes_fp32();
+    c.activation_bytes = layer.output_elems * 4;
+    costs.push_back(c);
+  }
+  return costs;
+}
+
+int StagePartition::StageOf(int layer) const {
+  DD_CHECK(layer >= 0 && layer < num_layers) << "layer " << layer << " out of range";
+  // first_layer is ascending: the stage is the last boundary <= layer.
+  const auto it = std::upper_bound(first_layer.begin(), first_layer.end(), layer);
+  return static_cast<int>(it - first_layer.begin()) - 1;
+}
+
+TimeNs StagePartition::StageCost(const std::vector<PipelineLayerCost>& costs, int stage) const {
+  TimeNs total = 0;
+  for (int l = layer_begin(stage); l < layer_end(stage); ++l) {
+    total += costs[static_cast<size_t>(l)].compute();
+  }
+  return total;
+}
+
+int64_t StagePartition::StageParamBytes(const std::vector<PipelineLayerCost>& costs,
+                                        int stage) const {
+  int64_t total = 0;
+  for (int l = layer_begin(stage); l < layer_end(stage); ++l) {
+    total += costs[static_cast<size_t>(l)].param_bytes;
+  }
+  return total;
+}
+
+int64_t StagePartition::BoundaryActivationBytes(const std::vector<PipelineLayerCost>& costs,
+                                                int stage) const {
+  const int last = layer_end(stage) - 1;
+  return costs[static_cast<size_t>(last)].activation_bytes;
+}
+
+bool StagePartition::Validate(std::string* error) const {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  if (num_layers <= 0) {
+    return fail("num_layers must be positive");
+  }
+  if (first_layer.empty()) {
+    return fail("no stages");
+  }
+  if (first_layer.front() != 0) {
+    return fail("stage 0 must start at layer 0");
+  }
+  for (size_t s = 0; s < first_layer.size(); ++s) {
+    if (first_layer[s] < 0 || first_layer[s] >= num_layers) {
+      return fail(StrFormat("stage %zu starts at out-of-range layer %d", s, first_layer[s]));
+    }
+    if (s > 0 && first_layer[s] <= first_layer[s - 1]) {
+      return fail(StrFormat("stage %zu boundary %d not ascending", s, first_layer[s]));
+    }
+  }
+  return true;
+}
+
+StagePartition PartitionBalanced(const std::vector<PipelineLayerCost>& costs, int num_stages) {
+  const int n = static_cast<int>(costs.size());
+  DD_CHECK_GE(num_stages, 1) << "need at least one stage";
+  DD_CHECK_GE(n, num_stages) << "more stages than layers";
+
+  // prefix[i] = cost of layers [0, i).
+  std::vector<TimeNs> prefix(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + costs[static_cast<size_t>(i)].compute();
+  }
+  auto range_cost = [&](int begin, int end) {
+    return prefix[static_cast<size_t>(end)] - prefix[static_cast<size_t>(begin)];
+  };
+
+  // best[s][i]: minimal bottleneck cost splitting layers [0, i) into s+1
+  // stages, each non-empty. split[s][i]: first layer of the last stage.
+  constexpr TimeNs kInf = std::numeric_limits<TimeNs>::max();
+  const size_t num_s = static_cast<size_t>(num_stages);
+  std::vector<std::vector<TimeNs>> best(num_s, std::vector<TimeNs>(static_cast<size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> split(num_s, std::vector<int>(static_cast<size_t>(n) + 1, 0));
+  for (int i = 1; i <= n; ++i) {
+    best[0][static_cast<size_t>(i)] = range_cost(0, i);
+  }
+  for (int s = 1; s < num_stages; ++s) {
+    for (int i = s + 1; i <= n; ++i) {
+      // Last stage covers [j, i); previous s stages cover [0, j).
+      for (int j = s; j < i; ++j) {
+        const TimeNs left = best[static_cast<size_t>(s) - 1][static_cast<size_t>(j)];
+        if (left == kInf) {
+          continue;
+        }
+        const TimeNs candidate = std::max(left, range_cost(j, i));
+        if (candidate < best[static_cast<size_t>(s)][static_cast<size_t>(i)]) {
+          best[static_cast<size_t>(s)][static_cast<size_t>(i)] = candidate;
+          split[static_cast<size_t>(s)][static_cast<size_t>(i)] = j;
+        }
+      }
+    }
+  }
+
+  StagePartition partition;
+  partition.num_layers = n;
+  partition.first_layer.assign(static_cast<size_t>(num_stages), 0);
+  int end = n;
+  for (int s = num_stages - 1; s >= 1; --s) {
+    const int begin = split[static_cast<size_t>(s)][static_cast<size_t>(end)];
+    partition.first_layer[static_cast<size_t>(s)] = begin;
+    end = begin;
+  }
+  std::string error;
+  DD_CHECK(partition.Validate(&error)) << "balanced partition invalid: " << error;
+  return partition;
+}
+
+StagePartition PartitionAtBoundaries(int num_layers, const std::vector<int>& boundaries) {
+  StagePartition partition;
+  partition.num_layers = num_layers;
+  partition.first_layer.push_back(0);
+  partition.first_layer.insert(partition.first_layer.end(), boundaries.begin(), boundaries.end());
+  std::string error;
+  DD_CHECK(partition.Validate(&error)) << "explicit partition invalid: " << error;
+  return partition;
+}
+
+namespace {
+
+// One compute slot of a stage's schedule.
+struct ScheduleOp {
+  Phase phase = Phase::kForward;  // kForward or kBackward
+  int microbatch = 0;
+};
+
+// Per-stage op order. GPipe: every forward, then every backward. 1F1B: warm
+// up with min(M, S - s) forwards, then alternate backward/forward until the
+// forwards run out, then drain the remaining backwards. Backwards retire in
+// micro-batch order under both schedules, which keeps the per-link gradient
+// channels' sequential order consistent with the data dependencies.
+std::vector<ScheduleOp> StageOps(PipelineScheduleKind kind, int stage, int num_stages,
+                                 int microbatches) {
+  std::vector<ScheduleOp> ops;
+  ops.reserve(static_cast<size_t>(microbatches) * 2);
+  if (kind == PipelineScheduleKind::kGPipe) {
+    for (int m = 0; m < microbatches; ++m) {
+      ops.push_back({Phase::kForward, m});
+    }
+    for (int m = 0; m < microbatches; ++m) {
+      ops.push_back({Phase::kBackward, m});
+    }
+    return ops;
+  }
+  const int warmup = std::min(microbatches, num_stages - stage);
+  int next_fwd = 0;
+  int next_bwd = 0;
+  for (; next_fwd < warmup; ++next_fwd) {
+    ops.push_back({Phase::kForward, next_fwd});
+  }
+  while (next_fwd < microbatches) {
+    ops.push_back({Phase::kBackward, next_bwd++});
+    ops.push_back({Phase::kForward, next_fwd++});
+  }
+  while (next_bwd < microbatches) {
+    ops.push_back({Phase::kBackward, next_bwd++});
+  }
+  return ops;
+}
+
+}  // namespace
+
+TimeNs UniformPipelineMakespan(int num_stages, int num_microbatches, TimeNs fwd_per_microbatch,
+                               TimeNs bwd_per_microbatch) {
+  return static_cast<TimeNs>(num_microbatches + num_stages - 1) *
+         (fwd_per_microbatch + bwd_per_microbatch);
+}
+
+int PipelineBubbleSlots(int num_stages) { return 2 * (num_stages - 1); }
+
+PipelineBuild BuildPipelineGraph(const std::vector<PipelineLayerCost>& costs,
+                                 const StagePartition& partition,
+                                 const PipelineScheduleOptions& options) {
+  std::string error;
+  DD_CHECK(partition.Validate(&error)) << error;
+  DD_CHECK_EQ(partition.num_layers, static_cast<int>(costs.size()));
+  DD_CHECK_GE(options.num_microbatches, 1) << "need at least one micro-batch";
+  DD_CHECK(options.microbatch_efficiency > 0.0) << "micro-batch efficiency must be positive";
+
+  const int num_stages = partition.num_stages();
+  const int microbatches = options.num_microbatches;
+
+  PipelineBuild build;
+  build.partition = partition;
+  build.options = options;
+  auto per_stage_ids = [&] {
+    return std::vector<std::vector<TaskId>>(static_cast<size_t>(num_stages),
+                                            std::vector<TaskId>(static_cast<size_t>(microbatches), kInvalidTask));
+  };
+  build.forward = per_stage_ids();
+  build.backward = per_stage_ids();
+  const size_t num_links = static_cast<size_t>(std::max(0, num_stages - 1));
+  build.act_send.assign(num_links, std::vector<TaskId>(static_cast<size_t>(microbatches), kInvalidTask));
+  build.grad_send.assign(num_links, std::vector<TaskId>(static_cast<size_t>(microbatches), kInvalidTask));
+  build.weight_update.assign(static_cast<size_t>(num_stages), kInvalidTask);
+
+  // Per-micro-batch compute durations, with the (optional) small-batch
+  // efficiency discount.
+  auto microbatch_time = [&](TimeNs full_batch) {
+    const double scaled = static_cast<double>(full_batch) /
+                          (static_cast<double>(microbatches) * options.microbatch_efficiency);
+    return static_cast<TimeNs>(scaled);
+  };
+  std::vector<TimeNs> stage_fwd(static_cast<size_t>(num_stages), 0);
+  std::vector<TimeNs> stage_bwd(static_cast<size_t>(num_stages), 0);
+  int64_t total_param_bytes = 0;
+  for (int s = 0; s < num_stages; ++s) {
+    TimeNs fwd = 0;
+    TimeNs bwd = 0;
+    for (int l = partition.layer_begin(s); l < partition.layer_end(s); ++l) {
+      fwd += costs[static_cast<size_t>(l)].fwd;
+      bwd += costs[static_cast<size_t>(l)].bwd;
+    }
+    stage_fwd[static_cast<size_t>(s)] = microbatch_time(fwd);
+    stage_bwd[static_cast<size_t>(s)] = microbatch_time(bwd);
+    total_param_bytes += partition.StageParamBytes(costs, s);
+  }
+
+  DependencyGraph& graph = build.graph;
+  const int ops_per_stage = 2 * microbatches + (options.weight_update_total > 0 ? 1 : 0);
+  graph.Reserve(num_stages * 2 * ops_per_stage +
+                static_cast<int>(num_links) * 2 * microbatches);
+
+  // Lane insertion order IS the schedule; compute the per-stage op orders
+  // once and emit CPU launches, GPU compute, then the per-link transfers in
+  // that order so LinkSequential() pins each lane to the interleaving.
+  std::vector<std::vector<ScheduleOp>> stage_ops(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    stage_ops[static_cast<size_t>(s)] =
+        StageOps(options.schedule, s, num_stages, microbatches);
+  }
+
+  // CPU dispatch lanes: one launch task per compute op, same order.
+  std::vector<std::vector<TaskId>> launch_of(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    auto& launches = launch_of[static_cast<size_t>(s)];
+    for (const ScheduleOp& op : stage_ops[static_cast<size_t>(s)]) {
+      Task launch;
+      launch.type = TaskType::kCpu;
+      launch.api = ApiKind::kLaunchKernel;
+      launch.name = StrFormat("launch_%s_s%d_m%d", op.phase == Phase::kForward ? "fwd" : "bwd", s,
+                              op.microbatch);
+      launch.thread = ExecThread::Cpu(s);
+      launch.duration = options.launch_overhead;
+      launch.phase = op.phase;
+      launches.push_back(graph.AddTask(std::move(launch)));
+    }
+    if (options.weight_update_total > 0) {
+      Task launch;
+      launch.type = TaskType::kCpu;
+      launch.api = ApiKind::kLaunchKernel;
+      launch.name = StrFormat("launch_wu_s%d", s);
+      launch.thread = ExecThread::Cpu(s);
+      launch.duration = options.launch_overhead;
+      launch.phase = Phase::kWeightUpdate;
+      launches.push_back(graph.AddTask(std::move(launch)));
+    }
+  }
+
+  // GPU compute lanes.
+  for (int s = 0; s < num_stages; ++s) {
+    for (const ScheduleOp& op : stage_ops[static_cast<size_t>(s)]) {
+      Task compute;
+      compute.type = TaskType::kGpu;
+      compute.name = StrFormat("%s_s%d_m%d", op.phase == Phase::kForward ? "fwd" : "bwd", s,
+                               op.microbatch);
+      compute.thread = ExecThread::Gpu(s);
+      compute.duration = op.phase == Phase::kForward ? stage_fwd[static_cast<size_t>(s)]
+                                                     : stage_bwd[static_cast<size_t>(s)];
+      compute.phase = op.phase;
+      compute.layer_id = partition.layer_begin(s);
+      const TaskId id = graph.AddTask(std::move(compute));
+      auto& table = op.phase == Phase::kForward ? build.forward : build.backward;
+      table[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)] = id;
+    }
+    if (options.weight_update_total > 0) {
+      Task wu;
+      wu.type = TaskType::kGpu;
+      wu.name = StrFormat("weight_update_s%d", s);
+      wu.thread = ExecThread::Gpu(s);
+      wu.phase = Phase::kWeightUpdate;
+      wu.layer_id = partition.layer_begin(s);
+      wu.duration = total_param_bytes > 0
+                        ? options.weight_update_total * partition.StageParamBytes(costs, s) /
+                              total_param_bytes
+                        : options.weight_update_total / num_stages;
+      build.weight_update[static_cast<size_t>(s)] = graph.AddTask(std::move(wu));
+    }
+  }
+
+  // Per-link transfer lanes, micro-batch order (consistent with both schedule
+  // kinds: forwards and backwards retire in micro-batch order on every stage).
+  for (size_t link = 0; link < num_links; ++link) {
+    const int64_t payload =
+        build.partition.BoundaryActivationBytes(costs, static_cast<int>(link)) / microbatches;
+    const TimeNs wire = PsTransferTime(payload, options.network);
+    for (int m = 0; m < microbatches; ++m) {
+      Task send;
+      send.type = TaskType::kComm;
+      send.comm = CommKind::kP2p;
+      send.name = StrFormat("act_send_l%zu_m%d", link, m);
+      send.thread = ExecThread::Comm(static_cast<int>(link));
+      send.duration = wire;
+      send.bytes = payload;
+      send.phase = Phase::kForward;
+      build.act_send[link][static_cast<size_t>(m)] = graph.AddTask(std::move(send));
+    }
+    for (int m = 0; m < microbatches; ++m) {
+      Task send;
+      send.type = TaskType::kComm;
+      send.comm = CommKind::kP2p;
+      send.name = StrFormat("grad_send_l%zu_m%d", link, m);
+      send.thread = ExecThread::Comm(kPipelineGradChannelBase + static_cast<int>(link));
+      send.duration = wire;  // activation-gradients mirror the activation payload
+      send.bytes = payload;
+      send.phase = Phase::kBackward;
+      build.grad_send[link][static_cast<size_t>(m)] = graph.AddTask(std::move(send));
+    }
+  }
+
+  // Sequential edges along every lane: this pins the schedule interleaving.
+  graph.LinkSequential();
+
+  // Semantic edges.
+  for (int s = 0; s < num_stages; ++s) {
+    const auto& ops = stage_ops[static_cast<size_t>(s)];
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const ScheduleOp& op = ops[i];
+      const TaskId compute = op.phase == Phase::kForward
+                                 ? build.forward[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)]
+                                 : build.backward[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)];
+      // Launch correlation.
+      graph.AddEdge(launch_of[static_cast<size_t>(s)][i], compute);
+    }
+    if (build.weight_update[static_cast<size_t>(s)] != kInvalidTask) {
+      graph.AddEdge(launch_of[static_cast<size_t>(s)].back(),
+                    build.weight_update[static_cast<size_t>(s)]);
+    }
+  }
+  for (size_t link = 0; link < num_links; ++link) {
+    const int s = static_cast<int>(link);
+    for (int m = 0; m < microbatches; ++m) {
+      const size_t mi = static_cast<size_t>(m);
+      // Activations: fwd(s, m) -> send -> fwd(s+1, m).
+      graph.AddEdge(build.forward[static_cast<size_t>(s)][mi], build.act_send[link][mi]);
+      graph.AddEdge(build.act_send[link][mi], build.forward[static_cast<size_t>(s) + 1][mi]);
+      // Activation gradients: bwd(s+1, m) -> send -> bwd(s, m).
+      graph.AddEdge(build.backward[static_cast<size_t>(s) + 1][mi], build.grad_send[link][mi]);
+      graph.AddEdge(build.grad_send[link][mi], build.backward[static_cast<size_t>(s)][mi]);
+    }
+  }
+
+  DD_CHECK(build.graph.Validate(&error)) << "pipeline graph invalid: " << error;
+  return build;
+}
+
+}  // namespace daydream

@@ -1,0 +1,155 @@
+// Pipeline-parallel what-if machinery: stage partitioning over a layer DAG
+// and GPipe / 1F1B micro-batch schedules emitted as dependency-graph lanes.
+//
+// Pipeline parallelism (GPipe, Huang et al.; PipeDream's 1F1B, Harlap et al.)
+// splits the model into S contiguous stages, each owning one GPU, and streams
+// M micro-batches through them. Whether it beats data parallelism for a given
+// model/cluster is exactly the kind of question Daydream targets: answerable
+// from a single-GPU profile, before anyone implements the partitioned trainer.
+//
+// The subsystem has three parts:
+//   1. per-layer costs (PipelineLayerCost) — estimated from the model via the
+//      roofline kernel cost model, or measured from a profiled dependency
+//      graph (src/core/optimizations/pipeline_transform.h does the latter);
+//   2. a stage partitioner — balanced-by-cost (exact contiguous-partition DP
+//      minimizing the bottleneck stage) or explicit layer boundaries;
+//   3. a schedule builder that expands (partition, schedule kind, M) into a
+//      DependencyGraph: per-stage GPU streams and CPU dispatch threads,
+//      micro-batch compute tasks in schedule order, and inter-stage
+//      activation/gradient P2P transfers on per-link communication channels
+//      priced by comm/network_spec wire time.
+//
+// The emitted graph is a normal Daydream graph: both simulator engines run
+// it, SimPlan compiles it, and SweepRunner treats it as one more what-if case.
+#ifndef SRC_PARALLEL_PIPELINE_H_
+#define SRC_PARALLEL_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/comm/network_spec.h"
+#include "src/core/dependency_graph.h"
+#include "src/kernels/cost_model.h"
+#include "src/models/model_graph.h"
+
+namespace daydream {
+
+enum class PipelineScheduleKind {
+  kGPipe,  // all forwards, then all backwards (per stage)
+  k1F1B,   // warm-up forwards, then alternate one-backward-one-forward
+};
+
+const char* ToString(PipelineScheduleKind kind);
+
+// Per-layer inputs to the partitioner and schedule builder. Times are for the
+// FULL mini-batch; the schedule builder divides by the micro-batch count.
+struct PipelineLayerCost {
+  TimeNs fwd = 0;
+  TimeNs bwd = 0;
+  int64_t param_bytes = 0;       // parameter/gradient volume owned by the layer
+  int64_t activation_bytes = 0;  // full-batch activation output (the P2P payload)
+
+  TimeNs compute() const { return fwd + bwd; }
+};
+
+// Model-only estimate via the roofline cost model: every kernel of the
+// layer's forward/backward expansion priced at FP32.
+std::vector<PipelineLayerCost> EstimateLayerCosts(const ModelGraph& model,
+                                                  const CostModel& cost_model);
+
+// Contiguous assignment of layers to stages. Stage s covers the half-open
+// layer range [first_layer[s], first_layer[s+1]) (the last stage ends at
+// num_layers), so every layer belongs to exactly one stage by construction —
+// Validate() checks the representation invariants that guarantee it.
+struct StagePartition {
+  std::vector<int> first_layer;  // ascending; first_layer[0] == 0
+  int num_layers = 0;
+
+  int num_stages() const { return static_cast<int>(first_layer.size()); }
+  int layer_begin(int stage) const { return first_layer[static_cast<size_t>(stage)]; }
+  int layer_end(int stage) const {
+    return stage + 1 < num_stages() ? first_layer[static_cast<size_t>(stage) + 1] : num_layers;
+  }
+  int StageOf(int layer) const;
+
+  // Sum of fwd+bwd cost over the stage's layers.
+  TimeNs StageCost(const std::vector<PipelineLayerCost>& costs, int stage) const;
+  int64_t StageParamBytes(const std::vector<PipelineLayerCost>& costs, int stage) const;
+  // Activation payload crossing the link after `stage` (the last layer's
+  // full-batch activation output).
+  int64_t BoundaryActivationBytes(const std::vector<PipelineLayerCost>& costs, int stage) const;
+
+  // first_layer[0] == 0, strictly ascending, all within [0, num_layers), and
+  // num_layers > 0 — together: every layer is in exactly one stage.
+  bool Validate(std::string* error = nullptr) const;
+};
+
+// Balanced-by-cost: the contiguous partition minimizing the maximum per-stage
+// fwd+bwd cost (exact interval-partition DP, O(S * L^2)). Requires
+// 1 <= num_stages <= costs.size(). Ties prefer earlier boundaries.
+StagePartition PartitionBalanced(const std::vector<PipelineLayerCost>& costs, int num_stages);
+
+// Explicit mode: `boundaries` lists the first layer of stages 1..S-1 (strictly
+// ascending, in (0, num_layers)). An empty list yields a single stage.
+StagePartition PartitionAtBoundaries(int num_layers, const std::vector<int>& boundaries);
+
+// Lane layout of the emitted graph, for S stages:
+//   ExecThread::Gpu(s)               stage s compute stream
+//   ExecThread::Cpu(s)               stage s dispatch thread
+//   ExecThread::Comm(s)              activations over link s (stage s -> s+1)
+//   ExecThread::Comm(kPipelineGradChannelBase + s)
+//                                    gradients over link s (stage s+1 -> s)
+// Links are full-duplex: each direction is its own serialized channel.
+inline constexpr int kPipelineGradChannelBase = 1000;
+
+struct PipelineScheduleOptions {
+  int num_microbatches = 4;
+  PipelineScheduleKind schedule = PipelineScheduleKind::k1F1B;
+  // Inter-stage P2P link; transfers are priced as wire time + latency
+  // (PsTransferTime), one transfer at a time per direction.
+  NetworkSpec network;
+  // CPU-side dispatch cost per compute task (cudaLaunchKernel-sized).
+  TimeNs launch_overhead = 7 * kMicrosecond;
+  // Total optimizer-step GPU time for the whole model, split across stages
+  // proportionally to their parameter bytes. 0 = no weight-update tasks.
+  TimeNs weight_update_total = 0;
+  // Compute-efficiency discount for small micro-batches: per-micro-batch
+  // compute time is (full_batch_time / M) / efficiency. 1.0 = perfectly
+  // linear micro-batch scaling (optimistic; documented in docs/pipeline.md).
+  double microbatch_efficiency = 1.0;
+};
+
+// The emitted graph plus the task-id maps tests and analyses need.
+struct PipelineBuild {
+  DependencyGraph graph;
+  StagePartition partition;
+  PipelineScheduleOptions options;
+  // [stage][microbatch] -> GPU compute task id.
+  std::vector<std::vector<TaskId>> forward;
+  std::vector<std::vector<TaskId>> backward;
+  // [link][microbatch] -> communication task id (links: 0..S-2).
+  std::vector<std::vector<TaskId>> act_send;
+  std::vector<std::vector<TaskId>> grad_send;
+  // Per-stage optimizer task (kInvalidTask when weight_update_total == 0).
+  std::vector<TaskId> weight_update;
+};
+
+// Expands (costs, partition, options) into the pipeline dependency graph.
+// Task order within each lane *is* the schedule: LinkSequential pins it, so
+// the simulator replays exactly the requested interleaving.
+PipelineBuild BuildPipelineGraph(const std::vector<PipelineLayerCost>& costs,
+                                 const StagePartition& partition,
+                                 const PipelineScheduleOptions& options);
+
+// Closed-form bubble model (uniform stage cost f+b, zero comm/launch): both
+// GPipe and non-interleaved 1F1B idle for (S-1) forward and (S-1) backward
+// slots per stage, so the iteration spans (M + S - 1) * (f + b) — verified
+// against the simulator in tests/pipeline_test.cc.
+TimeNs UniformPipelineMakespan(int num_stages, int num_microbatches, TimeNs fwd_per_microbatch,
+                               TimeNs bwd_per_microbatch);
+// Idle compute slots per stage under uniform costs: 2 * (S - 1).
+int PipelineBubbleSlots(int num_stages);
+
+}  // namespace daydream
+
+#endif  // SRC_PARALLEL_PIPELINE_H_

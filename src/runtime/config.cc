@@ -43,6 +43,8 @@ OptimizerKind DefaultOptimizer(ModelId model) {
     case ModelId::kBertBase:
     case ModelId::kBertLarge:
       return OptimizerKind::kAdam;
+    case ModelId::kTinyMlp:
+      return OptimizerKind::kSgdMomentum;
   }
   return OptimizerKind::kSgdMomentum;
 }
@@ -74,6 +76,9 @@ RunConfig DefaultRunConfig(ModelId model) {
     case ModelId::kBertLarge:
       config.cpu_scale = 1.13;
       config.wu_gap_scale = 1.3;
+      break;
+    case ModelId::kTinyMlp:
+      config.cpu_scale = 1.0;  // smoke/fixture model; plain defaults
       break;
   }
   return config;

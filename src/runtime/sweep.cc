@@ -207,6 +207,33 @@ std::vector<SweepCase> BuildStandardSweep(const Trace& trace,
   return cases;
 }
 
+bool AppendPipelineSweep(std::vector<SweepCase>* cases, const Trace& trace,
+                         const PipelineSweepSpec& spec) {
+  const std::optional<ModelId> model_id = LookupModel(trace.model_name());
+  if (!model_id.has_value()) {
+    return false;
+  }
+  auto model = std::make_shared<const ModelGraph>(BuildModel(*model_id));
+  std::vector<PipelineScheduleKind> schedules = spec.schedules;
+  if (schedules.empty()) {
+    schedules = {PipelineScheduleKind::k1F1B, PipelineScheduleKind::kGPipe};
+  }
+  for (const int stages : spec.stages) {
+    for (const PipelineScheduleKind kind : schedules) {
+      PipelineWhatIf opts;
+      opts.num_stages = stages;
+      opts.num_microbatches = spec.microbatches;
+      opts.schedule = kind;
+      opts.network = spec.network;
+      cases->push_back({StrFormat("pipeline %dst/%dmb %s", stages, spec.microbatches,
+                                  ToString(kind)),
+                        [model, opts](DependencyGraph* g) { WhatIfPipeline(g, *model, opts); },
+                        nullptr});
+    }
+  }
+  return true;
+}
+
 void RankBySpeedup(std::vector<SweepOutcome>* outcomes) {
   std::sort(outcomes->begin(), outcomes->end(), [](const SweepOutcome& a, const SweepOutcome& b) {
     if (a.prediction.predicted != b.prediction.predicted) {

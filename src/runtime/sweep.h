@@ -31,6 +31,7 @@
 
 #include "src/comm/network_spec.h"
 #include "src/core/predictor.h"
+#include "src/parallel/pipeline.h"
 
 namespace daydream {
 
@@ -101,6 +102,22 @@ class SweepRunner {
 // trace and reports a different metric (steady-state iteration span).
 std::vector<SweepCase> BuildStandardSweep(const Trace& trace,
                                           const std::vector<ClusterConfig>& clusters);
+
+// The pipeline-parallel corner of the sweep matrix: stages × schedules at one
+// micro-batch count (`daydream sweep --pipeline-stages 2,4 --microbatches 4
+// --schedule 1f1b`).
+struct PipelineSweepSpec {
+  std::vector<int> stages;                       // e.g. {2, 4}
+  int microbatches = 4;
+  std::vector<PipelineScheduleKind> schedules;   // empty = both kinds
+  NetworkSpec network;                           // inter-stage P2P link
+};
+
+// Appends one case per stages × schedules cell. Pipeline what-ifs need the
+// model graph for activation/parameter sizes, so the trace's model must be in
+// the zoo: returns false (appending nothing) when it is not.
+bool AppendPipelineSweep(std::vector<SweepCase>* cases, const Trace& trace,
+                         const PipelineSweepSpec& spec);
 
 // Sorts outcomes best-first: predicted makespan ascending, ties by name.
 void RankBySpeedup(std::vector<SweepOutcome>* outcomes);

@@ -71,6 +71,11 @@ void WriteChromeTrace(const Trace& trace, std::ostream& os) {
                    R"("args":{"name":"GPU stream %d"}})",
                    1000 + sid, sid));
   }
+  for (int cid : trace.CommChannelIds()) {
+    emit(StrFormat(R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,)"
+                   R"("args":{"name":"comm channel %d"}})",
+                   2000 + cid, cid));
+  }
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind == EventKind::kLayerMarker) {

@@ -85,6 +85,16 @@ std::vector<int> Trace::GpuStreamIds() const {
   return {ids.begin(), ids.end()};
 }
 
+std::vector<int> Trace::CommChannelIds() const {
+  std::set<int> ids;
+  for (const TraceEvent& e : events_) {
+    if (e.is_comm()) {
+      ids.insert(e.channel_id);
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
 int Trace::CountKind(EventKind kind) const {
   int n = 0;
   for (const TraceEvent& e : events_) {

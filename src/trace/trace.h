@@ -76,6 +76,7 @@ class Trace {
   std::vector<const TraceEvent*> GpuEvents(int stream_id) const;
   std::vector<int> CpuThreadIds() const;
   std::vector<int> GpuStreamIds() const;
+  std::vector<int> CommChannelIds() const;
   int CountKind(EventKind kind) const;
 
   // Reconstructs per-layer CPU windows from the kLayerMarker events. Markers

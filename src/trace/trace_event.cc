@@ -76,6 +76,8 @@ const char* ToString(CommKind kind) {
       return "push";
     case CommKind::kPull:
       return "pull";
+    case CommKind::kP2p:
+      return "p2p";
   }
   return "?";
 }

@@ -55,6 +55,7 @@ enum class CommKind {
   kAllGather,
   kPush,  // parameter-server push (worker -> server)
   kPull,  // parameter-server pull (server -> worker)
+  kP2p,   // point-to-point transfer (pipeline-parallel activation/gradient)
 };
 
 // Which phase of the training iteration a layer marker / task belongs to.

@@ -57,7 +57,7 @@ std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
     const auto kind = ParseEnum(f[1], EventKind::kCommunication);
     const auto api = ParseEnum(f[2], ApiKind::kOther);
     const auto memcpy_kind = ParseEnum(f[3], MemcpyKind::kDeviceToDevice);
-    const auto comm_kind = ParseEnum(f[4], CommKind::kPull);
+    const auto comm_kind = ParseEnum(f[4], CommKind::kP2p);
     const auto phase = ParseEnum(f[12], Phase::kWeightUpdate);
     if (!kind || !api || !memcpy_kind || !comm_kind || !phase) {
       return std::nullopt;

@@ -167,5 +167,59 @@ TEST(ParseClusterList, RejectsAnyBadEntry) {
   EXPECT_FALSE(ParseClusterList(args).has_value());
 }
 
+TEST(ParsePipelineFlags, DisabledWhenStagesAbsent) {
+  const std::optional<PipelineFlags> flags = ParsePipelineFlags(Args{});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_FALSE(flags->enabled);
+}
+
+TEST(ParsePipelineFlags, ParsesStagesMicrobatchesAndSchedule) {
+  Args args;
+  args.flags["pipeline-stages"] = "2,4,8";
+  args.flags["microbatches"] = "16";
+  args.flags["schedule"] = "gpipe";
+  const std::optional<PipelineFlags> flags = ParsePipelineFlags(args);
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(flags->enabled);
+  EXPECT_EQ(flags->stages, (std::vector<int>{2, 4, 8}));
+  EXPECT_EQ(flags->microbatches, 16);
+  ASSERT_EQ(flags->schedules.size(), 1u);
+  EXPECT_EQ(flags->schedules.front(), PipelineScheduleKind::kGPipe);
+}
+
+TEST(ParsePipelineFlags, DefaultsToFourMicrobatchesAndBothSchedules) {
+  Args args;
+  args.flags["pipeline-stages"] = "2";
+  const std::optional<PipelineFlags> flags = ParsePipelineFlags(args);
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->microbatches, 4);
+  EXPECT_TRUE(flags->schedules.empty());  // empty = both kinds
+}
+
+TEST(ParsePipelineFlags, RejectsMalformedValues) {
+  for (const char* bad : {"0", "-2", "2,", "2,x", "fast"}) {
+    Args args;
+    args.flags["pipeline-stages"] = bad;
+    EXPECT_FALSE(ParsePipelineFlags(args).has_value()) << "--pipeline-stages " << bad;
+  }
+  Args bad_mb;
+  bad_mb.flags["pipeline-stages"] = "2";
+  bad_mb.flags["microbatches"] = "0";
+  EXPECT_FALSE(ParsePipelineFlags(bad_mb).has_value());
+  Args bad_schedule;
+  bad_schedule.flags["pipeline-stages"] = "2";
+  bad_schedule.flags["schedule"] = "warp";
+  EXPECT_FALSE(ParsePipelineFlags(bad_schedule).has_value());
+}
+
+TEST(ParsePipelineFlags, ScheduleWithoutStagesIsAnError) {
+  Args args;
+  args.flags["schedule"] = "1f1b";
+  EXPECT_FALSE(ParsePipelineFlags(args).has_value());
+  Args mb;
+  mb.flags["microbatches"] = "4";
+  EXPECT_FALSE(ParsePipelineFlags(mb).has_value());
+}
+
 }  // namespace
 }  // namespace daydream

@@ -211,6 +211,94 @@ TEST_P(RandomGraphEquivalence, PriorityComm) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphEquivalence, ::testing::Range(1, 13));
 
+// ---- Pipeline-parallel schedules ----
+//
+// Every generated pipeline graph (stages x micro-batches x schedule kind)
+// must dispatch identically on the compiled-plan event engine and the
+// reference Algorithm-1 scan: the lane count scales with stages and the
+// schedule is pinned by lane order, which makes these the widest-frontier
+// graphs a what-if produces from a single profile.
+class PipelineDifferential
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};  // stages, mb, schedule
+
+TEST_P(PipelineDifferential, EventEngineReproducesReference) {
+  const int stages = std::get<0>(GetParam());
+  const int microbatches = std::get<1>(GetParam());
+  const auto kind = std::get<2>(GetParam()) == 0 ? PipelineScheduleKind::kGPipe
+                                                 : PipelineScheduleKind::k1F1B;
+
+  const Trace& trace = CachedTrace(ModelId::kTinyMlp);
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  DependencyGraph graph = BuildDependencyGraph(trace);
+  PipelineWhatIf options;
+  options.num_stages = stages;
+  options.num_microbatches = microbatches;
+  options.schedule = kind;
+  WhatIfPipeline(&graph, model, options);
+
+  const Simulator simulator;
+  ExpectSameResult(simulator.RunReference(graph), simulator.Run(graph));
+}
+
+std::string PipelineCaseName(const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  return std::string(std::get<2>(info.param) == 0 ? "gpipe" : "fb") + "_s" +
+         std::to_string(std::get<0>(info.param)) + "_m" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(StagesByMicrobatches, PipelineDifferential,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                                            ::testing::Values(1, 2, 4, 7),
+                                            ::testing::Values(0, 1)),
+                         PipelineCaseName);
+
+// The same differential on a paper model, at the shapes the CLI sweeps.
+TEST(PipelineDifferentialModels, GnmtPipelines) {
+  const Trace& trace = CachedTrace(ModelId::kGnmt);
+  const ModelGraph model = BuildModel(ModelId::kGnmt);
+  for (const auto kind : {PipelineScheduleKind::kGPipe, PipelineScheduleKind::k1F1B}) {
+    for (const int stages : {2, 4}) {
+      DependencyGraph graph = BuildDependencyGraph(trace);
+      PipelineWhatIf options;
+      options.num_stages = stages;
+      options.num_microbatches = 4;
+      options.schedule = kind;
+      WhatIfPipeline(&graph, model, options);
+      const Simulator simulator;
+      ExpectSameResult(simulator.RunReference(graph), simulator.Run(graph));
+    }
+  }
+}
+
+// Random retimes of a pipeline plan: the shared-structure Retime path must
+// stay exact on stage-by-micro-batch lane layouts.
+TEST(PipelineDifferentialRetime, RandomRetimesMatchReference) {
+  const Trace& trace = CachedTrace(ModelId::kTinyMlp);
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  std::mt19937 rng(20260730);
+  for (int round = 0; round < 6; ++round) {
+    DependencyGraph graph = BuildDependencyGraph(trace);
+    PipelineWhatIf options;
+    options.num_stages = 2 + round % 3;
+    options.num_microbatches = 1 + round;
+    options.schedule =
+        round % 2 == 0 ? PipelineScheduleKind::kGPipe : PipelineScheduleKind::k1F1B;
+    WhatIfPipeline(&graph, model, options);
+
+    const SimPlan donor = SimPlan::Compile(graph, EarliestStartScheduler());
+    DependencyGraph scaled = graph.Clone();
+    for (TaskId id : scaled.AliveTasks()) {
+      Task& t = scaled.task(id);
+      t.duration = t.duration / (1 + static_cast<TimeNs>(rng() % 4));
+      if (rng() % 3 == 0) {
+        t.gap = static_cast<TimeNs>(rng() % 20) * Us(1);
+      }
+    }
+    ASSERT_TRUE(donor.CompatibleWith(scaled));
+    const SimPlan retimed = SimPlan::Retime(donor, scaled, EarliestStartScheduler());
+    ExpectSameResult(Simulator().RunReference(scaled), retimed.Run());
+  }
+}
+
 // ---- Compiled-plan specifics: explicit Compile / Retime / invalidation ----
 
 TEST(SimPlanDifferential, ClusterGraphsMatchReferenceUnderBothSchedulers) {

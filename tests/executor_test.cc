@@ -17,7 +17,7 @@ std::string ParamName(const ::testing::TestParamInfo<ModelId>& info) {
 }
 
 class ExecutorModelTest : public ::testing::TestWithParam<ModelId> {};
-INSTANTIATE_TEST_SUITE_P(ModelZoo, ExecutorModelTest, ::testing::ValuesIn(AllModels()),
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ExecutorModelTest, ::testing::ValuesIn(PaperModels()),
                          ParamName);
 
 TEST_P(ExecutorModelTest, BaselineTraceIsValid) {

@@ -313,7 +313,7 @@ std::string BuilderParamName(const ::testing::TestParamInfo<ModelId>& info) {
   return name;
 }
 
-INSTANTIATE_TEST_SUITE_P(ModelZoo, BuilderModelTest, ::testing::ValuesIn(AllModels()),
+INSTANTIATE_TEST_SUITE_P(ModelZoo, BuilderModelTest, ::testing::ValuesIn(PaperModels()),
                          BuilderParamName);
 
 TEST_P(BuilderModelTest, GraphValidAndComplete) {

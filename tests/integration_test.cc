@@ -211,7 +211,7 @@ TEST(PaperAccuracy, PredictionsAreDeterministic) {
 TEST(PaperAccuracy, BaselineSimulationReproducesMeasurement) {
   // Phase-2 fidelity across every model: the simulated untransformed graph
   // must match the measured iteration (the paper's implicit correctness bar).
-  for (ModelId model : AllModels()) {
+  for (ModelId model : PaperModels()) {
     const Trace trace = CollectBaselineTrace(DefaultRunConfig(model));
     Daydream dd(trace);
     EXPECT_LT(RelErrorPct(static_cast<double>(dd.BaselineSimTime()),

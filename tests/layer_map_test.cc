@@ -17,7 +17,7 @@ std::string ParamName(const ::testing::TestParamInfo<ModelId>& info) {
 }
 
 class LayerMapModelTest : public ::testing::TestWithParam<ModelId> {};
-INSTANTIATE_TEST_SUITE_P(ModelZoo, LayerMapModelTest, ::testing::ValuesIn(AllModels()),
+INSTANTIATE_TEST_SUITE_P(ModelZoo, LayerMapModelTest, ::testing::ValuesIn(PaperModels()),
                          ParamName);
 
 TEST_P(LayerMapModelTest, MatchesExecutorGroundTruth) {

@@ -401,12 +401,51 @@ TEST_F(OptimizationsTest, GistOverheadPredicted) {
   EXPECT_LT(r.predicted, static_cast<TimeNs>(r.baseline * 1.5));  // moderate overhead
 }
 
+// Regression: on a multi-iteration profile, Gist used to wire the encode of
+// the LAST iteration's forward into the FIRST iteration's backward — an edge
+// backward in time, i.e. a cycle. Codec pairs must stay within one iteration.
+TEST_F(OptimizationsTest, GistStaysAcyclicOnTwoIterationTraces) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp), /*iterations=*/2);
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  DependencyGraph g = BuildDependencyGraph(trace);
+  WhatIfGist(&g, model);
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+  // One encode kernel per ReLU layer per iteration.
+  EXPECT_EQ(g.Select(All(IsOnGpu(), NameContains("gist_encode"))).size(),
+            2u * static_cast<size_t>(model.CountKind(LayerKind::kReLU)));
+  EXPECT_GT(Simulator().Run(g).makespan, 0);
+}
+
 TEST_F(OptimizationsTest, GistLossyAddsDprKernels) {
   DependencyGraph g = resnet_->CloneGraph();
   GistWhatIf opts;
   opts.lossy = true;
   WhatIfGist(&g, *resnet_model_, opts);
   EXPECT_GT(g.Select(NameContains("gist_encode_dpr")).size(), 0u);
+}
+
+// Regression: the DDP what-if resolved "last backward" and "first weight
+// update" globally, which on a 2-iteration profile wired iteration-2
+// gradients into iteration-1's optimizer step (a cycle). One allReduce
+// schedule per iteration window keeps the graph acyclic.
+TEST_F(OptimizationsTest, DistributedStaysAcyclicOnTwoIterationTraces) {
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp), /*iterations=*/2);
+  DependencyGraph g = BuildDependencyGraph(trace);
+  EXPECT_EQ(IterationStarts(g).size(), 2u);
+  DistributedWhatIf dist;
+  dist.cluster.machines = 2;
+  dist.cluster.gpus_per_machine = 2;
+  const int before = g.num_alive();
+  WhatIfDistributed(&g, trace.gradients(), dist);
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+  // One allReduce per bucket per iteration.
+  const int buckets = static_cast<int>(g.Select(All(IsComm(), CommIs(CommKind::kAllReduce))).size());
+  EXPECT_EQ(g.num_alive(), before + buckets);
+  EXPECT_EQ(buckets % 2, 0);
+  EXPECT_GT(buckets, 0);
+  EXPECT_GT(Simulator().Run(g).makespan, 0);
 }
 
 // ---- DGC (Algorithm 12) ----

@@ -1,0 +1,460 @@
+// Tests for the pipeline-parallel subsystem (src/parallel/pipeline.h and the
+// WhatIfPipeline transform): partitioner invariants (every layer in exactly
+// one stage, optimal-bottleneck balance bound), schedule-shape properties
+// (1F1B keeps at most S micro-batches in flight; GPipe's bubble matches the
+// closed form), emitted-graph validity, and the measured-cost plumbing of the
+// what-if transform.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/comm/collectives.h"
+#include "src/core/graph_builder.h"
+#include "src/core/optimizations/pipeline_transform.h"
+#include "src/core/simulator.h"
+#include "src/core/transform.h"
+#include "src/models/model_zoo.h"
+#include "src/parallel/pipeline.h"
+#include "src/runtime/ground_truth.h"
+
+namespace daydream {
+namespace {
+
+std::vector<PipelineLayerCost> UniformCosts(int layers, TimeNs fwd, TimeNs bwd) {
+  std::vector<PipelineLayerCost> costs(static_cast<size_t>(layers));
+  for (auto& c : costs) {
+    c.fwd = fwd;
+    c.bwd = bwd;
+    c.param_bytes = 1000;
+    c.activation_bytes = 0;
+  }
+  return costs;
+}
+
+std::vector<PipelineLayerCost> RandomCosts(int layers, int seed) {
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::vector<PipelineLayerCost> costs(static_cast<size_t>(layers));
+  for (auto& c : costs) {
+    c.fwd = static_cast<TimeNs>(rng() % 5000) * Us(1);
+    c.bwd = static_cast<TimeNs>(rng() % 9000) * Us(1);
+    c.param_bytes = static_cast<int64_t>(rng() % 100) * 4096;
+    c.activation_bytes = static_cast<int64_t>(rng() % 64) * 4096;
+  }
+  return costs;
+}
+
+// Zero-overhead schedule options: no comm payload, no latency, no launches —
+// the setting in which the closed-form bubble model is exact.
+PipelineScheduleOptions BareOptions(int microbatches, PipelineScheduleKind kind) {
+  PipelineScheduleOptions options;
+  options.num_microbatches = microbatches;
+  options.schedule = kind;
+  options.network.inter_node_latency = 0;
+  options.launch_overhead = 0;
+  return options;
+}
+
+// ---- Partitioner ----
+
+TEST(StagePartitionTest, EveryLayerInExactlyOneStage) {
+  for (const int num_stages : {1, 2, 3, 5, 8}) {
+    const std::vector<PipelineLayerCost> costs = RandomCosts(23, /*seed=*/num_stages);
+    const StagePartition partition = PartitionBalanced(costs, num_stages);
+    std::string error;
+    ASSERT_TRUE(partition.Validate(&error)) << error;
+    EXPECT_EQ(partition.num_stages(), num_stages);
+
+    std::vector<int> seen(23, 0);
+    for (int s = 0; s < partition.num_stages(); ++s) {
+      EXPECT_LT(partition.layer_begin(s), partition.layer_end(s)) << "empty stage " << s;
+      for (int l = partition.layer_begin(s); l < partition.layer_end(s); ++l) {
+        ++seen[static_cast<size_t>(l)];
+        EXPECT_EQ(partition.StageOf(l), s);
+      }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](int n) { return n == 1; }));
+  }
+}
+
+TEST(StagePartitionTest, BalanceBound) {
+  // The optimal contiguous partition's bottleneck is at most the fluid lower
+  // bound (total / S) plus one maximal layer — the classical greedy bound,
+  // which the exact DP can only improve on.
+  for (int seed = 1; seed <= 10; ++seed) {
+    const std::vector<PipelineLayerCost> costs = RandomCosts(31, seed);
+    TimeNs total = 0;
+    TimeNs max_layer = 0;
+    for (const auto& c : costs) {
+      total += c.compute();
+      max_layer = std::max(max_layer, c.compute());
+    }
+    for (const int num_stages : {2, 4, 7}) {
+      const StagePartition partition = PartitionBalanced(costs, num_stages);
+      TimeNs bottleneck = 0;
+      for (int s = 0; s < num_stages; ++s) {
+        bottleneck = std::max(bottleneck, partition.StageCost(costs, s));
+      }
+      EXPECT_LE(bottleneck, total / num_stages + max_layer)
+          << "seed " << seed << " stages " << num_stages;
+      // And never below the fluid bound.
+      EXPECT_GE(bottleneck, (total + num_stages - 1) / num_stages);
+    }
+  }
+}
+
+TEST(StagePartitionTest, ExactlyOptimalOnSmallInstances) {
+  // Brute-force all contiguous 3-partitions of 9 layers and compare.
+  for (int seed = 1; seed <= 5; ++seed) {
+    const std::vector<PipelineLayerCost> costs = RandomCosts(9, seed + 100);
+    auto range_cost = [&](int begin, int end) {
+      TimeNs t = 0;
+      for (int l = begin; l < end; ++l) {
+        t += costs[static_cast<size_t>(l)].compute();
+      }
+      return t;
+    };
+    TimeNs best = std::numeric_limits<TimeNs>::max();
+    for (int a = 1; a < 8; ++a) {
+      for (int b = a + 1; b < 9; ++b) {
+        best = std::min(best, std::max({range_cost(0, a), range_cost(a, b), range_cost(b, 9)}));
+      }
+    }
+    const StagePartition partition = PartitionBalanced(costs, 3);
+    const TimeNs dp = std::max({partition.StageCost(costs, 0), partition.StageCost(costs, 1),
+                                partition.StageCost(costs, 2)});
+    EXPECT_EQ(dp, best) << "seed " << seed;
+  }
+}
+
+TEST(StagePartitionTest, ExplicitBoundaries) {
+  const StagePartition partition = PartitionAtBoundaries(10, {3, 7});
+  EXPECT_EQ(partition.num_stages(), 3);
+  EXPECT_EQ(partition.layer_begin(0), 0);
+  EXPECT_EQ(partition.layer_end(0), 3);
+  EXPECT_EQ(partition.layer_begin(1), 3);
+  EXPECT_EQ(partition.layer_end(1), 7);
+  EXPECT_EQ(partition.layer_begin(2), 7);
+  EXPECT_EQ(partition.layer_end(2), 10);
+  EXPECT_EQ(partition.StageOf(0), 0);
+  EXPECT_EQ(partition.StageOf(3), 1);
+  EXPECT_EQ(partition.StageOf(9), 2);
+
+  const StagePartition single = PartitionAtBoundaries(4, {});
+  EXPECT_EQ(single.num_stages(), 1);
+  EXPECT_EQ(single.layer_end(0), 4);
+}
+
+TEST(StagePartitionTest, ValidateRejectsMalformedPartitions) {
+  StagePartition p;
+  p.num_layers = 5;
+  EXPECT_FALSE(p.Validate());  // no stages
+  p.first_layer = {1};
+  EXPECT_FALSE(p.Validate());  // must start at layer 0
+  p.first_layer = {0, 3, 3};
+  EXPECT_FALSE(p.Validate());  // non-ascending boundary (stage 2 empty)
+  p.first_layer = {0, 7};
+  EXPECT_FALSE(p.Validate());  // boundary past the last layer
+  p.first_layer = {0, 3};
+  std::string error;
+  EXPECT_TRUE(p.Validate(&error)) << error;
+}
+
+TEST(StagePartitionTest, EstimatedModelCostsDrivePartitioning) {
+  // The trace-free mode: per-layer costs priced by the roofline kernel cost
+  // model straight off the model graph — what a user partitions with before
+  // any profile exists.
+  const ModelGraph model = BuildModel(ModelId::kVgg19);
+  const CostModel cost_model(GpuSpec::Rtx2080Ti());
+  const std::vector<PipelineLayerCost> costs = EstimateLayerCosts(model, cost_model);
+  ASSERT_EQ(static_cast<int>(costs.size()), model.num_layers());
+  for (size_t l = 0; l < costs.size(); ++l) {
+    EXPECT_GT(costs[l].fwd, 0) << model.layer(static_cast<int>(l)).name;
+    EXPECT_GE(costs[l].bwd, 0);
+    EXPECT_EQ(costs[l].activation_bytes, model.layer(static_cast<int>(l)).output_elems * 4);
+    EXPECT_EQ(costs[l].param_bytes, model.layer(static_cast<int>(l)).param_bytes_fp32());
+  }
+
+  const StagePartition partition = PartitionBalanced(costs, 4);
+  std::string error;
+  ASSERT_TRUE(partition.Validate(&error)) << error;
+  PipelineScheduleOptions options;
+  options.num_microbatches = 4;
+  const PipelineBuild build = BuildPipelineGraph(costs, partition, options);
+  EXPECT_GT(Simulator().Run(build.graph).makespan, 0);
+}
+
+// ---- Schedule shapes ----
+
+TEST(PipelineScheduleTest, GraphIsValidAcrossShapes) {
+  for (const auto kind : {PipelineScheduleKind::kGPipe, PipelineScheduleKind::k1F1B}) {
+    for (const int stages : {1, 2, 3, 5}) {
+      for (const int microbatches : {1, 2, 4, 9}) {
+        const std::vector<PipelineLayerCost> costs = RandomCosts(11, stages * 100 + microbatches);
+        const StagePartition partition = PartitionBalanced(costs, stages);
+        PipelineScheduleOptions options;
+        options.num_microbatches = microbatches;
+        options.schedule = kind;
+        options.weight_update_total = Us(500);
+        const PipelineBuild build = BuildPipelineGraph(costs, partition, options);
+        std::string error;
+        EXPECT_TRUE(build.graph.Validate(&error))
+            << ToString(kind) << " S=" << stages << " M=" << microbatches << ": " << error;
+        // Lane inventory: S GPU, S CPU, 2(S-1) comm channels.
+        EXPECT_EQ(build.graph.num_lanes(), 2 * stages + 2 * (stages - 1));
+        // 2M compute + 1 weight update per stage, same count of launches, and
+        // 2M transfer tasks per link.
+        EXPECT_EQ(build.graph.num_alive(),
+                  2 * stages * (2 * microbatches + 1) + (stages - 1) * 2 * microbatches);
+      }
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, UniformMakespanMatchesClosedForm) {
+  const TimeNs f = Us(200);
+  const TimeNs b = Us(350);
+  for (const auto kind : {PipelineScheduleKind::kGPipe, PipelineScheduleKind::k1F1B}) {
+    for (const int stages : {1, 2, 4}) {
+      for (const int microbatches : {1, 4, 8}) {
+        // One layer per stage, full-batch cost M * per-micro-batch cost.
+        const std::vector<PipelineLayerCost> costs =
+            UniformCosts(stages, f * microbatches, b * microbatches);
+        const StagePartition partition = PartitionBalanced(costs, stages);
+        const PipelineBuild build =
+            BuildPipelineGraph(costs, partition, BareOptions(microbatches, kind));
+        const SimResult result = Simulator().Run(build.graph);
+        EXPECT_EQ(result.makespan, UniformPipelineMakespan(stages, microbatches, f, b))
+            << ToString(kind) << " S=" << stages << " M=" << microbatches;
+      }
+    }
+  }
+}
+
+TEST(PipelineScheduleTest, GPipeBubbleMatchesClosedForm) {
+  // Idle time per stage = makespan - M*(f+b) = (S-1)*(f+b): the bubble is
+  // PipelineBubbleSlots(S) slots of the average compute time.
+  const TimeNs f = Us(100);
+  const TimeNs b = Us(100);
+  const int microbatches = 6;
+  for (const int stages : {2, 3, 5}) {
+    const std::vector<PipelineLayerCost> costs =
+        UniformCosts(stages, f * microbatches, b * microbatches);
+    const PipelineBuild build =
+        BuildPipelineGraph(costs, PartitionBalanced(costs, stages),
+                           BareOptions(microbatches, PipelineScheduleKind::kGPipe));
+    const SimResult result = Simulator().Run(build.graph);
+    const TimeNs ideal = static_cast<TimeNs>(microbatches) * (f + b);
+    EXPECT_EQ(result.makespan - ideal, PipelineBubbleSlots(stages) / 2 * (f + b));
+  }
+}
+
+// Micro-batches in flight at stage s at any instant (forward started, own
+// backward not yet finished), from the simulated timeline.
+int MaxInFlight(const PipelineBuild& build, const SimResult& result, int stage) {
+  const auto& fwd = build.forward[static_cast<size_t>(stage)];
+  const auto& bwd = build.backward[static_cast<size_t>(stage)];
+  int max_in_flight = 0;
+  for (size_t m = 0; m < fwd.size(); ++m) {
+    // Count intervals overlapping the instant F(stage, m) completes (a
+    // maximal-overlap witness always occurs at an interval start; using the
+    // forward's *end* avoids the boundary case of a backward finishing
+    // exactly when the next forward starts).
+    const TimeNs at = result.end[static_cast<size_t>(fwd[m])];
+    int in_flight = 0;
+    for (size_t k = 0; k < fwd.size(); ++k) {
+      if (result.start[static_cast<size_t>(fwd[k])] < at &&
+          result.end[static_cast<size_t>(bwd[k])] >= at) {
+        ++in_flight;
+      }
+    }
+    max_in_flight = std::max(max_in_flight, in_flight);
+  }
+  return max_in_flight;
+}
+
+TEST(PipelineScheduleTest, OneFOneBBoundsInFlightMicrobatches) {
+  const int stages = 4;
+  const int microbatches = 12;
+  const std::vector<PipelineLayerCost> costs =
+      UniformCosts(stages, Us(100) * microbatches, Us(150) * microbatches);
+  const StagePartition partition = PartitionBalanced(costs, stages);
+
+  const PipelineBuild fb = BuildPipelineGraph(
+      costs, partition, BareOptions(microbatches, PipelineScheduleKind::k1F1B));
+  const SimResult fb_result = Simulator().Run(fb.graph);
+  for (int s = 0; s < stages; ++s) {
+    // 1F1B steady state: stage s holds at most S - s un-retired micro-batches
+    // (so never more than S anywhere).
+    EXPECT_LE(MaxInFlight(fb, fb_result, s), stages - s) << "stage " << s;
+  }
+
+  // Contrast: under GPipe, stage 0 accumulates every micro-batch before the
+  // first backward retires anything.
+  const PipelineBuild gp = BuildPipelineGraph(
+      costs, partition, BareOptions(microbatches, PipelineScheduleKind::kGPipe));
+  const SimResult gp_result = Simulator().Run(gp.graph);
+  EXPECT_EQ(MaxInFlight(gp, gp_result, 0), microbatches);
+}
+
+TEST(PipelineScheduleTest, TransfersCarryMicrobatchPayload) {
+  const int stages = 3;
+  const int microbatches = 4;
+  std::vector<PipelineLayerCost> costs = UniformCosts(6, Us(400), Us(400));
+  for (size_t l = 0; l < costs.size(); ++l) {
+    costs[l].activation_bytes = 8 * kMiB;
+  }
+  PipelineScheduleOptions options;
+  options.num_microbatches = microbatches;
+  options.network.bandwidth_gbps = 10.0;
+  const PipelineBuild build =
+      BuildPipelineGraph(costs, PartitionBalanced(costs, stages), options);
+
+  const TimeNs wire = PsTransferTime(8 * kMiB / microbatches, options.network);
+  for (int link = 0; link + 1 < stages; ++link) {
+    const size_t li = static_cast<size_t>(link);
+    for (int m = 0; m < microbatches; ++m) {
+      const Task& act = build.graph.task(build.act_send[li][static_cast<size_t>(m)]);
+      EXPECT_EQ(act.bytes, 8 * kMiB / microbatches);
+      EXPECT_EQ(act.duration, wire);
+      EXPECT_EQ(act.comm, CommKind::kP2p);
+      EXPECT_TRUE(act.thread == ExecThread::Comm(link));
+      const Task& grad = build.graph.task(build.grad_send[li][static_cast<size_t>(m)]);
+      EXPECT_TRUE(grad.thread == ExecThread::Comm(kPipelineGradChannelBase + link));
+      EXPECT_EQ(grad.duration, wire);
+    }
+  }
+
+  // A slower link strictly lengthens the pipeline.
+  PipelineScheduleOptions slow = options;
+  slow.network.bandwidth_gbps = 1.0;
+  const PipelineBuild slow_build =
+      BuildPipelineGraph(costs, PartitionBalanced(costs, stages), slow);
+  EXPECT_GT(Simulator().Run(slow_build.graph).makespan,
+            Simulator().Run(build.graph).makespan);
+}
+
+TEST(PipelineScheduleTest, WeightUpdateSplitsByParamBytes) {
+  std::vector<PipelineLayerCost> costs = UniformCosts(4, Us(100), Us(100));
+  costs[0].param_bytes = 3000;
+  costs[1].param_bytes = 1000;
+  costs[2].param_bytes = 0;
+  costs[3].param_bytes = 4000;
+  PipelineScheduleOptions options = BareOptions(2, PipelineScheduleKind::k1F1B);
+  options.weight_update_total = Us(800);
+  const PipelineBuild build =
+      BuildPipelineGraph(costs, PartitionAtBoundaries(4, {2}), options);
+  // Stage 0 owns 4000 of 8000 bytes, stage 1 the other 4000.
+  const Task& wu0 = build.graph.task(build.weight_update[0]);
+  const Task& wu1 = build.graph.task(build.weight_update[1]);
+  EXPECT_EQ(wu0.duration, Us(400));
+  EXPECT_EQ(wu1.duration, Us(400));
+  EXPECT_EQ(wu0.phase, Phase::kWeightUpdate);
+  // The update runs after the stage's last backward.
+  const SimResult result = Simulator().Run(build.graph);
+  EXPECT_GE(result.start[static_cast<size_t>(build.weight_update[0])],
+            result.end[static_cast<size_t>(build.backward[0].back())]);
+}
+
+// ---- The what-if transform over a real profile ----
+
+class PipelineWhatIfTest : public ::testing::Test {
+ protected:
+  static const Trace& trace() {
+    static const Trace* trace =
+        new Trace(CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp)));
+    return *trace;
+  }
+};
+
+TEST_F(PipelineWhatIfTest, MeasuredCostsMatchProfiledGpuTime) {
+  const DependencyGraph graph = BuildDependencyGraph(trace());
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  const std::vector<PipelineLayerCost> costs = MeasureLayerCosts(graph, model);
+  ASSERT_EQ(static_cast<int>(costs.size()), model.num_layers());
+
+  // Attributed + spread unattributed time conserves the profiled totals
+  // (within 1 ns per layer of integer rounding).
+  auto phase_total = [&](Phase phase) {
+    TimeNs total = 0;
+    graph.ForEachSelected(All(IsOnGpu(), PhaseIs(phase)),
+                          [&](const Task& t) { total += t.duration; });
+    return total;
+  };
+  TimeNs fwd = 0;
+  TimeNs bwd = 0;
+  for (const auto& c : costs) {
+    fwd += c.fwd;
+    bwd += c.bwd;
+  }
+  EXPECT_NEAR(static_cast<double>(fwd), static_cast<double>(phase_total(Phase::kForward)),
+              static_cast<double>(costs.size()));
+  EXPECT_NEAR(static_cast<double>(bwd), static_cast<double>(phase_total(Phase::kBackward)),
+              static_cast<double>(costs.size()));
+  // Sizes come from the model graph.
+  EXPECT_EQ(costs[0].param_bytes, model.layer(0).param_bytes_fp32());
+  EXPECT_EQ(costs[0].activation_bytes, model.layer(0).output_elems * 4);
+}
+
+TEST_F(PipelineWhatIfTest, TransformReplacesGraphWithValidPipeline) {
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  for (const auto kind : {PipelineScheduleKind::kGPipe, PipelineScheduleKind::k1F1B}) {
+    DependencyGraph graph = BuildDependencyGraph(trace());
+    PipelineWhatIf options;
+    options.num_stages = 3;
+    options.num_microbatches = 4;
+    options.schedule = kind;
+    WhatIfPipeline(&graph, model, options);
+
+    std::string error;
+    EXPECT_TRUE(graph.Validate(&error)) << error;
+    // 3 stages: 2*(2*4+1) tasks per stage + 2 links * 8 transfers.
+    EXPECT_EQ(graph.num_alive(), 3 * 2 * 9 + 2 * 8);
+    const SimResult result = Simulator().Run(graph);
+    EXPECT_GT(result.makespan, 0);
+  }
+}
+
+TEST_F(PipelineWhatIfTest, ExplicitBoundariesAndStageClamping) {
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  DependencyGraph graph = BuildDependencyGraph(trace());
+  PipelineWhatIf options;
+  options.boundaries = {2, 5};  // 3 explicit stages
+  const PipelineBuild build = BuildPipelineWhatIf(graph, model, options);
+  EXPECT_EQ(build.partition.num_stages(), 3);
+  EXPECT_EQ(build.partition.layer_begin(1), 2);
+  EXPECT_EQ(build.partition.layer_begin(2), 5);
+
+  // More stages than layers clamps to one stage per layer.
+  PipelineWhatIf wide;
+  wide.num_stages = 1000;
+  const PipelineBuild clamped = BuildPipelineWhatIf(graph, model, wide);
+  EXPECT_EQ(clamped.partition.num_stages(), model.num_layers());
+}
+
+TEST_F(PipelineWhatIfTest, MoreMicrobatchesShrinkTheBubble) {
+  // With fixed stages, growing M amortizes the (S-1) warm-up/drain slots, so
+  // the predicted iteration should not get slower (transfer latency per
+  // micro-batch is the only counter-force; TinyMLP payloads are tiny).
+  const ModelGraph model = BuildModel(ModelId::kTinyMlp);
+  const DependencyGraph profiled = BuildDependencyGraph(trace());
+  TimeNs previous = std::numeric_limits<TimeNs>::max();
+  for (const int microbatches : {1, 2, 4}) {
+    PipelineWhatIf options;
+    options.num_stages = 2;
+    options.num_microbatches = microbatches;
+    // Isolate the bubble effect: zero per-transfer latency and launch cost so
+    // integer rounding is the only non-monotonic term.
+    options.network.inter_node_latency = 0;
+    options.launch_overhead = 0;
+    PipelineBuild build = BuildPipelineWhatIf(profiled, model, options);
+    const TimeNs makespan = Simulator().Run(build.graph).makespan;
+    EXPECT_LE(makespan, previous) << "M=" << microbatches;
+    previous = makespan;
+  }
+}
+
+}  // namespace
+}  // namespace daydream

@@ -304,7 +304,7 @@ TEST(TraceIo, RejectsOutOfRangeEnums) {
       {1, "6"},  {1, "-1"}, {1, "99"},   // EventKind
       {2, "10"}, {2, "-2"},              // ApiKind
       {3, "4"},                          // MemcpyKind
-      {4, "6"},                          // CommKind
+      {4, "7"},                          // CommKind (6 = kP2p is the last valid value)
       {12, "5"}, {12, "-1"},             // Phase
   };
   for (const auto& c : corrupt) {
@@ -351,6 +351,82 @@ TEST(ChromeTrace, JsonEscape) {
   EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
   EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+TEST(ChromeTrace, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape(std::string("a\rb")), "a\\u000db");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string(1, '\0')), "\\u0000");
+  // Printable text and non-ASCII bytes pass through untouched.
+  EXPECT_EQ(JsonEscape("plain_kernel<128>"), "plain_kernel<128>");
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+// Every execution row — CPU threads, GPU streams AND communication channels —
+// must carry thread_name metadata; comm rows used to be emitted without it,
+// so viewers showed bare "2000"-range tids for distributed traces.
+TEST(ChromeTrace, CommChannelRowsGetThreadNames) {
+  Trace t = ValidTwoKernelTrace();
+  TraceEvent comm;
+  comm.kind = EventKind::kCommunication;
+  comm.comm_kind = CommKind::kAllReduce;
+  comm.name = "ncclAllReduce";
+  comm.start = 50;
+  comm.duration = 20;
+  comm.channel_id = 3;
+  comm.bytes = 4096;
+  t.Add(comm);
+
+  std::stringstream ss;
+  WriteChromeTrace(t, ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find(R"({"name":"thread_name","ph":"M","pid":1,"tid":2003,)"
+                     R"("args":{"name":"comm channel 3"}})"),
+            std::string::npos)
+      << out;
+  // The comm event itself lands on the same tid as its metadata row.
+  EXPECT_NE(out.find(R"("name":"ncclAllReduce","cat":"Communication","ph":"X","pid":1,"tid":2003)"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(t.CommChannelIds(), std::vector<int>{3});
+}
+
+// Golden snippet: byte-exact complete-event ("ph":"X") line for one kernel.
+TEST(ChromeTrace, CompleteEventGoldenLine) {
+  Trace t;
+  TraceEvent k = Kernel("volta_sgemm_128x64", /*start=*/1500, /*dur=*/2500, /*stream=*/7,
+                        /*corr=*/42);
+  k.layer_id = 5;
+  k.phase = Phase::kForward;
+  k.bytes = 1024;
+  t.Add(k);
+
+  std::stringstream ss;
+  WriteChromeTrace(t, ss);
+  const std::string expected =
+      R"({"name":"volta_sgemm_128x64","cat":"Kernel","ph":"X","pid":1,"tid":1007,)"
+      R"("ts":1.500,"dur":2.500,"args":{"layer":5,"phase":"forward","corr":42,"bytes":1024}})";
+  EXPECT_NE(ss.str().find(expected), std::string::npos) << ss.str();
+}
+
+// Layer markers become instantaneous events ("ph":"i"), not complete events.
+TEST(ChromeTrace, MarkerVersusCompleteEvents) {
+  Trace t;
+  t.Add(Marker(/*layer=*/2, Phase::kBackward, /*begin=*/true, /*at=*/3000, /*tid=*/4));
+  TraceEvent k = Kernel("elementwise_kernel", 3500, 100, /*stream=*/0, /*corr=*/7);
+  t.Add(k);
+
+  std::stringstream ss;
+  WriteChromeTrace(t, ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find(R"({"name":"layer/backward/begin","ph":"i","pid":1,"tid":4,"ts":3.000,"s":"t"})"),
+            std::string::npos)
+      << out;
+  // Markers carry no "dur"; complete events do.
+  EXPECT_EQ(out.find(R"("ph":"i","pid":1,"tid":4,"ts":3.000,"dur")"), std::string::npos);
+  EXPECT_NE(out.find(R"("name":"elementwise_kernel","cat":"Kernel","ph":"X")"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -150,4 +150,51 @@ std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args) {
   return clusters;
 }
 
+std::optional<PipelineFlags> ParsePipelineFlags(const Args& args) {
+  PipelineFlags flags;
+  const std::string stages_text = args.Get("pipeline-stages");
+  if (stages_text.empty()) {
+    if (!args.Get("microbatches").empty() || !args.Get("schedule").empty()) {
+      std::cerr << "--microbatches/--schedule require --pipeline-stages\n";
+      return std::nullopt;
+    }
+    return flags;  // disabled
+  }
+  flags.enabled = true;
+  for (const std::string& text : StrSplit(stages_text, ',')) {
+    const std::optional<int> stages = ParseInt(text);
+    if (!stages.has_value() || *stages < 1) {
+      std::cerr << "bad --pipeline-stages '" << stages_text
+                << "' (expected a comma-separated list of positive stage counts)\n";
+      return std::nullopt;
+    }
+    flags.stages.push_back(*stages);
+  }
+  const std::optional<int> microbatches = ParseInt(args.Get("microbatches", "4"));
+  if (!microbatches.has_value() || *microbatches < 1) {
+    std::cerr << "bad --microbatches '" << args.Get("microbatches")
+              << "' (expected a positive integer)\n";
+    return std::nullopt;
+  }
+  flags.microbatches = *microbatches;
+  const std::string schedule = args.Get("schedule", "both");
+  if (schedule == "gpipe") {
+    flags.schedules = {PipelineScheduleKind::kGPipe};
+  } else if (schedule == "1f1b") {
+    flags.schedules = {PipelineScheduleKind::k1F1B};
+  } else if (schedule != "both") {
+    std::cerr << "bad --schedule '" << schedule << "' (expected gpipe, 1f1b or both)\n";
+    return std::nullopt;
+  }
+  // Inter-stage links ride the first --gbps value so pipeline cases rank
+  // under the same network assumption as the distributed matrix.
+  const std::optional<double> bandwidth =
+      ParseBandwidth(StrSplit(args.Get("gbps", "10"), ',').front());
+  if (!bandwidth.has_value()) {
+    return std::nullopt;
+  }
+  flags.network.bandwidth_gbps = *bandwidth;
+  return flags;
+}
+
 }  // namespace daydream

@@ -10,6 +10,7 @@
 
 #include "src/comm/network_spec.h"
 #include "src/core/simulator.h"
+#include "src/parallel/pipeline.h"
 
 namespace daydream {
 
@@ -54,6 +55,24 @@ std::optional<EngineKind> ParseEngineKind(const Args& args);
 // --gbps (comma-separated bandwidths, default "10"). Prints a diagnostic to
 // stderr and returns nullopt on malformed input.
 std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args);
+
+// Pipeline-parallel what-if flags:
+//   --pipeline-stages N[,N...]   stage counts to evaluate (each >= 1)
+//   --microbatches M             micro-batches per iteration (default 4)
+//   --schedule gpipe|1f1b|both   schedule kind(s) (default both)
+// The first --gbps value (shared with the cluster flags; default 10) prices
+// the inter-stage P2P links, so pipeline and distributed cases rank under
+// the same network assumption. `enabled` is false when --pipeline-stages is
+// absent; --microbatches / --schedule without it are an error (diagnostic +
+// nullopt), as is any malformed value.
+struct PipelineFlags {
+  bool enabled = false;
+  std::vector<int> stages;
+  int microbatches = 4;
+  std::vector<PipelineScheduleKind> schedules;  // empty = both kinds
+  NetworkSpec network;
+};
+std::optional<PipelineFlags> ParsePipelineFlags(const Args& args);
 
 }  // namespace daydream
 

@@ -41,12 +41,17 @@ commands:
   models                                list the model zoo
   collect  --model <name> [--iterations N] [--out FILE] [--chrome FILE]
   report   --trace FILE                 breakdown + critical path + per-layer table
-  predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3>
+  predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3|pipeline>
            [--cluster MxG] [--gbps BW]  (distributed/p3 options)
+           [--pipeline-stages N] [--microbatches M] [--schedule gpipe|1f1b]
+                                        (pipeline options)
            [--engine event|reference]   (reference = Algorithm-1 scan, for
                                          differential debugging)
+           [--json FILE]                (machine-readable result)
   sweep    --trace FILE                 evaluate the whole what-if matrix concurrently
            [--cluster M1xG1,M2xG2,...] [--gbps BW1,BW2,...] [--jobs N]
+           [--pipeline-stages N1,N2,...] [--microbatches M]
+           [--schedule gpipe|1f1b|both]
            [--engine event|reference] [--csv FILE] [--json FILE]
 )";
   return 2;
@@ -174,6 +179,33 @@ int CmdPredict(const Args& args) {
     } else {
       transform = [model](DependencyGraph* g) { WhatIfVdnn(g, *model); };
     }
+  } else if (what_if == "pipeline") {
+    if (!model_id.has_value()) {
+      std::cerr << "trace lacks a known model name (needed for activation/parameter sizes)\n";
+      return 2;
+    }
+    const std::optional<PipelineFlags> pipeline = ParsePipelineFlags(args);
+    if (!pipeline.has_value()) {
+      return 2;
+    }
+    if (!pipeline->enabled || pipeline->stages.size() != 1) {
+      std::cerr << "predict --what-if pipeline needs --pipeline-stages with a single value\n";
+      return 2;
+    }
+    if (pipeline->schedules.empty() && !args.Get("schedule").empty()) {
+      std::cerr << "predict takes a single --schedule (gpipe or 1f1b)\n";
+      return 2;
+    }
+    PipelineWhatIf opts;
+    opts.num_stages = pipeline->stages.front();
+    opts.num_microbatches = pipeline->microbatches;
+    opts.network = pipeline->network;
+    // Default is 1F1B; `--schedule both` is a sweep-only matrix axis.
+    if (!pipeline->schedules.empty()) {
+      opts.schedule = pipeline->schedules.front();
+    }
+    auto model = std::make_shared<ModelGraph>(BuildModel(*model_id));
+    transform = [model, opts](DependencyGraph* g) { WhatIfPipeline(g, *model, opts); };
   } else if (what_if == "distributed") {
     const std::optional<ClusterConfig> cluster = ParseCluster(args);
     if (!cluster.has_value()) {
@@ -212,6 +244,25 @@ int CmdPredict(const Args& args) {
       "baseline (simulated): %.1f ms\n"
       "predicted with '%s': %.1f ms (%+.1f%%)\n",
       ToMs(r.baseline), what_if.c_str(), ToMs(r.predicted), -r.SpeedupPct());
+  const std::string json = args.Get("json");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out.good()) {
+      std::cerr << "cannot write " << json << "\n";
+      return 1;
+    }
+    out << StrFormat(
+        "{\n"
+        "  \"what_if\": \"%s\",\n"
+        "  \"baseline_ms\": %.3f,\n"
+        "  \"predicted_ms\": %.3f,\n"
+        "  \"speedup_pct\": %.2f,\n"
+        "  \"speedup_ratio\": %.3f\n"
+        "}\n",
+        JsonEscape(what_if).c_str(), ToMs(r.baseline), ToMs(r.predicted), r.SpeedupPct(),
+        r.SpeedupRatio());
+    std::cout << "wrote " << json << "\n";
+  }
   return 0;
 }
 
@@ -234,8 +285,24 @@ int CmdSweep(const Args& args) {
     return 2;
   }
 
+  const std::optional<PipelineFlags> pipeline = ParsePipelineFlags(args);
+  if (!pipeline.has_value()) {
+    return 2;
+  }
+
   const Daydream daydream(*trace);
-  const std::vector<SweepCase> cases = BuildStandardSweep(*trace, *clusters);
+  std::vector<SweepCase> cases = BuildStandardSweep(*trace, *clusters);
+  if (pipeline->enabled) {
+    PipelineSweepSpec spec;
+    spec.stages = pipeline->stages;
+    spec.microbatches = pipeline->microbatches;
+    spec.schedules = pipeline->schedules;
+    spec.network = pipeline->network;
+    if (!AppendPipelineSweep(&cases, *trace, spec)) {
+      std::cerr << "trace lacks a known model name (needed for --pipeline-stages)\n";
+      return 2;
+    }
+  }
   SweepOptions options;
   options.num_threads = *jobs;
   options.engine = *engine;
