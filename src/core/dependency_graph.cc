@@ -5,6 +5,7 @@
 #include <queue>
 #include <utility>
 
+#include "src/core/graph_lint.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -626,76 +627,20 @@ std::vector<TaskId> DependencyGraph::TopologicalOrder() const {
 }
 
 bool DependencyGraph::Validate(std::string* error) const {
-  auto fail = [&](const std::string& message) {
-    if (error != nullptr) {
-      *error = message;
-    }
-    return false;
-  };
-  std::vector<TaskId> scratch;
-  for (const Node& n : tasks_) {
-    if (!n.alive) {
-      continue;
-    }
-    for (TaskId c : n.children) {
-      if (!alive(c)) {
-        return fail(StrFormat("task %d has dead child %d", n.task.id, c));
-      }
-      const auto& back = node(c).parents;
-      if (std::count(back.begin(), back.end(), n.task.id) != 1) {
-        return fail(StrFormat("asymmetric edge %d -> %d", n.task.id, c));
-      }
-    }
-    if (std::count(n.children.begin(), n.children.end(), n.task.id) > 0) {
-      return fail(StrFormat("self edge on %d", n.task.id));
-    }
-    // Duplicate-edge check over a sorted scratch copy: O(d log d), not O(d^2),
-    // so validation stays usable on post-Remove high-fanout nodes.
-    scratch.assign(n.children.begin(), n.children.end());
-    std::sort(scratch.begin(), scratch.end());
-    if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
-      return fail(StrFormat("duplicate edge %d -> %d", n.task.id,
-                            *std::adjacent_find(scratch.begin(), scratch.end())));
-    }
+  // The structural invariants are one GraphLint subset; stop at the first
+  // finding since this API reports exactly one. Callers that want the full
+  // report (all findings, cycle paths) call GraphLint directly.
+  LintOptions options;
+  options.max_findings = 1;
+  const LintReport report = GraphLint::LintStructure(*this, options);
+  if (report.ok()) {
+    return true;
   }
-  // Thread chains: every link references an alive task of that thread, links
-  // are symmetric, and every alive task is on exactly one chain.
-  int chained = 0;
-  for (size_t lane = 0; lane < threads_.size(); ++lane) {
-    const ThreadSeq& seq = threads_[lane];
-    int count = 0;
-    TaskId prev = kInvalidTask;
-    for (TaskId id = seq.head; id != kInvalidTask; id = node(id).seq_next) {
-      const Node& n = node(id);
-      if (!n.alive) {
-        return fail(StrFormat("dead task %d linked on %s", id, seq.thread.Label().c_str()));
-      }
-      if (n.lane != static_cast<int32_t>(lane) || !(n.task.thread == seq.thread)) {
-        return fail(StrFormat("task %d filed under the wrong thread", id));
-      }
-      if (n.seq_prev != prev) {
-        return fail(StrFormat("asymmetric sequence link at task %d", id));
-      }
-      prev = id;
-      if (++count > num_alive_) {
-        return fail(StrFormat("sequence cycle on %s", seq.thread.Label().c_str()));
-      }
-    }
-    if (prev != seq.tail) {
-      return fail(StrFormat("stale tail on %s", seq.thread.Label().c_str()));
-    }
-    if (count != seq.alive_count) {
-      return fail(StrFormat("alive-count mismatch on %s", seq.thread.Label().c_str()));
-    }
-    chained += count;
+  if (error != nullptr) {
+    const LintFinding& f = report.findings.front();
+    *error = f.pass + ": " + f.message;
   }
-  if (chained != num_alive_) {
-    return fail("alive task missing from its thread sequence");
-  }
-  if (TopologicalOrder().empty() && num_alive_ > 0) {
-    return fail("graph contains a cycle");
-  }
-  return true;
+  return false;
 }
 
 DependencyGraph::Stats DependencyGraph::ComputeStats() const {

@@ -136,8 +136,12 @@ class DependencyGraph {
 
   // ---- Validation & stats ----
 
-  // Checks: edges reference alive tasks, no duplicate edges, acyclic,
-  // parent/child symmetry, thread sequences consistent.
+  // Checks the structural invariants: edges reference alive tasks, no
+  // duplicate edges, acyclic, parent/child symmetry, thread sequences
+  // consistent. Implemented as GraphLint::LintStructure (src/core/
+  // graph_lint.h); `error` receives the first finding as "pass: message".
+  // Callers that want every finding — cycle paths, lane names, all defect
+  // classes including the timing passes — use GraphLint directly.
   bool Validate(std::string* error = nullptr) const;
 
   // Topological order of alive tasks (empty when cyclic).
@@ -154,6 +158,13 @@ class DependencyGraph {
   Stats ComputeStats() const;
 
  private:
+  // The static verifier reads raw node/lane state (bounded walks over
+  // possibly-broken splice links, which the public accessors DD_CHECK on);
+  // the test-only corruptor injects the defect classes the verifier must
+  // catch (src/core/graph_testing.h).
+  friend class GraphLint;
+  friend class GraphCorruptor;
+
   struct Node {
     Task task;
     std::vector<TaskId> parents;

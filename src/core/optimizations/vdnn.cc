@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "src/core/transform.h"
 #include "src/util/string_util.h"
@@ -39,56 +40,90 @@ Task CopyTask(const Layer& layer, const char* what, Phase phase, const VdnnWhatI
 }  // namespace
 
 void WhatIfVdnn(DependencyGraph* graph, const ModelGraph& model, const VdnnWhatIf& options) {
-  // Copy-stream order matters: offloads issue during the forward pass (layer
-  // order), prefetches during the backward pass (reverse layer order). The
-  // copy stream serializes them in exactly that order.
-  TaskId copy_tail = kInvalidTask;
-  std::map<int, TaskId> offload_of_layer;
+  const std::vector<TimeNs> iteration_starts = IterationStarts(*graph);
+  auto window_of = [&](TimeNs start) {
+    const auto it = std::upper_bound(iteration_starts.begin(), iteration_starts.end(), start);
+    return static_cast<size_t>(it - iteration_starts.begin()) - 1;
+  };
 
+  // Per-layer fwd/bwd GPU tasks, bucketed by iteration window. Offloading
+  // the last forward of iteration 2 while prefetching into the first
+  // backward of iteration 1 used to close a dependency cycle on every
+  // multi-iteration profile — the same defect class gist and distributed
+  // had. Anchors must stay inside one window.
+  struct LayerWindow {
+    std::vector<TaskId> fwd;
+    std::vector<TaskId> bwd;
+  };
+  std::map<int, std::vector<LayerWindow>> windows_of_layer;
   for (const Layer& layer : model.layers()) {
     if (layer.kind != LayerKind::kConv2d) {
       continue;  // vDNN_conv policy: offload only convolution feature maps
     }
-    const std::vector<TaskId> fwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward);
-    if (fwd.empty()) {
-      continue;
+    std::vector<LayerWindow> windows(iteration_starts.size());
+    for (TaskId id : SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kForward)) {
+      windows[window_of(graph->task(id).start)].fwd.push_back(id);
     }
-    Task offload = CopyTask(layer, layer.name.c_str(), Phase::kForward, options);
-    const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
-    const TaskId gpu_anchor = copy_tail == kInvalidTask ? fwd.back() : copy_tail;
-    const InsertedKernel off = InsertKernelAfter(
-        graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, gpu_anchor,
-        std::move(offload));
-    graph->AddEdge(fwd.back(), off.kernel);  // the feature map must exist first
-    copy_tail = off.kernel;
-    offload_of_layer[layer.id] = off.kernel;
+    for (TaskId id : SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward)) {
+      windows[window_of(graph->task(id).start)].bwd.push_back(id);
+    }
+    windows_of_layer.emplace(layer.id, std::move(windows));
   }
 
-  // Prefetches run one conv layer ahead (vDNN's findPrefetchLayer policy):
-  // while layer L+1's backward computes, layer L's feature map streams back,
-  // hiding most of the PCIe latency behind compute.
-  TaskId previous_bwd_launch = kInvalidTask;
-  for (auto it = model.layers().rbegin(); it != model.layers().rend(); ++it) {
-    const Layer& layer = *it;
-    auto off = offload_of_layer.find(layer.id);
-    if (off == offload_of_layer.end()) {
-      continue;
+  // Copy-stream order matters: within each iteration, offloads issue during
+  // the forward pass (layer order) and prefetches during the backward pass
+  // (reverse layer order); across iterations, one iteration's copies all
+  // precede the next's. copy_tail carries across windows so the stream
+  // serializes in exactly that (time) order.
+  TaskId copy_tail = kInvalidTask;
+  for (size_t w = 0; w < iteration_starts.size(); ++w) {
+    std::map<int, TaskId> offload_of_layer;
+    for (const Layer& layer : model.layers()) {
+      const auto windows = windows_of_layer.find(layer.id);
+      if (windows == windows_of_layer.end()) {
+        continue;
+      }
+      const std::vector<TaskId>& fwd = windows->second[w].fwd;
+      if (fwd.empty()) {
+        continue;
+      }
+      Task offload = CopyTask(layer, layer.name.c_str(), Phase::kForward, options);
+      const TaskId fwd_launch = LaunchOf(*graph, fwd.back());
+      const TaskId gpu_anchor = copy_tail == kInvalidTask ? fwd.back() : copy_tail;
+      const InsertedKernel off = InsertKernelAfter(
+          graph, fwd_launch == kInvalidTask ? fwd.back() : fwd_launch, gpu_anchor,
+          std::move(offload));
+      graph->AddEdge(fwd.back(), off.kernel);  // the feature map must exist first
+      copy_tail = off.kernel;
+      offload_of_layer[layer.id] = off.kernel;
     }
-    const std::vector<TaskId> bwd = SelectLayerGpuSortedByStart(*graph, layer.id, Phase::kBackward);
-    if (bwd.empty()) {
-      continue;
+
+    // Prefetches run one conv layer ahead (vDNN's findPrefetchLayer policy):
+    // while layer L+1's backward computes, layer L's feature map streams
+    // back, hiding most of the PCIe latency behind compute.
+    TaskId previous_bwd_launch = kInvalidTask;
+    for (auto it = model.layers().rbegin(); it != model.layers().rend(); ++it) {
+      const Layer& layer = *it;
+      const auto off = offload_of_layer.find(layer.id);
+      if (off == offload_of_layer.end()) {
+        continue;
+      }
+      const std::vector<TaskId>& bwd = windows_of_layer.at(layer.id)[w].bwd;
+      if (bwd.empty()) {
+        continue;
+      }
+      Task prefetch = CopyTask(layer, layer.name.c_str(), Phase::kBackward, options);
+      const TaskId own_launch = LaunchOf(*graph, bwd.front());
+      TaskId anchor = previous_bwd_launch;  // one layer of lookahead
+      if (anchor == kInvalidTask) {
+        anchor = own_launch == kInvalidTask ? bwd.front() : own_launch;
+      }
+      const InsertedKernel pre = InsertKernelAfter(graph, anchor, copy_tail, std::move(prefetch));
+      graph->AddEdge(off->second, pre.kernel);  // can only prefetch offloaded data
+      graph->AddEdge(pre.kernel, bwd.front());  // the backward needs the feature map
+      copy_tail = pre.kernel;
+      previous_bwd_launch = own_launch == kInvalidTask ? bwd.front() : own_launch;
     }
-    Task prefetch = CopyTask(layer, layer.name.c_str(), Phase::kBackward, options);
-    const TaskId own_launch = LaunchOf(*graph, bwd.front());
-    TaskId anchor = previous_bwd_launch;  // one layer of lookahead
-    if (anchor == kInvalidTask) {
-      anchor = own_launch == kInvalidTask ? bwd.front() : own_launch;
-    }
-    const InsertedKernel pre = InsertKernelAfter(graph, anchor, copy_tail, std::move(prefetch));
-    graph->AddEdge(off->second, pre.kernel);  // can only prefetch offloaded data
-    graph->AddEdge(pre.kernel, bwd.front());  // the backward needs the feature map
-    copy_tail = pre.kernel;
-    previous_bwd_launch = own_launch == kInvalidTask ? bwd.front() : own_launch;
   }
 }
 

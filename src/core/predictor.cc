@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/core/graph_lint.h"
 #include "src/util/logging.h"
 
 namespace daydream {
@@ -39,6 +40,14 @@ PredictionResult Daydream::Predict(const std::function<void(DependencyGraph*)>& 
                                    std::shared_ptr<Scheduler> scheduler, EngineKind engine) const {
   DependencyGraph transformed = graph_.Clone();
   transform(&transformed);
+#ifndef NDEBUG
+  // Debug/test builds hold every what-if output to the full lint catalog —
+  // timing passes included — so a transform that wires an anchor backward
+  // across iterations fails here, naming the edge, not as a wrong prediction.
+  const LintReport report = GraphLint::LintGraph(transformed);
+  DD_CHECK(report.ok()) << "what-if transform produced a graph that fails lint:\n"
+                        << report.ToString();
+#endif
   return Evaluate(transformed, std::move(scheduler), engine);
 }
 

@@ -75,6 +75,10 @@ class SimPlan {
 
  private:
   friend SimResult RunEventEngine(const SimPlan& plan);
+  // GraphLint's plan passes verify the frozen CSR/SoA arrays (and the
+  // test-only corruptor in src/core/graph_testing.h injects defects there).
+  friend class GraphLint;
+  friend class PlanCorruptor;
 
   // Immutable after compilation; shared between a plan and its retimes.
   struct Structure {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/core/graph_lint.h"
 #include "src/core/optimizations/optimizations.h"
 #include "src/models/model_zoo.h"
 #include "src/trace/chrome_trace.h"  // JsonEscape
@@ -67,9 +68,14 @@ SweepRunner::Prepared SweepRunner::Prepare(const SweepCase& sweep_case, size_t i
   if (sweep_case.transform) {
     sweep_case.transform(transformed.get());
   }
-  std::string error;
-  DD_CHECK(transformed->Validate(&error))
-      << "sweep case '" << sweep_case.name << "' produced an invalid graph: " << error;
+  // Structural verification is non-negotiable — a malformed graph aborts
+  // deep inside the engine with no context. --validate escalates to the full
+  // lint catalog (timing + smell passes) and reports every finding at once.
+  const LintReport report = options_.validate ? GraphLint::LintGraph(*transformed)
+                                              : GraphLint::LintStructure(*transformed);
+  DD_CHECK(report.ok()) << "sweep case '" << sweep_case.name
+                        << "' produced an invalid graph:\n"
+                        << report.ToString();
   prepared.tasks = transformed->num_alive();
 
   std::shared_ptr<Scheduler> scheduler = sweep_case.scheduler != nullptr
@@ -79,6 +85,12 @@ SweepRunner::Prepared SweepRunner::Prepare(const SweepCase& sweep_case, size_t i
     // Timing-only cases retime the shared baseline plan (structure block
     // reused); structural cases pay a full compile of their own plan.
     prepared.plan = Simulator(scheduler).Compile(*transformed, baseline_plan_);
+    if (options_.validate) {
+      const LintReport plan_report = GraphLint::LintPlan(prepared.plan, *transformed);
+      DD_CHECK(plan_report.ok()) << "sweep case '" << sweep_case.name
+                                 << "' compiled an inconsistent plan:\n"
+                                 << plan_report.ToString();
+    }
     // The plan is self-contained: release the clone before simulating so a
     // prepared-but-unsimulated case holds plan-sized, not graph-sized, memory.
     transformed.reset();

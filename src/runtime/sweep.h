@@ -58,6 +58,12 @@ struct SweepOptions {
   // path (`daydream sweep --engine=reference`). Cases whose scheduler is not
   // comparator-based run on the reference engine regardless.
   EngineKind engine = EngineKind::kEvent;
+  // Strict verification (`daydream sweep --validate`): every transformed
+  // graph runs the full GraphLint catalog (timing + smell passes, not just
+  // the structural set) and every compiled plan is linted against its graph
+  // before dispatch. Catches transform bugs at the case that planted them
+  // instead of as a wrong number in the ranking.
+  bool validate = false;
 };
 
 class SweepRunner {

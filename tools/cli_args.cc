@@ -12,22 +12,40 @@
 
 namespace daydream {
 
+namespace {
+
+// Presence-only flags: no value token follows them.
+bool IsBooleanFlag(const std::string& name) {
+  return name == "validate" || name == "strict";
+}
+
+}  // namespace
+
 Args ParseArgs(int argc, const char* const* argv) {
   Args args;
   if (argc > 1) {
     args.command = argv[1];
   }
-  for (int i = 2; i < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     const std::string key = argv[i];
     if (!StartsWith(key, "--")) {
       args.error = "unexpected argument '" + key + "' (flags look like --name value)";
       return args;
     }
+    const std::string name = key.substr(2);
+    if (IsBooleanFlag(name)) {
+      // insert_or_assign sidesteps GCC 12's -Wrestrict false positive on
+      // assigning a literal into a fresh map slot (PR105651).
+      args.flags.insert_or_assign(name, std::string("1"));
+      i += 1;
+      continue;
+    }
     if (i + 1 >= argc) {
       args.error = "flag " + key + " requires a value";
       return args;
     }
-    args.flags[key.substr(2)] = argv[i + 1];
+    args.flags[name] = argv[i + 1];
+    i += 2;
   }
   return args;
 }

@@ -27,11 +27,14 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+
+  bool Has(const std::string& key) const { return flags.count(key) != 0; }
 };
 
 // Parses `<command> [--flag value]...`. A flag with no following value, or a
 // positional token where a flag was expected, sets `error` instead of being
-// silently dropped or misparsed.
+// silently dropped or misparsed. Boolean flags (--validate, --strict) take no
+// value; their presence is the signal (query with Args::Has).
 Args ParseArgs(int argc, const char* const* argv);
 
 // Strict decimal parsing: the whole string must be a plain decimal number.

@@ -19,9 +19,11 @@
 #include "src/core/breakdown.h"
 #include "src/core/critical_path.h"
 #include "src/core/graph_builder.h"
+#include "src/core/graph_lint.h"
 #include "src/core/layer_report.h"
 #include "src/core/optimizations/optimizations.h"
 #include "src/core/predictor.h"
+#include "src/core/sim_plan.h"
 #include "src/runtime/ground_truth.h"
 #include "src/runtime/sweep.h"
 #include "src/trace/chrome_trace.h"
@@ -48,11 +50,17 @@ commands:
            [--engine event|reference]   (reference = Algorithm-1 scan, for
                                          differential debugging)
            [--json FILE]                (machine-readable result)
+           [--validate]                 (full GraphLint pass over the what-if
+                                         output before predicting)
+  lint     --trace FILE                 run the GraphLint catalog over the graph
+           [--what-if <name>]           (lint a transformed graph instead)
+           [--json FILE] [--strict]     (--strict: warnings also fail; exit 0
+                                         clean, 1 findings, 2 usage errors)
   sweep    --trace FILE                 evaluate the whole what-if matrix concurrently
            [--cluster M1xG1,M2xG2,...] [--gbps BW1,BW2,...] [--jobs N]
            [--pipeline-stages N1,N2,...] [--microbatches M]
            [--schedule gpipe|1f1b|both]
-           [--engine event|reference] [--csv FILE] [--json FILE]
+           [--engine event|reference] [--csv FILE] [--json FILE] [--validate]
 )";
   return 2;
 }
@@ -142,21 +150,14 @@ int CmdReport(const Args& args) {
   return 0;
 }
 
-int CmdPredict(const Args& args) {
-  const std::optional<Trace> trace = LoadTrace(args);
-  if (!trace.has_value()) {
-    return 2;
-  }
-  const std::string what_if = args.Get("what-if");
-  const std::optional<ModelId> model_id = LookupModel(trace->model_name());
-  const std::optional<EngineKind> engine = ParseEngineKind(args);
-  if (!engine.has_value()) {
-    return 2;
-  }
-
-  Daydream daydream(*trace);
+// Builds the graph transform for --what-if (every name except p3, which is
+// not a graph transform — it reports its own metric). Returns 0 and fills
+// `transform` on success, 2 after printing a diagnostic (known name, bad
+// flags), and -1 when `what_if` names no transform.
+int ResolveWhatIf(const Args& args, const Trace& trace, const std::string& what_if,
+                  std::function<void(DependencyGraph*)>* out) {
+  const std::optional<ModelId> model_id = LookupModel(trace.model_name());
   std::function<void(DependencyGraph*)> transform;
-  std::shared_ptr<Scheduler> scheduler;
 
   if (what_if == "amp") {
     transform = [](DependencyGraph* g) { WhatIfAmp(g); };
@@ -213,11 +214,30 @@ int CmdPredict(const Args& args) {
     }
     DistributedWhatIf opts;
     opts.cluster = *cluster;
-    const std::vector<GradientInfo> gradients = trace->gradients();
+    const std::vector<GradientInfo> gradients = trace.gradients();
     transform = [opts, gradients](DependencyGraph* g) {
       WhatIfDistributed(g, gradients, opts);
     };
-  } else if (what_if == "p3") {
+  } else {
+    return -1;
+  }
+  *out = std::move(transform);
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  const std::optional<Trace> trace = LoadTrace(args);
+  if (!trace.has_value()) {
+    return 2;
+  }
+  const std::string what_if = args.Get("what-if");
+  const std::optional<EngineKind> engine = ParseEngineKind(args);
+  if (!engine.has_value()) {
+    return 2;
+  }
+
+  if (what_if == "p3") {
+    const std::optional<ModelId> model_id = LookupModel(trace->model_name());
     if (!model_id.has_value()) {
       std::cerr << "trace lacks a known model name\n";
       return 2;
@@ -230,16 +250,36 @@ int CmdPredict(const Args& args) {
     opts.network = cluster->network;
     opts.num_servers = cluster->machines;
     // Note: P3 prediction requires a trace collected with --iterations 2.
+    const Daydream daydream(*trace);
     const ModelGraph model = BuildModel(*model_id, DefaultBatch(*model_id));
     const TimeNs predicted = PredictPsIterationTime(daydream, model, opts);
     std::cout << StrFormat("P3 predicted steady-state iteration: %.1f ms\n", ToMs(predicted));
     return 0;
-  } else {
+  }
+
+  std::function<void(DependencyGraph*)> transform;
+  const int status = ResolveWhatIf(args, *trace, what_if, &transform);
+  if (status == 2) {
+    return 2;
+  }
+  if (status != 0) {
     std::cerr << "unknown --what-if '" << what_if << "'\n";
     return Usage();
   }
 
-  const PredictionResult r = daydream.Predict(transform, scheduler, *engine);
+  Daydream daydream(*trace);
+  if (args.Has("validate")) {
+    // Strict mode: the full lint catalog over the transformed graph, with
+    // every finding reported, before any prediction is printed.
+    DependencyGraph transformed = daydream.graph().Clone();
+    transform(&transformed);
+    const LintReport report = GraphLint::LintGraph(transformed);
+    if (!report.ok()) {
+      std::cerr << "what-if '" << what_if << "' fails lint:\n" << report.ToString();
+      return 1;
+    }
+  }
+  const PredictionResult r = daydream.Predict(transform, nullptr, *engine);
   std::cout << StrFormat(
       "baseline (simulated): %.1f ms\n"
       "predicted with '%s': %.1f ms (%+.1f%%)\n",
@@ -262,6 +302,71 @@ int CmdPredict(const Args& args) {
         JsonEscape(what_if).c_str(), ToMs(r.baseline), ToMs(r.predicted), r.SpeedupPct(),
         r.SpeedupRatio());
     std::cout << "wrote " << json << "\n";
+  }
+  return 0;
+}
+
+// `daydream lint`: the GraphLint catalog as a standalone verb. Lints the
+// trace's dependency graph (optionally after a --what-if transform) plus the
+// compiled simulation plan against it. Exit codes: 0 clean, 1 findings
+// (warnings count only under --strict), 2 usage/load errors.
+int CmdLint(const Args& args) {
+  const std::optional<Trace> trace = LoadTrace(args);
+  if (!trace.has_value()) {
+    return 2;
+  }
+  const std::string what_if = args.Get("what-if");
+  std::function<void(DependencyGraph*)> transform;
+  if (!what_if.empty()) {
+    const int status = ResolveWhatIf(args, *trace, what_if, &transform);
+    if (status == 2) {
+      return 2;
+    }
+    if (status != 0) {
+      std::cerr << "cannot lint --what-if '" << what_if
+                << "' (not a graph transform; see `daydream predict`)\n";
+      return 2;
+    }
+  }
+
+  DependencyGraph graph = BuildDependencyGraph(*trace);
+  if (transform) {
+    transform(&graph);
+  }
+  LintReport report = GraphLint::LintGraph(graph);
+
+  // Lint the compiled plan too — but only for a graph whose structure held
+  // up, since Compile DD_CHECKs on (and a cyclic graph would wedge it).
+  if (report.ok()) {
+    const SimPlan plan = Simulator().Compile(graph);
+    const LintReport plan_report = GraphLint::LintPlan(plan, graph);
+    report.findings.insert(report.findings.end(), plan_report.findings.begin(),
+                           plan_report.findings.end());
+    report.passes_run.insert(report.passes_run.end(), plan_report.passes_run.begin(),
+                             plan_report.passes_run.end());
+    report.truncated = report.truncated || plan_report.truncated;
+    report.num_errors += plan_report.num_errors;
+    report.num_warnings += plan_report.num_warnings;
+  } else {
+    std::cout << "plan passes skipped: graph lint found errors\n";
+  }
+
+  std::cout << report.ToString();
+  const std::string json = args.Get("json");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    if (!out.good()) {
+      std::cerr << "cannot write " << json << "\n";
+      return 1;
+    }
+    out << report.ToJson();
+    std::cout << "wrote " << json << "\n";
+  }
+  if (report.errors() > 0) {
+    return 1;
+  }
+  if (args.Has("strict") && report.warnings() > 0) {
+    return 1;
   }
   return 0;
 }
@@ -306,6 +411,7 @@ int CmdSweep(const Args& args) {
   SweepOptions options;
   options.num_threads = *jobs;
   options.engine = *engine;
+  options.validate = args.Has("validate");
   std::vector<SweepOutcome> outcomes = SweepRunner(daydream, options).Run(cases);
   RankBySpeedup(&outcomes);
 
@@ -358,6 +464,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "predict") {
     return CmdPredict(args);
+  }
+  if (args.command == "lint") {
+    return CmdLint(args);
   }
   if (args.command == "sweep") {
     return CmdSweep(args);
