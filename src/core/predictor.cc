@@ -23,6 +23,15 @@ double PredictionResult::SpeedupRatio() const {
 
 Daydream::Daydream(Trace trace, GraphBuildOptions options)
     : trace_(std::move(trace)), graph_(BuildDependencyGraph(trace_, options)) {
+  InitBaseline();
+}
+
+Daydream::Daydream(Trace trace, DependencyGraph graph)
+    : trace_(std::move(trace)), graph_(std::move(graph)) {
+  InitBaseline();
+}
+
+void Daydream::InitBaseline() {
   std::string error;
   DD_CHECK(graph_.Validate(&error)) << "invalid dependency graph: " << error;
   // Build the select indexes once on the baseline graph ("profile once"):

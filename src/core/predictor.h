@@ -32,6 +32,12 @@ class Daydream {
  public:
   explicit Daydream(Trace trace, GraphBuildOptions options = GraphBuildOptions{});
 
+  // Adopts a dependency graph that was already built (and verified) for
+  // `trace` — the service layer builds the graph first so it can refuse a
+  // malformed trace with a lint report instead of aborting mid-construction,
+  // then hands the verified graph over without paying a second build.
+  Daydream(Trace trace, DependencyGraph graph);
+
   const Trace& trace() const { return trace_; }
   const DependencyGraph& graph() const { return graph_; }
   // Cheap per-what-if copy (DependencyGraph::Clone): dead-node payloads are
@@ -62,6 +68,10 @@ class Daydream {
                             EngineKind engine = EngineKind::kEvent) const;
 
  private:
+  // Shared tail of both constructors: validate, warm the select indexes,
+  // compile + run the baseline plan.
+  void InitBaseline();
+
   Trace trace_;
   DependencyGraph graph_;
   SimPlan baseline_plan_;

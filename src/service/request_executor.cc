@@ -1,0 +1,440 @@
+#include "src/service/request_executor.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/optimizations/p3.h"
+#include "src/core/transform.h"
+#include "src/models/model_zoo.h"
+#include "src/service/version.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/trace_io.h"
+#include "src/util/json.h"
+#include "src/util/string_util.h"
+#include "src/util/time_units.h"
+#include "tools/cli_args.h"
+
+namespace daydream {
+
+namespace {
+
+// Builds one single-line JSON response object. Values arrive pre-formatted
+// (AddRaw) or are escaped/formatted here; keys are trusted literals.
+// StrFormat (out-of-line) instead of operator+ chains: GCC 12's -Wrestrict
+// misfires on inlined literal-string concatenation (PR105651).
+class ResponseWriter {
+ public:
+  void AddRaw(const std::string& key, const std::string& raw) {
+    body_ += separator();
+    body_ += StrFormat("\"%s\": %s", key.c_str(), raw.c_str());
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    AddRaw(key, StrFormat("\"%s\"", JsonEscape(value).c_str()));
+  }
+  void AddBool(const std::string& key, bool value) { AddRaw(key, value ? "true" : "false"); }
+  void AddInt(const std::string& key, long long value) {
+    AddRaw(key, StrFormat("%lld", value));
+  }
+  void AddMs(const std::string& key, TimeNs value) {
+    AddRaw(key, StrFormat("%.3f", ToMs(value)));
+  }
+  void AddDouble(const std::string& key, const char* fmt, double value) {
+    AddRaw(key, StrFormat(fmt, value));
+  }
+
+  std::string Finish() const { return "{" + body_ + "}"; }
+
+ private:
+  const char* separator() { return body_.empty() ? "" : ", "; }
+  std::string body_;
+};
+
+// The verb catalog, for the unknown-verb diagnostic.
+constexpr char kVerbs[] =
+    "open, close, sessions, predict, sweep, lint, report, stats, version, ping, shutdown";
+
+// The request id, re-encoded for the response. Numbers echo their untouched
+// source token; strings are re-escaped; anything else (or no id) is omitted.
+std::optional<std::string> IdToken(const JsonObject& request) {
+  const JsonValue* id = request.Find("id");
+  if (id == nullptr) {
+    return std::nullopt;
+  }
+  switch (id->kind) {
+    case JsonValue::Kind::kNumber:
+      return id->raw;
+    case JsonValue::Kind::kString:
+      return StrFormat("\"%s\"", JsonEscape(id->string).c_str());
+    case JsonValue::Kind::kBool:
+      return std::string(id->boolean ? "true" : "false");
+    case JsonValue::Kind::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+ResponseWriter BeginResponse(const std::optional<std::string>& id, bool ok) {
+  ResponseWriter writer;
+  if (id.has_value()) {
+    writer.AddRaw("id", *id);
+  }
+  writer.AddBool("ok", ok);
+  return writer;
+}
+
+std::string ErrorResponse(const std::optional<std::string>& id, const std::string& code,
+                          const std::string& message) {
+  ResponseWriter writer = BeginResponse(id, /*ok=*/false);
+  writer.AddString("code", code);
+  writer.AddString("error", message);
+  return writer.Finish();
+}
+
+// Lowers a request's extra fields onto the CLI flag map so the serve
+// protocol and the command line share one parsing path (tools/cli_args.h):
+// `what_if` → --what-if, numbers keep their source token, `true` booleans
+// become presence. Transport-level fields (id/verb/session/trace) are not
+// flags.
+Args RequestToArgs(const JsonObject& request, const std::string& verb) {
+  Args args;
+  args.command = verb;
+  for (const auto& [key, value] : request.fields()) {
+    if (key == "id" || key == "verb" || key == "session" || key == "trace" ||
+        key == "cache_capacity") {
+      continue;
+    }
+    std::string name = key;
+    for (char& c : name) {
+      if (c == '_') {
+        c = '-';
+      }
+    }
+    switch (value.kind) {
+      case JsonValue::Kind::kString:
+        args.flags[name] = value.string;
+        break;
+      case JsonValue::Kind::kNumber:
+        args.flags[name] = value.raw;
+        break;
+      case JsonValue::Kind::kBool:
+        if (value.boolean) {
+          args.flags.insert_or_assign(name, std::string("1"));
+        }
+        break;
+      case JsonValue::Kind::kNull:
+        break;
+    }
+  }
+  return args;
+}
+
+std::string StatusCode(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kOk:
+      return "ok";
+    case SessionStatus::kUnknownWhatIf:
+      return "unknown_what_if";
+    case SessionStatus::kBadRequest:
+      return "bad_request";
+    case SessionStatus::kLintFailed:
+      return "lint_failed";
+  }
+  return "internal";
+}
+
+}  // namespace
+
+RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
+  Response response;
+
+  std::string parse_error;
+  const std::optional<JsonObject> request = ParseJsonObject(line, &parse_error);
+  if (!request.has_value()) {
+    response.line = ErrorResponse(std::nullopt, "parse_error", parse_error);
+    return response;
+  }
+  const std::optional<std::string> id = IdToken(*request);
+
+  const std::string verb = request->GetString("verb");
+  if (verb.empty()) {
+    response.line = ErrorResponse(id, "bad_request", "request needs a \"verb\" string field");
+    return response;
+  }
+
+  if (verb == "ping") {
+    response.line = BeginResponse(id, /*ok=*/true).Finish();
+    return response;
+  }
+  if (verb == "version") {
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddString("version", DaydreamVersionString());
+    writer.AddInt("protocol", kServeProtocolVersion);
+    writer.AddString("trace_schema", kTraceSchemaVersion);
+    response.line = writer.Finish();
+    return response;
+  }
+  if (verb == "shutdown") {
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddBool("shutting_down", true);
+    response.line = writer.Finish();
+    response.shutdown = true;
+    return response;
+  }
+  if (verb == "sessions") {
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    std::string list = "[";
+    for (const std::string& handle : sessions_.Handles()) {
+      if (list.size() > 1) {
+        list += ", ";
+      }
+      list += StrFormat("\"%s\"", JsonEscape(handle).c_str());
+    }
+    list += "]";
+    writer.AddRaw("sessions", list);
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb == "open") {
+    const std::string path = request->GetString("trace");
+    if (path.empty()) {
+      response.line = ErrorResponse(id, "bad_request", "open needs a \"trace\" path field");
+      return response;
+    }
+    std::optional<Trace> trace = ReadTraceFile(path);
+    if (!trace.has_value()) {
+      response.line = ErrorResponse(id, "bad_request", "cannot read trace from " + path);
+      return response;
+    }
+    SessionOptions options = session_options_;
+    if (request->Has("cache_capacity")) {
+      const double capacity = request->GetNumber("cache_capacity", -1.0);
+      if (capacity < 1.0) {
+        response.line = ErrorResponse(id, "bad_request",
+                                      "bad cache_capacity (expected a positive integer)");
+        return response;
+      }
+      options.plan_cache_capacity = static_cast<size_t>(capacity);
+    }
+    std::string error;
+    std::shared_ptr<TraceSession> session = TraceSession::Create(std::move(*trace), options, &error);
+    if (session == nullptr) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddString("session", sessions_.Open(session));
+    writer.AddString("model", session->trace().model_name());
+    writer.AddString("config", session->trace().config());
+    writer.AddInt("events", static_cast<long long>(session->trace().size()));
+    writer.AddInt("tasks", session->daydream().graph().num_alive());
+    writer.AddMs("baseline_ms", session->daydream().BaselineSimTime());
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb != "close" && verb != "stats" && verb != "report" && verb != "predict" &&
+      verb != "lint" && verb != "sweep") {
+    response.line = ErrorResponse(
+        id, "unknown_verb", "unknown verb '" + verb + "' (verbs: " + std::string(kVerbs) + ")");
+    return response;
+  }
+
+  // Every remaining verb addresses an open session.
+  const std::string handle = request->GetString("session");
+  std::shared_ptr<TraceSession> session = sessions_.Get(handle);
+  if (session == nullptr) {
+    response.line = ErrorResponse(id, "unknown_session", "unknown session '" + handle + "'");
+    return response;
+  }
+
+  if (verb == "close") {
+    sessions_.Close(handle);
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddBool("closed", true);
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb == "stats") {
+    const PlanCacheStats stats = session->plan_cache_stats();
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddInt("plan_cache_size", static_cast<long long>(session->plan_cache_size()));
+    writer.AddInt("plan_cache_hits", static_cast<long long>(stats.hits));
+    writer.AddInt("plan_cache_misses", static_cast<long long>(stats.misses));
+    writer.AddInt("plan_cache_evictions", static_cast<long long>(stats.evictions));
+    writer.AddInt("plan_cache_retimes", static_cast<long long>(stats.retimes));
+    writer.AddInt("plan_cache_compiles", static_cast<long long>(stats.compiles));
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb == "report") {
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddString("report", session->ReportText());
+    response.line = writer.Finish();
+    return response;
+  }
+
+  const Args args = RequestToArgs(*request, verb);
+
+  if (verb == "predict") {
+    WhatIfRequest what_if;
+    std::string error;
+    if (!ParseWhatIfRequest(args, &what_if, &error)) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    if (what_if.what_if == "p3") {
+      // P3 is not a graph transform — it reports its own metric (the
+      // steady-state parameter-server iteration), so it bypasses the plan
+      // cache and the session's transform machinery entirely.
+      if (!session->model_id().has_value()) {
+        response.line = ErrorResponse(id, "bad_request", "trace lacks a known model name");
+        return response;
+      }
+      // PredictPsIterationTime aborts on anything but a 2-iteration profile;
+      // the daemon must refuse with an envelope instead.
+      const size_t boundaries =
+          session->daydream()
+              .graph()
+              .Select(All(ApiIs(ApiKind::kDeviceSynchronize), NameContains("iter_end")))
+              .size();
+      if (boundaries != 2) {
+        response.line = ErrorResponse(
+            id, "bad_request",
+            "p3 needs a 2-iteration trace (re-run `daydream collect --iterations 2`)");
+        return response;
+      }
+      PsWhatIf opts;
+      opts.network = what_if.cluster.network;
+      opts.num_servers = what_if.cluster.machines;
+      const ModelGraph model =
+          BuildModel(*session->model_id(), DefaultBatch(*session->model_id()));
+      const TimeNs predicted = PredictPsIterationTime(session->daydream(), model, opts);
+      ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+      writer.AddString("what_if", "p3");
+      writer.AddMs("p3_iteration_ms", predicted);
+      response.line = writer.Finish();
+      return response;
+    }
+    PredictOutcome outcome;
+    const SessionStatus status = session->Predict(what_if, &outcome, &error);
+    if (status != SessionStatus::kOk) {
+      response.line = ErrorResponse(id, StatusCode(status), error);
+      return response;
+    }
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddString("what_if", what_if.what_if);
+    writer.AddMs("baseline_ms", outcome.prediction.baseline);
+    writer.AddMs("predicted_ms", outcome.prediction.predicted);
+    writer.AddDouble("speedup_pct", "%.2f", outcome.prediction.SpeedupPct());
+    writer.AddDouble("speedup_ratio", "%.3f", outcome.prediction.SpeedupRatio());
+    writer.AddInt("tasks", outcome.tasks);
+    writer.AddBool("cache_hit", outcome.plan_cache_hit);
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb == "lint") {
+    std::string error;
+    WhatIfRequest what_if;
+    const bool has_what_if = !args.Get("what-if").empty();
+    if (has_what_if && !ParseWhatIfRequest(args, &what_if, &error)) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    LintReport report;
+    bool plan_passes_run = false;
+    const SessionStatus status =
+        session->Lint(has_what_if ? &what_if : nullptr, &report, &plan_passes_run, &error);
+    if (status == SessionStatus::kUnknownWhatIf) {
+      response.line = ErrorResponse(id, "bad_request",
+                                    "cannot lint what-if '" + what_if.what_if +
+                                        "' (not a graph transform; see `predict`)");
+      return response;
+    }
+    if (status != SessionStatus::kOk) {
+      response.line = ErrorResponse(id, StatusCode(status), error);
+      return response;
+    }
+    const bool strict = args.Has("strict");
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddInt("errors", report.errors());
+    writer.AddInt("warnings", report.warnings());
+    writer.AddBool("clean", report.errors() == 0 && (!strict || report.warnings() == 0));
+    writer.AddBool("plan_passes_run", plan_passes_run);
+    writer.AddString("report", report.ToString());
+    response.line = writer.Finish();
+    return response;
+  }
+
+  if (verb == "sweep") {
+    std::string error;
+    const std::optional<std::vector<ClusterConfig>> clusters = ParseClusterList(args, &error);
+    if (!clusters.has_value()) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    const std::optional<int> jobs = ParseInt(args.Get("jobs", "0"));
+    if (!jobs.has_value() || *jobs < 0) {
+      response.line = ErrorResponse(
+          id, "bad_request",
+          "bad jobs '" + args.Get("jobs") + "' (expected a non-negative integer)");
+      return response;
+    }
+    const std::optional<EngineKind> engine = ParseEngineKind(args, &error);
+    if (!engine.has_value()) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    const std::optional<PipelineFlags> pipeline = ParsePipelineFlags(args, &error);
+    if (!pipeline.has_value()) {
+      response.line = ErrorResponse(id, "bad_request", error);
+      return response;
+    }
+    std::vector<SweepCase> cases = BuildStandardSweep(session->trace(), *clusters);
+    if (pipeline->enabled) {
+      PipelineSweepSpec spec;
+      spec.stages = pipeline->stages;
+      spec.microbatches = pipeline->microbatches;
+      spec.schedules = pipeline->schedules;
+      spec.network = pipeline->network;
+      if (!AppendPipelineSweep(&cases, session->trace(), spec)) {
+        response.line = ErrorResponse(
+            id, "bad_request", "trace lacks a known model name (needed for pipeline_stages)");
+        return response;
+      }
+    }
+    SweepOptions options;
+    options.num_threads = *jobs;
+    options.engine = *engine;
+    options.validate = args.Has("validate");
+    std::vector<SweepOutcome> outcomes = session->Sweep(cases, options);
+    RankBySpeedup(&outcomes);
+    ResponseWriter writer = BeginResponse(id, /*ok=*/true);
+    writer.AddMs("baseline_ms", session->daydream().BaselineSimTime());
+    std::string list = "[";
+    for (const SweepOutcome& outcome : outcomes) {
+      if (list.size() > 1) {
+        list += ", ";
+      }
+      list += StrFormat("{\"name\": \"%s\", \"predicted_ms\": %.3f, \"speedup_pct\": %.2f, "
+                        "\"speedup_ratio\": %.3f, \"tasks\": %d}",
+                        JsonEscape(outcome.name).c_str(), ToMs(outcome.prediction.predicted),
+                        outcome.prediction.SpeedupPct(), outcome.prediction.SpeedupRatio(),
+                        outcome.tasks);
+    }
+    list += "]";
+    writer.AddRaw("cases", list);
+    response.line = writer.Finish();
+    return response;
+  }
+
+  // Unreachable: the verb whitelist above is exhaustive.
+  response.line = ErrorResponse(id, "internal", "verb dispatch fell through");
+  return response;
+}
+
+}  // namespace daydream

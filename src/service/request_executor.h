@@ -1,0 +1,46 @@
+// RequestExecutor: one line-delimited-JSON request in, one response line out.
+//
+// This is the protocol half of `daydream serve` (docs/serve.md), factored
+// away from any transport so tests drive it with plain strings and both the
+// stdio and TCP front ends share one implementation. Requests are flat JSON
+// objects (src/util/json.h); every response is a single line that echoes the
+// request's `id` and carries either `"ok": true` plus the verb's payload or
+// `"ok": false` with a machine-readable `code` and a human-readable `error`.
+// A malformed line, an unknown verb, or a request that would abort the
+// library (bad trace, bad what-if flags) all produce error envelopes — the
+// daemon never crashes on input.
+//
+// Handle() is thread-safe: the serve front ends run it from a worker pool so
+// predict/sweep/lint requests against warm sessions execute concurrently.
+#ifndef SRC_SERVICE_REQUEST_EXECUTOR_H_
+#define SRC_SERVICE_REQUEST_EXECUTOR_H_
+
+#include <string>
+
+#include "src/service/session.h"
+
+namespace daydream {
+
+class RequestExecutor {
+ public:
+  struct Response {
+    std::string line;      // single-line JSON, no trailing newline
+    bool shutdown = false; // the request asked the daemon to stop
+  };
+
+  explicit RequestExecutor(SessionOptions session_options = SessionOptions{})
+      : session_options_(session_options) {}
+
+  // Handles one request line (the line terminator may be included or not).
+  Response Handle(const std::string& line);
+
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  const SessionOptions session_options_;
+  SessionManager sessions_;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_SERVICE_REQUEST_EXECUTOR_H_

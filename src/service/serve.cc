@@ -1,0 +1,245 @@
+#include "src/service/serve.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/service/request_executor.h"
+#include "src/service/version.h"
+
+namespace daydream {
+
+namespace {
+
+// Executes request lines on a bounded worker pool and hands each response to
+// a sink (which serializes writes). Drain() is the graceful-shutdown barrier:
+// every accepted line gets its response before the transport closes.
+class RequestPool {
+ public:
+  using Sink = std::function<void(const RequestExecutor::Response&)>;
+
+  RequestPool(RequestExecutor* executor, int workers, Sink sink)
+      : executor_(executor), sink_(std::move(sink)) {
+    const int count = workers < 1 ? 1 : workers;
+    threads_.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      threads_.emplace_back([this] { Worker(); });
+    }
+  }
+
+  ~RequestPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& thread : threads_) {
+      thread.join();
+    }
+  }
+
+  void Submit(std::string line) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(line));
+      ++pending_;
+    }
+    ready_.notify_one();
+  }
+
+  // Blocks until every submitted line has produced its response.
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+ private:
+  void Worker() {
+    for (;;) {
+      std::string line;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          return;  // stopping_, and nothing left to do
+        }
+        line = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      const RequestExecutor::Response response = executor_->Handle(line);
+      if (response.shutdown) {
+        shutdown_requested_.store(true);
+      }
+      sink_(response);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+      }
+      drained_.notify_all();
+    }
+  }
+
+  RequestExecutor* executor_;
+  Sink sink_;
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable drained_;
+  std::deque<std::string> queue_;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::atomic<bool> shutdown_requested_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+std::string ServeHelloBanner() {
+  return "{\"daydream\": \"serve\", \"hello\": " + DaydreamVersionJson() + "}";
+}
+
+int RunServeStdio(std::istream& in, std::ostream& out, const ServeOptions& options) {
+  RequestExecutor executor(options.session);
+  std::mutex out_mu;
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << ServeHelloBanner() << "\n" << std::flush;
+  }
+  RequestPool pool(&executor, options.workers,
+                   [&out, &out_mu](const RequestExecutor::Response& response) {
+                     std::lock_guard<std::mutex> lock(out_mu);
+                     out << response.line << "\n" << std::flush;
+                   });
+  std::string line;
+  while (!pool.shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) {
+      continue;  // blank lines are keep-alives, not requests
+    }
+    pool.Submit(std::move(line));
+    line.clear();
+  }
+  pool.Drain();
+  return 0;
+}
+
+namespace {
+
+// One TCP connection: banner, then line-in/line-out against the shared
+// executor until the peer closes or a shutdown verb lands.
+void ServeConnection(int fd, RequestExecutor* executor, const ServeOptions& options,
+                     const std::function<void()>& on_shutdown) {
+  std::mutex out_mu;
+  auto write_line = [fd, &out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return;  // peer went away; nothing useful to do with the rest
+      }
+      sent += static_cast<size_t>(n);
+    }
+  };
+  write_line(ServeHelloBanner());
+
+  RequestPool pool(executor, options.workers,
+                   [&write_line](const RequestExecutor::Response& response) {
+                     write_line(response.line);
+                   });
+  std::string buffer;
+  char chunk[4096];
+  while (!pool.shutdown_requested()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t newline = buffer.find('\n', start); newline != std::string::npos;
+         newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty()) {
+        pool.Submit(std::move(line));
+      }
+    }
+    buffer.erase(0, start);
+  }
+  pool.Drain();
+  if (pool.shutdown_requested()) {
+    on_shutdown();
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int RunServeTcp(int port, const ServeOptions& options) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "serve: cannot listen on port " << port << ": " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::cout << "daydream serve listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n"
+            << std::flush;
+
+  RequestExecutor executor(options.session);
+  std::atomic<bool> shutting_down{false};
+  // A shutdown verb stops the accept loop by shutting the listener down;
+  // the blocked accept() then fails and the loop exits.
+  auto on_shutdown = [&shutting_down, listen_fd] {
+    shutting_down.store(true);
+    ::shutdown(listen_fd, SHUT_RDWR);
+  };
+
+  std::vector<std::thread> connections;
+  while (!shutting_down.load()) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      break;  // listener shut down (or hard error); stop accepting
+    }
+    connections.emplace_back(
+        [conn_fd, &executor, &options, &on_shutdown] {
+          ServeConnection(conn_fd, &executor, options, on_shutdown);
+        });
+  }
+  for (std::thread& connection : connections) {
+    connection.join();
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+}  // namespace daydream

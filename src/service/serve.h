@@ -1,0 +1,45 @@
+// `daydream serve` front ends: the long-lived prediction daemon.
+//
+// Both transports speak the same protocol (docs/serve.md, implemented by
+// RequestExecutor): a hello banner on connect, then one response line per
+// request line. Requests are executed by a small worker pool, so several
+// predict/sweep queries against warm sessions run concurrently and responses
+// may interleave out of request order — clients correlate by `id`.
+//
+//   - RunServeStdio reads requests from `in` until EOF or a shutdown verb;
+//     tests drive it with string streams, and `daydream serve` without
+//     --port wires it to stdin/stdout for inetd-style embedding.
+//   - RunServeTcp listens on 127.0.0.1:<port> (port 0 picks a free port,
+//     announced on stdout) and serves each connection on its own thread
+//     against one shared session table, until a shutdown verb stops the
+//     accept loop and drains open connections.
+#ifndef SRC_SERVICE_SERVE_H_
+#define SRC_SERVICE_SERVE_H_
+
+#include <iosfwd>
+
+#include "src/service/session.h"
+
+namespace daydream {
+
+struct ServeOptions {
+  // Request worker threads per transport stream; 1 = strictly in-order
+  // responses.
+  int workers = 4;
+  SessionOptions session;
+};
+
+// The hello banner (single line, no trailing newline): identifies the
+// protocol and embeds the same version JSON `daydream version --json` prints.
+std::string ServeHelloBanner();
+
+// Returns 0 after a clean drain (EOF or shutdown verb).
+int RunServeStdio(std::istream& in, std::ostream& out, const ServeOptions& options = {});
+
+// Returns 0 on clean shutdown, 1 when the socket could not be set up (the
+// error is printed to stderr).
+int RunServeTcp(int port, const ServeOptions& options = {});
+
+}  // namespace daydream
+
+#endif  // SRC_SERVICE_SERVE_H_

@@ -1,0 +1,170 @@
+// TraceSession: the load-once / query-many lifecycle behind the prediction
+// service.
+//
+// Every `daydream` CLI invocation used to re-read the trace, rebuild the
+// dependency graph and recompile SimPlans from scratch. A TraceSession does
+// that work exactly once — trace, built graph, layer map, baseline plan and
+// baseline simulation — and then answers an arbitrary number of
+// predict/sweep/lint queries against it:
+//
+//   - Predict resolves a WhatIfRequest to a graph transform (the resolution
+//     logic that used to be inlined in the CLI), caches the transformed graph
+//     per request signature, and serves the compiled plan from the PlanCache:
+//     a repeated query is a lookup + plan dispatch; a timing-only what-if
+//     that misses fills the cache through SimPlan::Retime over the baseline
+//     structure instead of a full CSR compile.
+//   - Sweep runs a case matrix through the existing SweepRunner pipeline over
+//     this session's shared Daydream instance.
+//   - Lint runs the GraphLint catalog over the session graph (optionally
+//     after a what-if transform) plus the compiled plan.
+//
+// All entry points are thread-safe: the RequestExecutor drives one session
+// from many client threads, and the in-process CLI path is the single-client
+// special case of the same API. Sessions are addressed by handle through the
+// SessionManager (the `daydream serve` session table).
+#ifndef SRC_SERVICE_SESSION_H_
+#define SRC_SERVICE_SESSION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/comm/network_spec.h"
+#include "src/core/graph_lint.h"
+#include "src/core/layer_map.h"
+#include "src/core/optimizations/pipeline_transform.h"
+#include "src/core/predictor.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/sweep.h"
+#include "src/service/plan_cache.h"
+
+namespace daydream {
+
+// One what-if query against a session — the parameters `daydream predict`
+// used to scatter across flags, as data so the CLI and the serve protocol
+// build the same request.
+struct WhatIfRequest {
+  std::string what_if;       // amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|pipeline
+  ClusterConfig cluster;     // distributed
+  PipelineWhatIf pipeline;   // pipeline
+  EngineKind engine = EngineKind::kEvent;
+  bool validate = false;     // full lint catalog over the transformed graph
+
+  // Canonical cache signature: every parameter that shapes the transform.
+  std::string Signature() const;
+};
+
+struct PredictOutcome {
+  PredictionResult prediction;
+  int tasks = 0;            // alive tasks in the transformed graph
+  bool plan_cache_hit = false;  // served straight from the PlanCache
+};
+
+// How a session call failed; the CLI maps these onto its historical exit
+// codes (unknown what-if -> usage, lint findings -> 1, the rest -> 2).
+enum class SessionStatus { kOk, kUnknownWhatIf, kBadRequest, kLintFailed };
+
+struct SessionOptions {
+  // Bounds both the PlanCache and the per-signature transformed-graph cache.
+  size_t plan_cache_capacity = 64;
+};
+
+class TraceSession {
+ public:
+  // Builds the load-once state. Returns nullptr with *error set when the
+  // trace is empty or produces a graph that fails structural lint — the
+  // daemon must refuse bad input with an envelope, never abort.
+  static std::shared_ptr<TraceSession> Create(Trace trace,
+                                              SessionOptions options = SessionOptions{},
+                                              std::string* error = nullptr);
+
+  const Trace& trace() const { return daydream_.trace(); }
+  const Daydream& daydream() const { return daydream_; }
+  const LayerMap& layer_map() const { return layer_map_; }
+  std::optional<ModelId> model_id() const { return model_id_; }
+
+  // Resolves request.what_if to a graph transform (p3 is not a graph
+  // transform — it reports its own metric; see PredictPsIterationTime).
+  SessionStatus ResolveTransform(const WhatIfRequest& request,
+                                 std::function<void(DependencyGraph*)>* transform,
+                                 std::string* error) const;
+
+  // One what-if prediction with warm-plan reuse (see file comment).
+  SessionStatus Predict(const WhatIfRequest& request, PredictOutcome* outcome,
+                        std::string* error);
+
+  // The sweep matrix over this session's shared Daydream.
+  std::vector<SweepOutcome> Sweep(const std::vector<SweepCase>& cases,
+                                  const SweepOptions& options) const;
+
+  // GraphLint catalog over the session graph — after `request`'s transform
+  // when non-null — plus the compiled plan when the graph passes structural
+  // lint (*plan_passes_run records whether it did).
+  SessionStatus Lint(const WhatIfRequest* request, LintReport* report, bool* plan_passes_run,
+                     std::string* error) const;
+
+  // The `daydream report` analyses (breakdown, critical path, hottest
+  // layers), verbatim.
+  std::string ReportText() const;
+
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+
+ private:
+  struct CachedTransform {
+    std::shared_ptr<const DependencyGraph> graph;
+    int tasks = 0;
+    uint64_t sequence = 0;  // LRU clock
+  };
+
+  TraceSession(Trace trace, DependencyGraph graph, SessionOptions options);
+
+  // Returns the cached transformed graph for the request signature, building
+  // (clone + transform + structural lint) on miss. kLintFailed when the
+  // transform output is rejected.
+  SessionStatus TransformedGraph(const WhatIfRequest& request,
+                                 const std::function<void(DependencyGraph*)>& transform,
+                                 std::shared_ptr<const DependencyGraph>* graph, int* tasks,
+                                 std::string* error);
+
+  const SessionOptions options_;
+  Daydream daydream_;
+  LayerMap layer_map_;
+  std::optional<ModelId> model_id_;
+  // Layer-structured what-ifs need the model graph; built once, shared by
+  // every resolved transform (read-only, as in BuildStandardSweep).
+  std::shared_ptr<const ModelGraph> model_graph_;
+
+  PlanCache plan_cache_;
+  mutable std::mutex transforms_mu_;
+  std::map<std::string, CachedTransform> transforms_;  // signature -> graph
+  uint64_t transform_sequence_ = 0;
+};
+
+// The serve session table: handles ("s1", "s2", ...) -> sessions.
+// Thread-safe; a session closed while requests are in flight stays alive
+// until the last shared_ptr drops.
+class SessionManager {
+ public:
+  std::string Open(std::shared_ptr<TraceSession> session);
+  std::shared_ptr<TraceSession> Get(const std::string& handle) const;
+  bool Close(const std::string& handle);
+  size_t size() const;
+  // Handles in insertion order (stable listing for the `sessions` verb).
+  std::vector<std::string> Handles() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Insertion-ordered (handle "s10" must list after "s9", which a map keyed
+  // on the handle string would not give); session counts are small.
+  std::vector<std::pair<std::string, std::shared_ptr<TraceSession>>> sessions_;
+  uint64_t next_handle_ = 0;
+};
+
+}  // namespace daydream
+
+#endif  // SRC_SERVICE_SESSION_H_

@@ -1,0 +1,20 @@
+#include "src/service/version.h"
+
+#include "src/trace/chrome_trace.h"  // JsonEscape
+#include "src/util/string_util.h"
+
+#ifndef DAYDREAM_GIT_VERSION
+#define DAYDREAM_GIT_VERSION "unknown"
+#endif
+
+namespace daydream {
+
+std::string DaydreamVersionString() { return DAYDREAM_GIT_VERSION; }
+
+std::string DaydreamVersionJson() {
+  return StrFormat("{\"version\": \"%s\", \"protocol\": %d, \"trace_schema\": \"%s\"}",
+                   JsonEscape(DaydreamVersionString()).c_str(), kServeProtocolVersion,
+                   kTraceSchemaVersion);
+}
+
+}  // namespace daydream

@@ -1,0 +1,29 @@
+// Build/protocol version identity, shared by `daydream version --json` and
+// the `daydream serve` hello banner so service clients can check
+// compatibility before issuing requests.
+#ifndef SRC_SERVICE_VERSION_H_
+#define SRC_SERVICE_VERSION_H_
+
+#include <string>
+
+namespace daydream {
+
+// Bumped whenever the serve request/response protocol changes incompatibly
+// (field renames, envelope shape); additive fields do not bump it.
+inline constexpr int kServeProtocolVersion = 1;
+
+// The .ddtrace header this build reads/writes (src/trace/trace_io.cc).
+inline constexpr char kTraceSchemaVersion[] = "daydream-trace v1";
+
+// `git describe --always --dirty --tags` captured at configure time,
+// "unknown" when the build tree had no git metadata.
+std::string DaydreamVersionString();
+
+// Single-line JSON: {"version": ..., "protocol": N, "trace_schema": ...}.
+// Embedded verbatim in the serve hello banner and printed by
+// `daydream version --json`.
+std::string DaydreamVersionJson();
+
+}  // namespace daydream
+
+#endif  // SRC_SERVICE_VERSION_H_

@@ -1,0 +1,289 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace daydream {
+
+const JsonValue* JsonObject::Find(const std::string& key) const {
+  auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::string JsonObject::GetString(const std::string& key, const std::string& fallback) const {
+  const JsonValue* value = Find(key);
+  return (value != nullptr && value->kind == JsonValue::Kind::kString) ? value->string : fallback;
+}
+
+double JsonObject::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return (value != nullptr && value->kind == JsonValue::Kind::kNumber) ? value->number : fallback;
+}
+
+bool JsonObject::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  return (value != nullptr && value->kind == JsonValue::Kind::kBool) ? value->boolean : fallback;
+}
+
+namespace {
+
+// Recursive-descent over the flat subset; `pos` always points at the next
+// unconsumed byte. Errors set *error once (first failure wins).
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<JsonObject> ParseObject() {
+    SkipSpace();
+    if (!Consume('{')) {
+      return Fail("expected '{'");
+    }
+    JsonObject object;
+    SkipSpace();
+    if (Consume('}')) {
+      return FinishAt(object);
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return Fail("expected a string key");
+      }
+      if (object.Has(key)) {
+        return Fail("duplicate key '" + key + "'");
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after key '" + key + "'");
+      }
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return std::nullopt;
+      }
+      object.Set(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return FinishAt(object);
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+ private:
+  std::optional<JsonObject> FinishAt(JsonObject& object) {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the object");
+    }
+    return std::move(object);
+  }
+
+  std::optional<JsonObject> Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message;
+    }
+    return std::nullopt;
+  }
+
+  bool FailValue(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* value) {
+    if (pos_ >= text_.size()) {
+      return FailValue("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      value->kind = JsonValue::Kind::kString;
+      return ParseString(&value->string);
+    }
+    if (c == '{' || c == '[') {
+      return FailValue("nested containers are not part of the flat request protocol");
+    }
+    if (ConsumeWord("true")) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = true;
+      return true;
+    }
+    if (ConsumeWord("false")) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = false;
+      return true;
+    }
+    if (ConsumeWord("null")) {
+      value->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(value);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return FailValue("expected '\"'");
+    }
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return FailValue("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') {
+        return true;
+      }
+      if (c < 0x20) {
+        return FailValue("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return FailValue("truncated escape sequence");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!ParseHex4(&code)) {
+            return false;
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return FailValue(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  bool ParseHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) {
+      return FailValue("truncated \\u escape");
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return FailValue("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  // Encodes a BMP code point (surrogates pass through as-is: the protocol
+  // never carries them, and replacing them would silently corrupt an echo).
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseNumber(JsonValue* value) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      return FailValue("expected a value");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      return FailValue("invalid number '" + token + "'");
+    }
+    value->kind = JsonValue::Kind::kNumber;
+    value->number = parsed;
+    value->raw = token;
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonObject> ParseJsonObject(std::string_view text, std::string* error) {
+  std::string scratch;
+  Parser parser(text, error != nullptr ? error : &scratch);
+  return parser.ParseObject();
+}
+
+}  // namespace daydream

@@ -1,0 +1,58 @@
+// Minimal JSON parsing for the service protocol (docs/serve.md).
+//
+// `daydream serve` speaks line-delimited JSON: every request is one *flat*
+// JSON object — string / number / boolean / null values only, no nested
+// containers. That restriction keeps the parser small enough to audit against
+// hostile input (the daemon reads untrusted bytes off a socket) while still
+// covering the whole protocol; responses, which we only ever *write*, are
+// free to nest. Anything outside the subset — nesting, duplicate keys,
+// trailing garbage, bad escapes, unterminated strings — is a parse error
+// with a message naming the offending construct, never a crash or a
+// silently-misread request.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace daydream {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  // The untouched source token for numbers, so an echoed field (e.g. a
+  // request id of 7) round-trips as "7", not "7.000000".
+  std::string raw;
+};
+
+class JsonObject {
+ public:
+  bool Has(const std::string& key) const { return fields_.count(key) != 0; }
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed getters with fallbacks; a present-but-differently-typed field
+  // returns the fallback (callers that must distinguish use Find).
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::map<std::string, JsonValue>& fields() const { return fields_; }
+
+  void Set(std::string key, JsonValue value) { fields_[std::move(key)] = std::move(value); }
+
+ private:
+  std::map<std::string, JsonValue> fields_;
+};
+
+// Parses one flat JSON object. Returns nullopt and sets *error (when given)
+// on anything outside the subset described above.
+std::optional<JsonObject> ParseJsonObject(std::string_view text, std::string* error = nullptr);
+
+}  // namespace daydream
+
+#endif  // SRC_UTIL_JSON_H_

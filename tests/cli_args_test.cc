@@ -221,5 +221,98 @@ TEST(ParsePipelineFlags, ScheduleWithoutStagesIsAnError) {
   EXPECT_FALSE(ParsePipelineFlags(mb).has_value());
 }
 
+
+TEST(KnownCommands, MatchUsageOrder) {
+  const std::vector<std::string> expected = {"models", "collect", "report",  "predict",
+                                             "lint",   "sweep",   "serve", "version"};
+  EXPECT_EQ(KnownCommands(), expected);
+}
+
+TEST(UnknownCommandMessage, NamesTheAttemptAndTheCatalog) {
+  const std::string message = UnknownCommandMessage("frobnicate");
+  EXPECT_NE(message.find("unknown command 'frobnicate'"), std::string::npos);
+  for (const std::string& command : KnownCommands()) {
+    EXPECT_NE(message.find(command), std::string::npos) << command;
+  }
+}
+
+TEST(ParseArgs, BooleanFlagsTakeNoValue) {
+  // --json is boolean only for `version`; for every other command it names
+  // an output file and must consume a value.
+  const Args version = ParseVec({"daydream", "version", "--json"});
+  EXPECT_TRUE(version.ok());
+  EXPECT_TRUE(version.Has("json"));
+  const Args predict = ParseVec({"daydream", "predict", "--json"});
+  EXPECT_FALSE(predict.ok());
+  EXPECT_EQ(predict.error, "flag --json requires a value");
+  const Args lint = ParseVec({"daydream", "lint", "--strict", "--trace", "p.ddtrace"});
+  EXPECT_TRUE(lint.ok());
+  EXPECT_TRUE(lint.Has("strict"));
+  EXPECT_EQ(lint.Get("trace"), "p.ddtrace");
+}
+
+TEST(ParseWhatIfRequest, BuildsTheSessionRequest) {
+  Args args;
+  args.command = "predict";
+  args.flags["what-if"] = "distributed";
+  args.flags["cluster"] = "2x4";
+  args.flags["gbps"] = "25";
+  args.flags["engine"] = "reference";
+  args.flags["validate"] = "1";
+  WhatIfRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseWhatIfRequest(args, &request, &error)) << error;
+  EXPECT_EQ(request.what_if, "distributed");
+  EXPECT_EQ(request.cluster.machines, 2);
+  EXPECT_EQ(request.cluster.gpus_per_machine, 4);
+  EXPECT_DOUBLE_EQ(request.cluster.network.bandwidth_gbps, 25.0);
+  EXPECT_EQ(request.engine, EngineKind::kReference);
+  EXPECT_TRUE(request.validate);
+}
+
+TEST(ParseWhatIfRequest, UnknownNamesParseResolutionIsTheSessionsJob) {
+  Args args;
+  args.command = "predict";
+  args.flags["what-if"] = "overclock";
+  WhatIfRequest request;
+  std::string error;
+  EXPECT_TRUE(ParseWhatIfRequest(args, &request, &error)) << error;
+  EXPECT_EQ(request.what_if, "overclock");
+}
+
+TEST(ParseWhatIfRequest, PipelineNeedsASingleStageAndSchedule) {
+  Args args;
+  args.command = "predict";
+  args.flags["what-if"] = "pipeline";
+  WhatIfRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseWhatIfRequest(args, &request, &error));
+  EXPECT_NE(error.find("--pipeline-stages"), std::string::npos);
+
+  args.flags["pipeline-stages"] = "2,4";  // a sweep list, not a single value
+  EXPECT_FALSE(ParseWhatIfRequest(args, &request, &error));
+  EXPECT_NE(error.find("single"), std::string::npos);
+
+  args.flags["pipeline-stages"] = "4";
+  args.flags["microbatches"] = "8";
+  args.flags["schedule"] = "1f1b";
+  ASSERT_TRUE(ParseWhatIfRequest(args, &request, &error)) << error;
+  EXPECT_EQ(request.what_if, "pipeline");
+  EXPECT_EQ(request.pipeline.num_stages, 4);
+  EXPECT_EQ(request.pipeline.num_microbatches, 8);
+  EXPECT_EQ(request.pipeline.schedule, PipelineScheduleKind::k1F1B);
+}
+
+TEST(ParseWhatIfRequest, RejectsMalformedClusterFlags) {
+  Args args;
+  args.command = "predict";
+  args.flags["what-if"] = "distributed";
+  args.flags["cluster"] = "banana";
+  WhatIfRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseWhatIfRequest(args, &request, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 }  // namespace
 }  // namespace daydream

@@ -1,0 +1,375 @@
+// `daydream serve` protocol tests: RequestExecutor request/response envelopes
+// (driven with plain strings, no transport) and the stdio front end end to
+// end over string streams. Flat responses are parsed back with the protocol's
+// own ParseJsonObject — the daemon must emit what its parser accepts.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/runtime/ground_truth.h"
+#include "src/service/request_executor.h"
+#include "src/service/serve.h"
+#include "src/service/version.h"
+#include "src/trace/trace_io.h"
+#include "src/util/json.h"
+
+namespace daydream {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_path_ = new std::string(::testing::TempDir() + "serve_test_tinymlp.ddtrace");
+    const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp));
+    ASSERT_TRUE(WriteTraceFile(trace, *trace_path_));
+  }
+  static void TearDownTestSuite() {
+    delete trace_path_;
+    trace_path_ = nullptr;
+  }
+
+  // Parses a flat response line with the protocol's own parser.
+  static JsonObject Parse(const std::string& line) {
+    std::string error;
+    const std::optional<JsonObject> object = ParseJsonObject(line, &error);
+    EXPECT_TRUE(object.has_value()) << error << "\nline: " << line;
+    return object.value_or(JsonObject{});
+  }
+
+  // Issues `open` and returns the handle.
+  static std::string Open(RequestExecutor* executor) {
+    const JsonObject response = Parse(
+        executor->Handle("{\"verb\": \"open\", \"trace\": \"" + *trace_path_ + "\"}").line);
+    EXPECT_TRUE(response.GetBool("ok"));
+    const std::string handle = response.GetString("session");
+    EXPECT_FALSE(handle.empty());
+    return handle;
+  }
+
+  static std::string* trace_path_;
+};
+
+std::string* ServeTest::trace_path_ = nullptr;
+
+// ---- RequestExecutor envelopes ----
+
+TEST_F(ServeTest, PingEchoesTheRequestId) {
+  RequestExecutor executor;
+  // A number id round-trips as its source token, a string id re-quoted, a
+  // missing id is omitted.
+  EXPECT_EQ(executor.Handle("{\"id\": 7, \"verb\": \"ping\"}").line,
+            "{\"id\": 7, \"ok\": true}");
+  EXPECT_EQ(executor.Handle("{\"id\": \"req-1\", \"verb\": \"ping\"}").line,
+            "{\"id\": \"req-1\", \"ok\": true}");
+  EXPECT_EQ(executor.Handle("{\"verb\": \"ping\"}").line, "{\"ok\": true}");
+}
+
+TEST_F(ServeTest, MalformedLineGetsAParseErrorEnvelope) {
+  RequestExecutor executor;
+  const JsonObject response = Parse(executor.Handle("this is not json").line);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "parse_error");
+  // Nested containers are outside the flat request subset.
+  const JsonObject nested =
+      Parse(executor.Handle("{\"verb\": \"ping\", \"extra\": [1]}").line);
+  EXPECT_EQ(nested.GetString("code"), "parse_error");
+  EXPECT_NE(nested.GetString("error").find("nested"), std::string::npos);
+}
+
+TEST_F(ServeTest, MissingVerbIsABadRequest) {
+  RequestExecutor executor;
+  const JsonObject response = Parse(executor.Handle("{\"id\": 1}").line);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "bad_request");
+}
+
+TEST_F(ServeTest, UnknownVerbNamesItselfAndTheCatalog) {
+  RequestExecutor executor;
+  const JsonObject response =
+      Parse(executor.Handle("{\"id\": 2, \"verb\": \"frobnicate\"}").line);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "unknown_verb");
+  EXPECT_NE(response.GetString("error").find("frobnicate"), std::string::npos);
+  EXPECT_NE(response.GetString("error").find("predict"), std::string::npos);
+  EXPECT_NE(response.GetString("error").find("shutdown"), std::string::npos);
+}
+
+TEST_F(ServeTest, VersionVerbMatchesTheBuildIdentity) {
+  RequestExecutor executor;
+  const JsonObject response = Parse(executor.Handle("{\"verb\": \"version\"}").line);
+  EXPECT_TRUE(response.GetBool("ok"));
+  EXPECT_EQ(response.GetString("version"), DaydreamVersionString());
+  EXPECT_EQ(response.GetNumber("protocol"), kServeProtocolVersion);
+  EXPECT_EQ(response.GetString("trace_schema"), kTraceSchemaVersion);
+}
+
+TEST_F(ServeTest, OpenRejectsMissingAndUnreadableTraces) {
+  RequestExecutor executor;
+  const JsonObject missing = Parse(executor.Handle("{\"verb\": \"open\"}").line);
+  EXPECT_EQ(missing.GetString("code"), "bad_request");
+  const JsonObject unreadable = Parse(
+      executor.Handle("{\"verb\": \"open\", \"trace\": \"/nonexistent.ddtrace\"}").line);
+  EXPECT_EQ(unreadable.GetString("code"), "bad_request");
+  EXPECT_NE(unreadable.GetString("error").find("/nonexistent.ddtrace"), std::string::npos);
+  const JsonObject bad_capacity = Parse(
+      executor
+          .Handle("{\"verb\": \"open\", \"trace\": \"" + *trace_path_ +
+                  "\", \"cache_capacity\": 0}")
+          .line);
+  EXPECT_EQ(bad_capacity.GetString("code"), "bad_request");
+  EXPECT_EQ(executor.sessions().size(), 0u);
+}
+
+TEST_F(ServeTest, OpenDescribesTheLoadedSession) {
+  RequestExecutor executor;
+  const JsonObject response = Parse(
+      executor.Handle("{\"id\": 1, \"verb\": \"open\", \"trace\": \"" + *trace_path_ + "\"}")
+          .line);
+  EXPECT_TRUE(response.GetBool("ok"));
+  EXPECT_EQ(response.GetString("session"), "s1");
+  EXPECT_EQ(response.GetString("model"), "TinyMLP");
+  EXPECT_GT(response.GetNumber("events"), 0.0);
+  EXPECT_GT(response.GetNumber("tasks"), 0.0);
+  EXPECT_GT(response.GetNumber("baseline_ms"), 0.0);
+}
+
+TEST_F(ServeTest, SessionVerbsRejectUnknownHandles) {
+  RequestExecutor executor;
+  for (const char* verb : {"close", "stats", "report", "predict", "lint", "sweep"}) {
+    const JsonObject response = Parse(
+        executor.Handle(std::string("{\"verb\": \"") + verb + "\", \"session\": \"s9\"}").line);
+    EXPECT_FALSE(response.GetBool("ok", true)) << verb;
+    EXPECT_EQ(response.GetString("code"), "unknown_session") << verb;
+  }
+}
+
+TEST_F(ServeTest, WarmPredictHitsThePlanCache) {
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+
+  const std::string predict =
+      "{\"verb\": \"predict\", \"session\": \"" + handle + "\", \"what_if\": \"amp\"}";
+  const JsonObject cold = Parse(executor.Handle(predict).line);
+  EXPECT_TRUE(cold.GetBool("ok"));
+  EXPECT_EQ(cold.GetString("what_if"), "amp");
+  EXPECT_FALSE(cold.GetBool("cache_hit", true));
+  const JsonObject warm = Parse(executor.Handle(predict).line);
+  EXPECT_TRUE(warm.GetBool("cache_hit"));
+  EXPECT_EQ(warm.GetNumber("predicted_ms"), cold.GetNumber("predicted_ms"));
+
+  // AMP is timing-only: the stats verb must show the miss was filled by a
+  // retime of the baseline structure, not a CSR compile.
+  const JsonObject stats =
+      Parse(executor.Handle("{\"verb\": \"stats\", \"session\": \"" + handle + "\"}").line);
+  EXPECT_EQ(stats.GetNumber("plan_cache_hits"), 1.0);
+  EXPECT_EQ(stats.GetNumber("plan_cache_misses"), 1.0);
+  EXPECT_EQ(stats.GetNumber("plan_cache_retimes"), 1.0);
+  EXPECT_EQ(stats.GetNumber("plan_cache_compiles"), 0.0);
+}
+
+TEST_F(ServeTest, PredictReportsUnknownWhatIfsAndBadFlags) {
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+  const JsonObject unknown = Parse(
+      executor
+          .Handle("{\"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"overclock\"}")
+          .line);
+  EXPECT_EQ(unknown.GetString("code"), "unknown_what_if");
+  const JsonObject bad_flag = Parse(
+      executor
+          .Handle("{\"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"distributed\", \"cluster\": \"banana\"}")
+          .line);
+  EXPECT_EQ(bad_flag.GetString("code"), "bad_request");
+}
+
+TEST_F(ServeTest, P3PredictBypassesTheTransformMachinery) {
+  RequestExecutor executor;
+  // The session fixture is a 1-iteration trace: the daemon must refuse with
+  // an envelope (the library would abort), naming the collect fix.
+  const std::string handle = Open(&executor);
+  const JsonObject refused = Parse(
+      executor
+          .Handle("{\"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"p3\", \"cluster\": \"2x1\"}")
+          .line);
+  EXPECT_EQ(refused.GetString("code"), "bad_request");
+  EXPECT_NE(refused.GetString("error").find("--iterations 2"), std::string::npos);
+
+  // A 2-iteration profile takes the PS path and reports its own metric.
+  const std::string p3_path = ::testing::TempDir() + "serve_test_tinymlp_2it.ddtrace";
+  ASSERT_TRUE(WriteTraceFile(
+      CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp), /*iterations=*/2), p3_path));
+  const JsonObject opened =
+      Parse(executor.Handle("{\"verb\": \"open\", \"trace\": \"" + p3_path + "\"}").line);
+  ASSERT_TRUE(opened.GetBool("ok"));
+  const JsonObject response = Parse(
+      executor
+          .Handle("{\"verb\": \"predict\", \"session\": \"" + opened.GetString("session") +
+                  "\", \"what_if\": \"p3\", \"cluster\": \"2x1\"}")
+          .line);
+  EXPECT_TRUE(response.GetBool("ok"));
+  EXPECT_EQ(response.GetString("what_if"), "p3");
+  EXPECT_GT(response.GetNumber("p3_iteration_ms"), 0.0);
+}
+
+TEST_F(ServeTest, LintVerbReportsACleanSession) {
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+  const JsonObject response =
+      Parse(executor.Handle("{\"verb\": \"lint\", \"session\": \"" + handle + "\"}").line);
+  EXPECT_TRUE(response.GetBool("ok"));
+  EXPECT_EQ(response.GetNumber("errors", -1.0), 0.0);
+  EXPECT_TRUE(response.GetBool("clean"));
+  EXPECT_TRUE(response.GetBool("plan_passes_run"));
+}
+
+TEST_F(ServeTest, ReportVerbCarriesTheAnalysisText) {
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+  const JsonObject response =
+      Parse(executor.Handle("{\"verb\": \"report\", \"session\": \"" + handle + "\"}").line);
+  EXPECT_TRUE(response.GetBool("ok"));
+  EXPECT_NE(response.GetString("report").find("TinyMLP"), std::string::npos);
+  EXPECT_NE(response.GetString("report").find("hottest layer phases"), std::string::npos);
+}
+
+TEST_F(ServeTest, SweepVerbRanksCases) {
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+  // The cases array nests, so this response is checked textually (requests
+  // are flat; responses need not be).
+  const RequestExecutor::Response response =
+      executor.Handle("{\"id\": 9, \"verb\": \"sweep\", \"session\": \"" + handle + "\"}");
+  EXPECT_NE(response.line.find("\"id\": 9, \"ok\": true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"cases\": [{\"name\": "), std::string::npos);
+  EXPECT_NE(response.line.find("\"speedup_pct\": "), std::string::npos);
+}
+
+TEST_F(ServeTest, SessionsVerbListsHandlesInOrderAndCloseRemoves) {
+  RequestExecutor executor;
+  const std::string first = Open(&executor);
+  const std::string second = Open(&executor);
+  EXPECT_EQ(executor.Handle("{\"verb\": \"sessions\"}").line,
+            "{\"ok\": true, \"sessions\": [\"" + first + "\", \"" + second + "\"]}");
+  const JsonObject closed = Parse(
+      executor.Handle("{\"verb\": \"close\", \"session\": \"" + first + "\"}").line);
+  EXPECT_TRUE(closed.GetBool("closed"));
+  EXPECT_EQ(executor.Handle("{\"verb\": \"sessions\"}").line,
+            "{\"ok\": true, \"sessions\": [\"" + second + "\"]}");
+}
+
+TEST_F(ServeTest, ShutdownVerbFlagsTheTransport) {
+  RequestExecutor executor;
+  const RequestExecutor::Response response =
+      executor.Handle("{\"id\": 1, \"verb\": \"shutdown\"}");
+  EXPECT_TRUE(response.shutdown);
+  const JsonObject parsed = Parse(response.line);
+  EXPECT_TRUE(parsed.GetBool("ok"));
+  EXPECT_TRUE(parsed.GetBool("shutting_down"));
+  // Everything else leaves the flag unset.
+  EXPECT_FALSE(executor.Handle("{\"verb\": \"ping\"}").shutdown);
+}
+
+// ---- RunServeStdio ----
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST_F(ServeTest, StdioSessionLifecycle) {
+  std::istringstream in(
+      "{\"id\": 1, \"verb\": \"open\", \"trace\": \"" + *trace_path_ + "\"}\n"
+      "\n"  // blank keep-alive, not a request
+      "{\"id\": 2, \"verb\": \"predict\", \"session\": \"s1\", \"what_if\": \"amp\"}\n"
+      "{\"id\": 3, \"verb\": \"predict\", \"session\": \"s1\", \"what_if\": \"amp\"}\n"
+      "not json at all\n"
+      "{\"id\": 5, \"verb\": \"shutdown\"}\n");
+  std::ostringstream out;
+  ServeOptions options;
+  options.workers = 1;  // strictly in-order responses
+  EXPECT_EQ(RunServeStdio(in, out, options), 0);
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0], ServeHelloBanner());
+
+  const JsonObject opened = Parse(lines[1]);
+  EXPECT_EQ(opened.GetNumber("id"), 1.0);
+  EXPECT_EQ(opened.GetString("session"), "s1");
+
+  const JsonObject cold = Parse(lines[2]);
+  EXPECT_EQ(cold.GetNumber("id"), 2.0);
+  EXPECT_FALSE(cold.GetBool("cache_hit", true));
+  const JsonObject warm = Parse(lines[3]);
+  EXPECT_EQ(warm.GetNumber("id"), 3.0);
+  EXPECT_TRUE(warm.GetBool("cache_hit"));
+  EXPECT_EQ(warm.GetNumber("predicted_ms"), cold.GetNumber("predicted_ms"));
+
+  // The malformed line got its envelope and did not stop the daemon.
+  const JsonObject bad = Parse(lines[4]);
+  EXPECT_EQ(bad.GetString("code"), "parse_error");
+  const JsonObject shutdown = Parse(lines[5]);
+  EXPECT_EQ(shutdown.GetNumber("id"), 5.0);
+  EXPECT_TRUE(shutdown.GetBool("shutting_down"));
+}
+
+TEST_F(ServeTest, StdioEofDrainsWithoutAShutdownVerb) {
+  std::istringstream in("{\"id\": 1, \"verb\": \"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunServeStdio(in, out), 0);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], ServeHelloBanner());
+  EXPECT_EQ(lines[1], "{\"id\": 1, \"ok\": true}");
+}
+
+TEST_F(ServeTest, StdioAnswersEveryRequestUnderConcurrency) {
+  // Several workers: responses may interleave out of request order, but every
+  // id must be answered exactly once before the drain returns.
+  constexpr int kRequests = 24;
+  std::string input;
+  for (int i = 1; i <= kRequests; ++i) {
+    input += "{\"id\": " + std::to_string(i) + ", \"verb\": \"ping\"}\n";
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServeOptions options;
+  options.workers = 4;
+  EXPECT_EQ(RunServeStdio(in, out, options), 0);
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kRequests) + 1);
+  EXPECT_EQ(lines[0], ServeHelloBanner());
+  std::vector<int> answered(kRequests + 1, 0);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const JsonObject response = Parse(lines[i]);
+    EXPECT_TRUE(response.GetBool("ok")) << lines[i];
+    const int id = static_cast<int>(response.GetNumber("id", -1.0));
+    ASSERT_GE(id, 1) << lines[i];
+    ASSERT_LE(id, kRequests) << lines[i];
+    ++answered[id];
+  }
+  for (int i = 1; i <= kRequests; ++i) {
+    EXPECT_EQ(answered[i], 1) << "id " << i;
+  }
+}
+
+TEST_F(ServeTest, HelloBannerEmbedsTheVersionJson) {
+  const std::string banner = ServeHelloBanner();
+  EXPECT_NE(banner.find("\"daydream\": \"serve\""), std::string::npos);
+  EXPECT_NE(banner.find(DaydreamVersionJson()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daydream

@@ -1,0 +1,490 @@
+// Service-layer tests: PlanCache policy (hit/miss/LRU/stamp invalidation),
+// TraceSession warm-query reuse against the Daydream oracle, and the
+// SessionManager table — including the multi-client stress the TSan CI job
+// runs (many threads hammering one session's caches).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/optimizations/optimizations.h"
+#include "src/core/predictor.h"
+#include "src/runtime/ground_truth.h"
+#include "src/service/plan_cache.h"
+#include "src/service/session.h"
+
+namespace daydream {
+namespace {
+
+// ---- PlanCache ----
+
+std::shared_ptr<const SimPlan> DummyPlan() { return std::make_shared<const SimPlan>(); }
+
+TEST(PlanCache, MissThenPutThenHit) {
+  PlanCache cache(4);
+  const PlanCache::Key key{1, "earliest_start", "amp"};
+  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Put(key, DummyPlan(), /*retimed=*/true);
+  EXPECT_NE(cache.Get(key), nullptr);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.retimes, 1u);
+  EXPECT_EQ(stats.compiles, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, KeySeparatesStampSchedulerAndSignature) {
+  PlanCache cache(8);
+  cache.Put({1, "earliest_start", "amp"}, DummyPlan(), false);
+  // Timing variants over one shared structure: same stamp, same scheduler,
+  // different signature — must not alias.
+  EXPECT_EQ(cache.Get({1, "earliest_start", "other"}), nullptr);
+  EXPECT_EQ(cache.Get({2, "earliest_start", "amp"}), nullptr);
+  EXPECT_EQ(cache.Get({1, "critical_path", "amp"}), nullptr);
+  EXPECT_NE(cache.Get({1, "earliest_start", "amp"}), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedPastCapacity) {
+  PlanCache cache(2);
+  cache.Put({1, "s", "a"}, DummyPlan(), false);
+  cache.Put({2, "s", "b"}, DummyPlan(), false);
+  EXPECT_NE(cache.Get({1, "s", "a"}), nullptr);  // promote key 1
+  cache.Put({3, "s", "c"}, DummyPlan(), false);  // evicts key 2, the LRU
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Get({2, "s", "b"}), nullptr);
+  EXPECT_NE(cache.Get({1, "s", "a"}), nullptr);
+  EXPECT_NE(cache.Get({3, "s", "c"}), nullptr);
+}
+
+TEST(PlanCache, PutOnExistingKeyRefreshesInPlace) {
+  PlanCache cache(2);
+  const PlanCache::Key key{1, "s", "a"};
+  cache.Put(key, DummyPlan(), false);
+  cache.Put(key, DummyPlan(), true);  // a concurrent builder raced us
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+  EXPECT_EQ(cache.stats().retimes, 1u);
+}
+
+TEST(PlanCache, EraseStampDropsEveryPlanForThatStructure) {
+  PlanCache cache(8);
+  cache.Put({1, "s", "amp"}, DummyPlan(), false);
+  cache.Put({1, "s", "other"}, DummyPlan(), false);
+  cache.Put({2, "s", "dist"}, DummyPlan(), false);
+  cache.EraseStamp(1);  // the after-structural-mutation hook
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get({1, "s", "amp"}), nullptr);
+  EXPECT_EQ(cache.Get({1, "s", "other"}), nullptr);
+  EXPECT_NE(cache.Get({2, "s", "dist"}), nullptr);
+}
+
+TEST(PlanCache, EraseSignatureIsScopedToOneSignature) {
+  PlanCache cache(8);
+  cache.Put({1, "s", "amp"}, DummyPlan(), false);
+  cache.Put({1, "s", "other"}, DummyPlan(), false);
+  cache.Erase(1, "amp");
+  EXPECT_EQ(cache.Get({1, "s", "amp"}), nullptr);
+  EXPECT_NE(cache.Get({1, "s", "other"}), nullptr);
+}
+
+TEST(PlanCache, StampInvalidationAfterStructuralMutation) {
+  // The end-to-end contract: timing-only edits preserve the structure stamp
+  // (their plans stay reachable), structural mutation bumps it (every plan
+  // compiled from the old structure becomes unreachable under the new stamp,
+  // and EraseStamp reclaims the stale ones eagerly).
+  const Trace trace = CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp));
+  const Daydream daydream(trace);
+  PlanCache cache(4);
+
+  DependencyGraph amp = daydream.CloneGraph();
+  WhatIfAmp(&amp);  // timing-only: stamp preserved
+  EXPECT_EQ(amp.structure_stamp(), daydream.graph().structure_stamp());
+
+  DependencyGraph fused = daydream.CloneGraph();
+  WhatIfFusedAdam(&fused);  // removes optimizer tasks: stamp bumped
+  EXPECT_NE(fused.structure_stamp(), daydream.graph().structure_stamp());
+
+  const Simulator simulator;
+  cache.Put({amp.structure_stamp(), "s", "amp"},
+            std::make_shared<const SimPlan>(
+                simulator.Compile(amp, &daydream.baseline_plan())),
+            /*retimed=*/true);
+  cache.Put({fused.structure_stamp(), "s", "fused_adam"},
+            std::make_shared<const SimPlan>(simulator.Compile(fused)),
+            /*retimed=*/false);
+
+  EXPECT_EQ(cache.Get({fused.structure_stamp(), "s", "amp"}), nullptr);
+  cache.EraseStamp(amp.structure_stamp());
+  EXPECT_EQ(cache.Get({amp.structure_stamp(), "s", "amp"}), nullptr);
+  EXPECT_NE(cache.Get({fused.structure_stamp(), "s", "fused_adam"}), nullptr);
+}
+
+// ---- WhatIfRequest signatures ----
+
+TEST(WhatIfRequestSignature, DistinguishesEveryTransformParameter) {
+  WhatIfRequest amp;
+  amp.what_if = "amp";
+  WhatIfRequest dist;
+  dist.what_if = "distributed";
+  dist.cluster.machines = 2;
+  dist.cluster.gpus_per_machine = 4;
+  EXPECT_NE(amp.Signature(), dist.Signature());
+
+  WhatIfRequest dist_fast = dist;
+  dist_fast.cluster.network.bandwidth_gbps = 40.0;
+  EXPECT_NE(dist.Signature(), dist_fast.Signature());
+
+  // Engine and validate select how the answer is consumed, not which graph
+  // is built — they must share one cached transform.
+  WhatIfRequest amp_reference = amp;
+  amp_reference.engine = EngineKind::kReference;
+  amp_reference.validate = true;
+  EXPECT_EQ(amp.Signature(), amp_reference.Signature());
+}
+
+// ---- TraceSession ----
+
+class TraceSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(CollectBaselineTrace(DefaultRunConfig(ModelId::kTinyMlp)));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static std::shared_ptr<TraceSession> NewSession(
+      SessionOptions options = SessionOptions{}) {
+    std::string error;
+    std::shared_ptr<TraceSession> session = TraceSession::Create(*trace_, options, &error);
+    EXPECT_NE(session, nullptr) << error;
+    return session;
+  }
+
+  static Trace* trace_;
+};
+
+Trace* TraceSessionTest::trace_ = nullptr;
+
+TEST_F(TraceSessionTest, CreateRejectsEmptyTrace) {
+  std::string error;
+  EXPECT_EQ(TraceSession::Create(Trace{}, SessionOptions{}, &error), nullptr);
+  EXPECT_NE(error.find("no events"), std::string::npos);
+}
+
+TEST_F(TraceSessionTest, PredictMatchesDaydreamOracle) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  const Daydream oracle(*trace_);
+  for (const char* name : {"amp", "fused_adam", "rbn", "metaflow", "gist", "vdnn"}) {
+    WhatIfRequest request;
+    request.what_if = name;
+    PredictOutcome outcome;
+    std::string error;
+    ASSERT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kOk)
+        << name << ": " << error;
+
+    std::function<void(DependencyGraph*)> transform;
+    ASSERT_EQ(session->ResolveTransform(request, &transform, &error), SessionStatus::kOk)
+        << name << ": " << error;
+    const PredictionResult expected = oracle.Predict(transform);
+    EXPECT_EQ(outcome.prediction.baseline, expected.baseline) << name;
+    EXPECT_EQ(outcome.prediction.predicted, expected.predicted) << name;
+  }
+}
+
+TEST_F(TraceSessionTest, RepeatedTimingOnlyQueryHitsPlanCacheViaRetime) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest request;
+  request.what_if = "amp";
+  PredictOutcome first, second;
+  std::string error;
+  ASSERT_EQ(session->Predict(request, &first, &error), SessionStatus::kOk) << error;
+  ASSERT_EQ(session->Predict(request, &second, &error), SessionStatus::kOk) << error;
+
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(first.prediction.predicted, second.prediction.predicted);
+
+  // AMP only edits timings, so the miss was filled by retiming the baseline
+  // plan's structure block, never a full CSR compile.
+  const PlanCacheStats stats = session->plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.retimes, 1u);
+  EXPECT_EQ(stats.compiles, 0u);
+}
+
+TEST_F(TraceSessionTest, StructuralWhatIfCompilesOnceThenHits) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest request;
+  request.what_if = "distributed";
+  request.cluster.machines = 2;
+  request.cluster.gpus_per_machine = 2;
+  PredictOutcome first, second;
+  std::string error;
+  ASSERT_EQ(session->Predict(request, &first, &error), SessionStatus::kOk) << error;
+  ASSERT_EQ(session->Predict(request, &second, &error), SessionStatus::kOk) << error;
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(first.prediction.predicted, second.prediction.predicted);
+  const PlanCacheStats stats = session->plan_cache_stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.retimes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(TraceSessionTest, DifferentClustersAreDifferentCacheEntries) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest narrow, wide;
+  narrow.what_if = wide.what_if = "distributed";
+  narrow.cluster.machines = wide.cluster.machines = 2;
+  narrow.cluster.gpus_per_machine = wide.cluster.gpus_per_machine = 2;
+  narrow.cluster.network.bandwidth_gbps = 10.0;
+  wide.cluster.network.bandwidth_gbps = 40.0;
+
+  PredictOutcome a, b;
+  std::string error;
+  ASSERT_EQ(session->Predict(narrow, &a, &error), SessionStatus::kOk) << error;
+  ASSERT_EQ(session->Predict(wide, &b, &error), SessionStatus::kOk) << error;
+  EXPECT_FALSE(b.plan_cache_hit);  // a different question, not a warm hit
+  EXPECT_LE(b.prediction.predicted, a.prediction.predicted);  // 40 Gbps >= 10
+}
+
+TEST_F(TraceSessionTest, TransformCacheEvictionInvalidatesCachedPlans) {
+  SessionOptions options;
+  options.plan_cache_capacity = 1;
+  std::shared_ptr<TraceSession> session = NewSession(options);
+
+  WhatIfRequest amp, dist;
+  amp.what_if = "amp";
+  dist.what_if = "distributed";
+  PredictOutcome outcome;
+  std::string error;
+  ASSERT_EQ(session->Predict(amp, &outcome, &error), SessionStatus::kOk) << error;
+  ASSERT_EQ(session->Predict(dist, &outcome, &error), SessionStatus::kOk) << error;
+  // dist evicted amp's transform (capacity 1), which erased amp's plan by
+  // stamp — so the repeat must rebuild instead of serving a stale hit.
+  ASSERT_EQ(session->Predict(amp, &outcome, &error), SessionStatus::kOk) << error;
+  EXPECT_FALSE(outcome.plan_cache_hit);
+  const PlanCacheStats stats = session->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST_F(TraceSessionTest, ReferenceEngineBypassesThePlanCache) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest request;
+  request.what_if = "amp";
+  request.engine = EngineKind::kReference;
+  PredictOutcome reference, event;
+  std::string error;
+  ASSERT_EQ(session->Predict(request, &reference, &error), SessionStatus::kOk) << error;
+  EXPECT_FALSE(reference.plan_cache_hit);
+  EXPECT_EQ(session->plan_cache_size(), 0u);
+
+  request.engine = EngineKind::kEvent;
+  ASSERT_EQ(session->Predict(request, &event, &error), SessionStatus::kOk) << error;
+  // Differential check: both engines agree on the same transformed graph.
+  EXPECT_EQ(reference.prediction.predicted, event.prediction.predicted);
+}
+
+TEST_F(TraceSessionTest, UnknownWhatIfIsReportedNotFatal) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest request;
+  request.what_if = "overclock";
+  PredictOutcome outcome;
+  std::string error;
+  EXPECT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kUnknownWhatIf);
+  // p3 is deliberately not a graph transform either (it reports its own
+  // steady-state metric; callers route it to PredictPsIterationTime).
+  request.what_if = "p3";
+  EXPECT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kUnknownWhatIf);
+}
+
+TEST_F(TraceSessionTest, LayerStructuredWhatIfNeedsAKnownModel) {
+  Trace renamed = *trace_;
+  renamed.set_model_name("mystery-net");
+  std::string error;
+  std::shared_ptr<TraceSession> session =
+      TraceSession::Create(renamed, SessionOptions{}, &error);
+  ASSERT_NE(session, nullptr) << error;
+  WhatIfRequest request;
+  request.what_if = "rbn";
+  PredictOutcome outcome;
+  EXPECT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kBadRequest);
+  EXPECT_NE(error.find("known model name"), std::string::npos);
+}
+
+TEST_F(TraceSessionTest, ValidatedPredictRunsTheFullCatalog) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  WhatIfRequest request;
+  request.what_if = "amp";
+  request.validate = true;
+  PredictOutcome outcome;
+  std::string error;
+  EXPECT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kOk) << error;
+}
+
+TEST_F(TraceSessionTest, LintCleanGraphRunsPlanPasses) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  LintReport report;
+  bool plan_passes_run = false;
+  std::string error;
+  ASSERT_EQ(session->Lint(nullptr, &report, &plan_passes_run, &error), SessionStatus::kOk);
+  EXPECT_TRUE(plan_passes_run);
+  EXPECT_EQ(report.errors(), 0);
+}
+
+TEST_F(TraceSessionTest, ReportTextNamesTheModel) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  const std::string report = session->ReportText();
+  EXPECT_NE(report.find(trace_->model_name()), std::string::npos);
+  EXPECT_NE(report.find("hottest layer phases"), std::string::npos);
+}
+
+TEST_F(TraceSessionTest, SweepRunsTheStandardMatrix) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  const std::vector<SweepCase> cases =
+      BuildStandardSweep(session->trace(), {ClusterConfig{}});
+  ASSERT_FALSE(cases.empty());
+  const std::vector<SweepOutcome> outcomes = session->Sweep(cases, SweepOptions{});
+  ASSERT_EQ(outcomes.size(), cases.size());
+  for (const SweepOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.prediction.baseline, session->daydream().BaselineSimTime());
+  }
+}
+
+TEST_F(TraceSessionTest, ConcurrentClientsShareTheCachesSafely) {
+  // The TSan stress: N client threads fire mixed what-ifs at one session.
+  // Every request must succeed and agree with the single-threaded answer.
+  std::shared_ptr<TraceSession> session = NewSession();
+
+  WhatIfRequest amp, fused, dist;
+  amp.what_if = "amp";
+  fused.what_if = "fused_adam";
+  dist.what_if = "distributed";
+  dist.cluster.machines = 2;
+  dist.cluster.gpus_per_machine = 2;
+  const std::vector<WhatIfRequest> requests = {amp, fused, dist};
+
+  std::vector<TimeNs> expected;
+  for (const WhatIfRequest& request : requests) {
+    PredictOutcome outcome;
+    std::string error;
+    ASSERT_EQ(session->Predict(request, &outcome, &error), SessionStatus::kOk) << error;
+    expected.push_back(outcome.prediction.predicted);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t pick = static_cast<size_t>(t + i) % requests.size();
+        PredictOutcome outcome;
+        std::string error;
+        if (session->Predict(requests[pick], &outcome, &error) != SessionStatus::kOk ||
+            outcome.prediction.predicted != expected[pick]) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+  // Every predict is exactly one cache probe, and warm queries dominate.
+  const PlanCacheStats stats = session->plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kIterations + requests.size()));
+  EXPECT_GE(stats.hits, stats.misses);
+}
+
+// ---- SessionManager ----
+
+TEST_F(TraceSessionTest, SessionManagerHandsOutStableHandles) {
+  SessionManager manager;
+  const std::string first = manager.Open(NewSession());
+  const std::string second = manager.Open(NewSession());
+  EXPECT_NE(first, second);
+  EXPECT_EQ(manager.size(), 2u);
+  EXPECT_NE(manager.Get(first), nullptr);
+  EXPECT_NE(manager.Get(second), nullptr);
+  EXPECT_EQ(manager.Get("nope"), nullptr);
+  EXPECT_EQ(manager.Handles(), (std::vector<std::string>{first, second}));
+
+  EXPECT_TRUE(manager.Close(first));
+  EXPECT_FALSE(manager.Close(first));
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(manager.Get(first), nullptr);
+}
+
+TEST_F(TraceSessionTest, SessionManagerListsHandlesInInsertionOrder) {
+  SessionManager manager;
+  std::shared_ptr<TraceSession> session = NewSession();
+  std::vector<std::string> opened;
+  opened.reserve(11);
+  for (int i = 0; i < 11; ++i) {
+    opened.push_back(manager.Open(session));  // "s1" ... "s11"
+  }
+  // "s10"/"s11" must list after "s9" — insertion order, not lexicographic.
+  EXPECT_EQ(manager.Handles(), opened);
+}
+
+TEST_F(TraceSessionTest, SessionManagerSurvivesConcurrentClients) {
+  // M sessions opened/queried/closed from N threads; a session closed while
+  // another thread holds its shared_ptr stays usable until released.
+  SessionManager manager;
+  std::shared_ptr<TraceSession> shared_session = NewSession();
+  constexpr int kThreads = 6;
+  constexpr int kSessionsPerThread = 4;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        const std::string handle = manager.Open(shared_session);
+        std::shared_ptr<TraceSession> session = manager.Get(handle);
+        if (session == nullptr) {
+          ++failures[t];
+          continue;
+        }
+        WhatIfRequest request;
+        request.what_if = "amp";
+        PredictOutcome outcome;
+        std::string error;
+        if (session->Predict(request, &outcome, &error) != SessionStatus::kOk) {
+          ++failures[t];
+        }
+        if (!manager.Close(handle)) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+  EXPECT_EQ(manager.size(), 0u);
+}
+
+}  // namespace
+}  // namespace daydream

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/util/csv.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/string_util.h"
@@ -220,6 +221,78 @@ TEST(Csv, WritesRows) {
   EXPECT_EQ(line, "x,y");
   std::getline(in, line);
   EXPECT_EQ(line, "1,2");
+}
+
+
+// ---- flat JSON (the serve request protocol) ----
+
+TEST(Json, ParsesTheFlatValueKinds) {
+  std::string error;
+  const std::optional<JsonObject> object = ParseJsonObject(
+      "{\"verb\": \"predict\", \"id\": 7, \"gbps\": 12.5, \"validate\": true, "
+      "\"note\": null}",
+      &error);
+  ASSERT_TRUE(object.has_value()) << error;
+  EXPECT_EQ(object->GetString("verb"), "predict");
+  EXPECT_EQ(object->GetNumber("id"), 7.0);
+  EXPECT_EQ(object->Find("id")->raw, "7");  // source token survives for echoes
+  EXPECT_DOUBLE_EQ(object->GetNumber("gbps"), 12.5);
+  EXPECT_TRUE(object->GetBool("validate"));
+  ASSERT_TRUE(object->Has("note"));
+  EXPECT_EQ(object->Find("note")->kind, JsonValue::Kind::kNull);
+  EXPECT_FALSE(object->Has("absent"));
+}
+
+TEST(Json, TypedGettersFallBackOnWrongTypes) {
+  const std::optional<JsonObject> object = ParseJsonObject("{\"n\": 3, \"s\": \"x\"}");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->GetString("n", "fallback"), "fallback");
+  EXPECT_EQ(object->GetNumber("s", -1.0), -1.0);
+  EXPECT_TRUE(object->GetBool("n", true));
+}
+
+TEST(Json, DecodesEscapes) {
+  const std::optional<JsonObject> object = ParseJsonObject(
+      "{\"s\": \"a\\\"b\\\\c\\n\\t\\u00e9\"}");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->GetString("s"), "a\"b\\c\n\t\u00e9");
+}
+
+TEST(Json, AcceptsTheEmptyObjectAndIgnoresWhitespace) {
+  EXPECT_TRUE(ParseJsonObject("{}").has_value());
+  EXPECT_TRUE(ParseJsonObject("  { \"a\" : 1 , \"b\" : 2 }  ").has_value());
+}
+
+TEST(Json, NamesTheOffendingConstructOnParseErrors) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"", "expected '{'"},
+      {"predict", "expected '{'"},
+      {"{1: 2}", "expected '\"'"},
+      {"{\"a\" 1}", "expected ':' after key 'a'"},
+      {"{\"a\": 1, \"a\": 2}", "duplicate key 'a'"},
+      {"{\"a\": [1]}", "nested containers are not part of the flat request protocol"},
+      {"{\"a\": {\"b\": 1}}", "nested containers are not part of the flat request protocol"},
+      {"{\"a\": 1 \"b\": 2}", "expected ',' or '}' in object"},
+      {"{\"a\": 1} trailing", "trailing characters after the object"},
+      {"{\"a\": \"unterminated}", "unterminated string"},
+      {"{\"a\": \"bad\\x\"}", "invalid escape '\\x'"},
+      {"{\"a\": \"bad\\u12\"}", "invalid \\u escape"},
+      {"{\"a\": 1e}", "invalid number '1e'"},
+      {"{\"a\": nope}", "expected a value"},
+      {"{\"a\": 1", "expected ',' or '}' in object"},
+  };
+  for (const auto& [text, expected] : cases) {
+    std::string error;
+    EXPECT_FALSE(ParseJsonObject(text, &error).has_value()) << text;
+    EXPECT_NE(error.find(expected), std::string::npos)
+        << "input: " << text << "\ngot: " << error;
+  }
+}
+
+TEST(Json, RejectsUnescapedControlCharacters) {
+  std::string error;
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"b\x01c\"}", &error).has_value());
+  EXPECT_NE(error.find("unescaped control character"), std::string::npos);
 }
 
 }  // namespace

@@ -14,9 +14,14 @@ namespace daydream {
 
 namespace {
 
-// Presence-only flags: no value token follows them.
-bool IsBooleanFlag(const std::string& name) {
-  return name == "validate" || name == "strict";
+// Presence-only flags: no value token follows them. Boolean-ness is
+// per-command: `version --json` asks for machine-readable output on stdout,
+// while every other verb's --json FILE names an output file.
+bool IsBooleanFlag(const std::string& command, const std::string& name) {
+  if (name == "validate" || name == "strict") {
+    return true;
+  }
+  return command == "version" && name == "json";
 }
 
 }  // namespace
@@ -33,7 +38,7 @@ Args ParseArgs(int argc, const char* const* argv) {
       return args;
     }
     const std::string name = key.substr(2);
-    if (IsBooleanFlag(name)) {
+    if (IsBooleanFlag(args.command, name)) {
       // insert_or_assign sidesteps GCC 12's -Wrestrict false positive on
       // assigning a literal into a fresh map slot (PR105651).
       args.flags.insert_or_assign(name, std::string("1"));
@@ -48,6 +53,21 @@ Args ParseArgs(int argc, const char* const* argv) {
     i += 2;
   }
   return args;
+}
+
+const std::vector<std::string>& KnownCommands() {
+  static const std::vector<std::string> kCommands = {
+      "models", "collect", "report", "predict", "lint", "sweep", "serve", "version"};
+  return kCommands;
+}
+
+std::string UnknownCommandMessage(const std::string& command) {
+  std::string message = "unknown command '" + command + "' (commands:";
+  for (const std::string& known : KnownCommands()) {
+    message += " " + known;
+  }
+  message += ")";
+  return message;
 }
 
 namespace {
@@ -90,8 +110,8 @@ std::optional<double> ParseDouble(const std::string& text) {
 
 namespace {
 
-// "MxG" → (machines, gpus); diagnostic + nullopt on anything else.
-std::optional<std::pair<int, int>> ParseShape(const std::string& shape) {
+// "MxG" → (machines, gpus); *error + nullopt on anything else.
+std::optional<std::pair<int, int>> ParseShape(const std::string& shape, std::string* error) {
   const std::vector<std::string> parts = StrSplit(shape, 'x');
   std::optional<int> machines;
   std::optional<int> gpus;
@@ -100,16 +120,16 @@ std::optional<std::pair<int, int>> ParseShape(const std::string& shape) {
     gpus = ParseInt(parts[1]);
   }
   if (!machines.has_value() || !gpus.has_value() || *machines < 1 || *gpus < 1) {
-    std::cerr << "bad --cluster '" << shape << "' (expected MxG, e.g. 4x2)\n";
+    *error = "bad --cluster '" + shape + "' (expected MxG, e.g. 4x2)";
     return std::nullopt;
   }
   return std::make_pair(*machines, *gpus);
 }
 
-std::optional<double> ParseBandwidth(const std::string& gbps) {
+std::optional<double> ParseBandwidth(const std::string& gbps, std::string* error) {
   const std::optional<double> bandwidth = ParseDouble(gbps);
   if (!bandwidth.has_value() || *bandwidth <= 0) {
-    std::cerr << "bad --gbps '" << gbps << "' (expected a positive number)\n";
+    *error = "bad --gbps '" + gbps + "' (expected a positive number)";
     return std::nullopt;
   }
   return bandwidth;
@@ -117,7 +137,7 @@ std::optional<double> ParseBandwidth(const std::string& gbps) {
 
 }  // namespace
 
-std::optional<EngineKind> ParseEngineKind(const Args& args) {
+std::optional<EngineKind> ParseEngineKind(const Args& args, std::string* error) {
   const std::string engine = args.Get("engine", "event");
   if (engine == "event") {
     return EngineKind::kEvent;
@@ -125,16 +145,16 @@ std::optional<EngineKind> ParseEngineKind(const Args& args) {
   if (engine == "reference") {
     return EngineKind::kReference;
   }
-  std::cerr << "bad --engine '" << engine << "' (expected event or reference)\n";
+  *error = "bad --engine '" + engine + "' (expected event or reference)";
   return std::nullopt;
 }
 
-std::optional<ClusterConfig> ParseCluster(const Args& args) {
-  const std::optional<std::pair<int, int>> shape = ParseShape(args.Get("cluster", "4x1"));
+std::optional<ClusterConfig> ParseCluster(const Args& args, std::string* error) {
+  const std::optional<std::pair<int, int>> shape = ParseShape(args.Get("cluster", "4x1"), error);
   if (!shape.has_value()) {
     return std::nullopt;
   }
-  const std::optional<double> bandwidth = ParseBandwidth(args.Get("gbps", "10"));
+  const std::optional<double> bandwidth = ParseBandwidth(args.Get("gbps", "10"), error);
   if (!bandwidth.has_value()) {
     return std::nullopt;
   }
@@ -145,16 +165,16 @@ std::optional<ClusterConfig> ParseCluster(const Args& args) {
   return cluster;
 }
 
-std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args) {
+std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args, std::string* error) {
   std::vector<ClusterConfig> clusters;
   for (const std::string& shape_text :
        StrSplit(args.Get("cluster", "2x1,2x2,4x1,4x2"), ',')) {
-    const std::optional<std::pair<int, int>> shape = ParseShape(shape_text);
+    const std::optional<std::pair<int, int>> shape = ParseShape(shape_text, error);
     if (!shape.has_value()) {
       return std::nullopt;
     }
     for (const std::string& gbps_text : StrSplit(args.Get("gbps", "10"), ',')) {
-      const std::optional<double> bandwidth = ParseBandwidth(gbps_text);
+      const std::optional<double> bandwidth = ParseBandwidth(gbps_text, error);
       if (!bandwidth.has_value()) {
         return std::nullopt;
       }
@@ -168,12 +188,12 @@ std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args) {
   return clusters;
 }
 
-std::optional<PipelineFlags> ParsePipelineFlags(const Args& args) {
+std::optional<PipelineFlags> ParsePipelineFlags(const Args& args, std::string* error) {
   PipelineFlags flags;
   const std::string stages_text = args.Get("pipeline-stages");
   if (stages_text.empty()) {
     if (!args.Get("microbatches").empty() || !args.Get("schedule").empty()) {
-      std::cerr << "--microbatches/--schedule require --pipeline-stages\n";
+      *error = "--microbatches/--schedule require --pipeline-stages";
       return std::nullopt;
     }
     return flags;  // disabled
@@ -182,16 +202,16 @@ std::optional<PipelineFlags> ParsePipelineFlags(const Args& args) {
   for (const std::string& text : StrSplit(stages_text, ',')) {
     const std::optional<int> stages = ParseInt(text);
     if (!stages.has_value() || *stages < 1) {
-      std::cerr << "bad --pipeline-stages '" << stages_text
-                << "' (expected a comma-separated list of positive stage counts)\n";
+      *error = "bad --pipeline-stages '" + stages_text +
+               "' (expected a comma-separated list of positive stage counts)";
       return std::nullopt;
     }
     flags.stages.push_back(*stages);
   }
   const std::optional<int> microbatches = ParseInt(args.Get("microbatches", "4"));
   if (!microbatches.has_value() || *microbatches < 1) {
-    std::cerr << "bad --microbatches '" << args.Get("microbatches")
-              << "' (expected a positive integer)\n";
+    *error = "bad --microbatches '" + args.Get("microbatches") +
+             "' (expected a positive integer)";
     return std::nullopt;
   }
   flags.microbatches = *microbatches;
@@ -201,18 +221,89 @@ std::optional<PipelineFlags> ParsePipelineFlags(const Args& args) {
   } else if (schedule == "1f1b") {
     flags.schedules = {PipelineScheduleKind::k1F1B};
   } else if (schedule != "both") {
-    std::cerr << "bad --schedule '" << schedule << "' (expected gpipe, 1f1b or both)\n";
+    *error = "bad --schedule '" + schedule + "' (expected gpipe, 1f1b or both)";
     return std::nullopt;
   }
   // Inter-stage links ride the first --gbps value so pipeline cases rank
   // under the same network assumption as the distributed matrix.
   const std::optional<double> bandwidth =
-      ParseBandwidth(StrSplit(args.Get("gbps", "10"), ',').front());
+      ParseBandwidth(StrSplit(args.Get("gbps", "10"), ',').front(), error);
   if (!bandwidth.has_value()) {
     return std::nullopt;
   }
   flags.network.bandwidth_gbps = *bandwidth;
   return flags;
+}
+
+namespace {
+
+// The stderr wrappers share one shape: run the core overload, print its
+// diagnostic on failure.
+template <typename Fn>
+auto PrintOnError(Fn&& fn) -> decltype(fn(std::declval<std::string*>())) {
+  std::string error;
+  auto result = fn(&error);
+  if (!result.has_value()) {
+    std::cerr << error << "\n";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<EngineKind> ParseEngineKind(const Args& args) {
+  return PrintOnError([&args](std::string* error) { return ParseEngineKind(args, error); });
+}
+
+std::optional<ClusterConfig> ParseCluster(const Args& args) {
+  return PrintOnError([&args](std::string* error) { return ParseCluster(args, error); });
+}
+
+std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args) {
+  return PrintOnError([&args](std::string* error) { return ParseClusterList(args, error); });
+}
+
+std::optional<PipelineFlags> ParsePipelineFlags(const Args& args) {
+  return PrintOnError([&args](std::string* error) { return ParsePipelineFlags(args, error); });
+}
+
+bool ParseWhatIfRequest(const Args& args, WhatIfRequest* request, std::string* error) {
+  request->what_if = args.Get("what-if");
+  const std::optional<EngineKind> engine = ParseEngineKind(args, error);
+  if (!engine.has_value()) {
+    return false;
+  }
+  request->engine = *engine;
+  request->validate = args.Has("validate");
+  if (request->what_if == "distributed" || request->what_if == "p3") {
+    const std::optional<ClusterConfig> cluster = ParseCluster(args, error);
+    if (!cluster.has_value()) {
+      return false;
+    }
+    request->cluster = *cluster;
+  }
+  if (request->what_if == "pipeline") {
+    const std::optional<PipelineFlags> pipeline = ParsePipelineFlags(args, error);
+    if (!pipeline.has_value()) {
+      return false;
+    }
+    if (!pipeline->enabled || pipeline->stages.size() != 1) {
+      *error = "predict --what-if pipeline needs --pipeline-stages with a single value";
+      return false;
+    }
+    if (pipeline->schedules.empty() && !args.Get("schedule").empty()) {
+      *error = "predict takes a single --schedule (gpipe or 1f1b)";
+      return false;
+    }
+    request->pipeline.num_stages = pipeline->stages.front();
+    request->pipeline.num_microbatches = pipeline->microbatches;
+    request->pipeline.network = pipeline->network;
+    // Default is 1F1B; `--schedule both` is a sweep-only matrix axis.
+    if (!pipeline->schedules.empty()) {
+      request->pipeline.schedule = pipeline->schedules.front();
+    }
+  }
+  return true;
 }
 
 }  // namespace daydream

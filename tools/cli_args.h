@@ -1,5 +1,10 @@
 // Command-line argument parsing for the daydream CLI, split out of the main
 // binary so unit tests can link against it.
+//
+// Every Parse* helper comes in two flavours: the core overload reports
+// malformed input through a std::string* (the serve protocol wraps it in a
+// per-request error envelope), and the historical overload prints the same
+// diagnostic to stderr for the CLI.
 #ifndef TOOLS_CLI_ARGS_H_
 #define TOOLS_CLI_ARGS_H_
 
@@ -11,6 +16,7 @@
 #include "src/comm/network_spec.h"
 #include "src/core/simulator.h"
 #include "src/parallel/pipeline.h"
+#include "src/service/session.h"
 
 namespace daydream {
 
@@ -33,9 +39,16 @@ struct Args {
 
 // Parses `<command> [--flag value]...`. A flag with no following value, or a
 // positional token where a flag was expected, sets `error` instead of being
-// silently dropped or misparsed. Boolean flags (--validate, --strict) take no
-// value; their presence is the signal (query with Args::Has).
+// silently dropped or misparsed. Boolean flags take no value; their presence
+// is the signal (query with Args::Has). Which flags are boolean depends on
+// the command: --validate/--strict always are, and --json is only for
+// `version` (everywhere else --json FILE names an output file).
 Args ParseArgs(int argc, const char* const* argv);
+
+// The CLI verbs, in usage order. UnknownCommandMessage names the attempted
+// verb and lists these (the `daydream frobnicate` diagnostic).
+const std::vector<std::string>& KnownCommands();
+std::string UnknownCommandMessage(const std::string& command);
 
 // Strict decimal parsing: the whole string must be a plain decimal number.
 // Returns nullopt (never throws) on garbage like "4xa", "fast", " 42",
@@ -43,20 +56,22 @@ Args ParseArgs(int argc, const char* const* argv);
 std::optional<int> ParseInt(const std::string& text);
 std::optional<double> ParseDouble(const std::string& text);
 
-// Builds a ClusterConfig from --cluster MxG and --gbps BW. Prints a
-// diagnostic to stderr and returns nullopt on malformed input.
+// Builds a ClusterConfig from --cluster MxG and --gbps BW. Fills *error
+// (core) or prints a diagnostic to stderr and returns nullopt on malformed
+// input.
+std::optional<ClusterConfig> ParseCluster(const Args& args, std::string* error);
 std::optional<ClusterConfig> ParseCluster(const Args& args);
 
 // Parses --engine {event,reference} for `daydream predict`/`sweep` (default
 // "event", the compiled-plan engine; "reference" forces the Algorithm-1 scan
-// for differential debugging without a rebuild). Prints a diagnostic to
-// stderr and returns nullopt on any other value.
+// for differential debugging without a rebuild).
+std::optional<EngineKind> ParseEngineKind(const Args& args, std::string* error);
 std::optional<EngineKind> ParseEngineKind(const Args& args);
 
 // Builds the cluster matrix for `daydream sweep`: the cross product of
 // --cluster (comma-separated MxG shapes, default "2x1,2x2,4x1,4x2") and
-// --gbps (comma-separated bandwidths, default "10"). Prints a diagnostic to
-// stderr and returns nullopt on malformed input.
+// --gbps (comma-separated bandwidths, default "10").
+std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args, std::string* error);
 std::optional<std::vector<ClusterConfig>> ParseClusterList(const Args& args);
 
 // Pipeline-parallel what-if flags:
@@ -75,7 +90,16 @@ struct PipelineFlags {
   std::vector<PipelineScheduleKind> schedules;  // empty = both kinds
   NetworkSpec network;
 };
+std::optional<PipelineFlags> ParsePipelineFlags(const Args& args, std::string* error);
 std::optional<PipelineFlags> ParsePipelineFlags(const Args& args);
+
+// Builds the session-layer WhatIfRequest from predict-style flags: --what-if
+// plus --engine/--validate always, --cluster/--gbps for distributed and p3,
+// and the pipeline flags (with predict's single-stage/single-schedule
+// constraints) for pipeline. Unknown what-if names parse fine — resolution
+// is the session's job (TraceSession::ResolveTransform). Returns false with
+// *error set on malformed flags.
+bool ParseWhatIfRequest(const Args& args, WhatIfRequest* request, std::string* error);
 
 }  // namespace daydream
 

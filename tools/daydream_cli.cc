@@ -6,26 +6,26 @@
 //   daydream predict --trace profile.ddtrace --what-if fused_adam
 //   daydream predict --trace profile.ddtrace --what-if distributed --cluster 4x2 --gbps 25
 //   daydream sweep   --trace profile.ddtrace --cluster 2x2,4x2 --gbps 10,25 --csv sweep.csv
+//   daydream serve   [--port N]
 //   daydream models
 //
 // `collect` runs the synthetic training substrate (in a real deployment this
-// step is the CUPTI profiling run); `report` and `predict` work on any
+// step is the CUPTI profiling run); every other analysis verb works on any
 // persisted trace — the paper's profile-once / ask-many-questions workflow.
+// The analysis verbs are thin clients over the service layer (src/service/):
+// each one opens a TraceSession and issues a single query, the same path a
+// long-lived `daydream serve` daemon answers many queries over.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
-#include "src/core/breakdown.h"
-#include "src/core/critical_path.h"
-#include "src/core/graph_builder.h"
-#include "src/core/graph_lint.h"
-#include "src/core/layer_report.h"
-#include "src/core/optimizations/optimizations.h"
-#include "src/core/predictor.h"
-#include "src/core/sim_plan.h"
+#include "src/core/optimizations/p3.h"
+#include "src/models/model_zoo.h"
 #include "src/runtime/ground_truth.h"
-#include "src/runtime/sweep.h"
+#include "src/service/serve.h"
+#include "src/service/session.h"
+#include "src/service/version.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/trace_io.h"
 #include "src/util/string_util.h"
@@ -61,6 +61,10 @@ commands:
            [--pipeline-stages N1,N2,...] [--microbatches M]
            [--schedule gpipe|1f1b|both]
            [--engine event|reference] [--csv FILE] [--json FILE] [--validate]
+  serve    [--port N] [--jobs N]        line-delimited-JSON prediction daemon
+                                        (stdin/stdout without --port; see
+                                         docs/serve.md)
+  version  [--json]                     build + protocol version
 )";
   return 2;
 }
@@ -135,155 +139,78 @@ std::optional<Trace> LoadTrace(const Args& args) {
   return trace;
 }
 
-int CmdReport(const Args& args) {
-  const std::optional<Trace> trace = LoadTrace(args);
+// Loads the trace and opens the in-process TraceSession every analysis verb
+// queries (the single-client special case of `daydream serve`).
+std::shared_ptr<TraceSession> LoadSession(const Args& args) {
+  std::optional<Trace> trace = LoadTrace(args);
   if (!trace.has_value()) {
-    return 2;
+    return nullptr;
   }
-  std::cout << "model:  " << trace->model_name() << "\n";
-  std::cout << "config: " << trace->config() << "\n";
-  std::cout << StrFormat("events: %zu over %.1f ms\n\n", trace->size(), ToMs(trace->makespan()));
-  std::cout << ComputeBreakdown(*trace).Summary() << "\n";
-  const DependencyGraph graph = BuildDependencyGraph(*trace);
-  std::cout << ComputeCriticalPath(graph).Summary() << "\n\n";
-  std::cout << "hottest layer phases by GPU time:\n" << BuildLayerReport(*trace).ToString(12);
-  return 0;
+  std::string error;
+  std::shared_ptr<TraceSession> session =
+      TraceSession::Create(std::move(*trace), SessionOptions{}, &error);
+  if (session == nullptr) {
+    std::cerr << error << "\n";
+  }
+  return session;
 }
 
-// Builds the graph transform for --what-if (every name except p3, which is
-// not a graph transform — it reports its own metric). Returns 0 and fills
-// `transform` on success, 2 after printing a diagnostic (known name, bad
-// flags), and -1 when `what_if` names no transform.
-int ResolveWhatIf(const Args& args, const Trace& trace, const std::string& what_if,
-                  std::function<void(DependencyGraph*)>* out) {
-  const std::optional<ModelId> model_id = LookupModel(trace.model_name());
-  std::function<void(DependencyGraph*)> transform;
-
-  if (what_if == "amp") {
-    transform = [](DependencyGraph* g) { WhatIfAmp(g); };
-  } else if (what_if == "fused_adam") {
-    transform = [](DependencyGraph* g) { WhatIfFusedAdam(g); };
-  } else if (what_if == "rbn" || what_if == "metaflow" || what_if == "gist" ||
-             what_if == "vdnn") {
-    if (!model_id.has_value()) {
-      std::cerr << "trace lacks a known model name (needed for layer kinds)\n";
-      return 2;
-    }
-    // The layer-structured what-ifs need the model graph for layer kinds.
-    auto model = std::make_shared<ModelGraph>(BuildModel(*model_id));
-    if (what_if == "rbn") {
-      transform = [model](DependencyGraph* g) { WhatIfRestructuredBatchnorm(g, *model); };
-    } else if (what_if == "metaflow") {
-      transform = [model](DependencyGraph* g) { WhatIfMetaFlowFuseConvBn(g, *model); };
-    } else if (what_if == "gist") {
-      transform = [model](DependencyGraph* g) { WhatIfGist(g, *model); };
-    } else {
-      transform = [model](DependencyGraph* g) { WhatIfVdnn(g, *model); };
-    }
-  } else if (what_if == "pipeline") {
-    if (!model_id.has_value()) {
-      std::cerr << "trace lacks a known model name (needed for activation/parameter sizes)\n";
-      return 2;
-    }
-    const std::optional<PipelineFlags> pipeline = ParsePipelineFlags(args);
-    if (!pipeline.has_value()) {
-      return 2;
-    }
-    if (!pipeline->enabled || pipeline->stages.size() != 1) {
-      std::cerr << "predict --what-if pipeline needs --pipeline-stages with a single value\n";
-      return 2;
-    }
-    if (pipeline->schedules.empty() && !args.Get("schedule").empty()) {
-      std::cerr << "predict takes a single --schedule (gpipe or 1f1b)\n";
-      return 2;
-    }
-    PipelineWhatIf opts;
-    opts.num_stages = pipeline->stages.front();
-    opts.num_microbatches = pipeline->microbatches;
-    opts.network = pipeline->network;
-    // Default is 1F1B; `--schedule both` is a sweep-only matrix axis.
-    if (!pipeline->schedules.empty()) {
-      opts.schedule = pipeline->schedules.front();
-    }
-    auto model = std::make_shared<ModelGraph>(BuildModel(*model_id));
-    transform = [model, opts](DependencyGraph* g) { WhatIfPipeline(g, *model, opts); };
-  } else if (what_if == "distributed") {
-    const std::optional<ClusterConfig> cluster = ParseCluster(args);
-    if (!cluster.has_value()) {
-      return 2;
-    }
-    DistributedWhatIf opts;
-    opts.cluster = *cluster;
-    const std::vector<GradientInfo> gradients = trace.gradients();
-    transform = [opts, gradients](DependencyGraph* g) {
-      WhatIfDistributed(g, gradients, opts);
-    };
-  } else {
-    return -1;
+int CmdReport(const Args& args) {
+  const std::shared_ptr<TraceSession> session = LoadSession(args);
+  if (session == nullptr) {
+    return 2;
   }
-  *out = std::move(transform);
+  std::cout << session->ReportText();
   return 0;
 }
 
 int CmdPredict(const Args& args) {
-  const std::optional<Trace> trace = LoadTrace(args);
-  if (!trace.has_value()) {
+  const std::shared_ptr<TraceSession> session = LoadSession(args);
+  if (session == nullptr) {
     return 2;
   }
-  const std::string what_if = args.Get("what-if");
-  const std::optional<EngineKind> engine = ParseEngineKind(args);
-  if (!engine.has_value()) {
+  WhatIfRequest request;
+  std::string error;
+  if (!ParseWhatIfRequest(args, &request, &error)) {
+    std::cerr << error << "\n";
     return 2;
   }
 
-  if (what_if == "p3") {
-    const std::optional<ModelId> model_id = LookupModel(trace->model_name());
+  if (request.what_if == "p3") {
+    const std::optional<ModelId> model_id = session->model_id();
     if (!model_id.has_value()) {
       std::cerr << "trace lacks a known model name\n";
       return 2;
     }
-    const std::optional<ClusterConfig> cluster = ParseCluster(args);
-    if (!cluster.has_value()) {
-      return 2;
-    }
     PsWhatIf opts;
-    opts.network = cluster->network;
-    opts.num_servers = cluster->machines;
+    opts.network = request.cluster.network;
+    opts.num_servers = request.cluster.machines;
     // Note: P3 prediction requires a trace collected with --iterations 2.
-    const Daydream daydream(*trace);
     const ModelGraph model = BuildModel(*model_id, DefaultBatch(*model_id));
-    const TimeNs predicted = PredictPsIterationTime(daydream, model, opts);
+    const TimeNs predicted = PredictPsIterationTime(session->daydream(), model, opts);
     std::cout << StrFormat("P3 predicted steady-state iteration: %.1f ms\n", ToMs(predicted));
     return 0;
   }
 
-  std::function<void(DependencyGraph*)> transform;
-  const int status = ResolveWhatIf(args, *trace, what_if, &transform);
-  if (status == 2) {
-    return 2;
-  }
-  if (status != 0) {
-    std::cerr << "unknown --what-if '" << what_if << "'\n";
-    return Usage();
-  }
-
-  Daydream daydream(*trace);
-  if (args.Has("validate")) {
-    // Strict mode: the full lint catalog over the transformed graph, with
-    // every finding reported, before any prediction is printed.
-    DependencyGraph transformed = daydream.graph().Clone();
-    transform(&transformed);
-    const LintReport report = GraphLint::LintGraph(transformed);
-    if (!report.ok()) {
-      std::cerr << "what-if '" << what_if << "' fails lint:\n" << report.ToString();
+  PredictOutcome outcome;
+  switch (session->Predict(request, &outcome, &error)) {
+    case SessionStatus::kOk:
+      break;
+    case SessionStatus::kUnknownWhatIf:
+      std::cerr << "unknown --what-if '" << request.what_if << "'\n";
+      return Usage();
+    case SessionStatus::kBadRequest:
+      std::cerr << error << "\n";
+      return 2;
+    case SessionStatus::kLintFailed:
+      std::cerr << error;
       return 1;
-    }
   }
-  const PredictionResult r = daydream.Predict(transform, nullptr, *engine);
+  const PredictionResult& r = outcome.prediction;
   std::cout << StrFormat(
       "baseline (simulated): %.1f ms\n"
       "predicted with '%s': %.1f ms (%+.1f%%)\n",
-      ToMs(r.baseline), what_if.c_str(), ToMs(r.predicted), -r.SpeedupPct());
+      ToMs(r.baseline), request.what_if.c_str(), ToMs(r.predicted), -r.SpeedupPct());
   const std::string json = args.Get("json");
   if (!json.empty()) {
     std::ofstream out(json);
@@ -299,7 +226,7 @@ int CmdPredict(const Args& args) {
         "  \"speedup_pct\": %.2f,\n"
         "  \"speedup_ratio\": %.3f\n"
         "}\n",
-        JsonEscape(what_if).c_str(), ToMs(r.baseline), ToMs(r.predicted), r.SpeedupPct(),
+        JsonEscape(request.what_if).c_str(), ToMs(r.baseline), ToMs(r.predicted), r.SpeedupPct(),
         r.SpeedupRatio());
     std::cout << "wrote " << json << "\n";
   }
@@ -311,43 +238,34 @@ int CmdPredict(const Args& args) {
 // compiled simulation plan against it. Exit codes: 0 clean, 1 findings
 // (warnings count only under --strict), 2 usage/load errors.
 int CmdLint(const Args& args) {
-  const std::optional<Trace> trace = LoadTrace(args);
-  if (!trace.has_value()) {
+  const std::shared_ptr<TraceSession> session = LoadSession(args);
+  if (session == nullptr) {
     return 2;
   }
   const std::string what_if = args.Get("what-if");
-  std::function<void(DependencyGraph*)> transform;
-  if (!what_if.empty()) {
-    const int status = ResolveWhatIf(args, *trace, what_if, &transform);
-    if (status == 2) {
-      return 2;
-    }
-    if (status != 0) {
+  WhatIfRequest request;
+  std::string error;
+  if (!what_if.empty() && !ParseWhatIfRequest(args, &request, &error)) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+
+  LintReport report;
+  bool plan_passes_run = false;
+  switch (session->Lint(what_if.empty() ? nullptr : &request, &report, &plan_passes_run,
+                        &error)) {
+    case SessionStatus::kOk:
+      break;
+    case SessionStatus::kUnknownWhatIf:
       std::cerr << "cannot lint --what-if '" << what_if
                 << "' (not a graph transform; see `daydream predict`)\n";
       return 2;
-    }
+    case SessionStatus::kBadRequest:
+    case SessionStatus::kLintFailed:
+      std::cerr << error << "\n";
+      return 2;
   }
-
-  DependencyGraph graph = BuildDependencyGraph(*trace);
-  if (transform) {
-    transform(&graph);
-  }
-  LintReport report = GraphLint::LintGraph(graph);
-
-  // Lint the compiled plan too — but only for a graph whose structure held
-  // up, since Compile DD_CHECKs on (and a cyclic graph would wedge it).
-  if (report.ok()) {
-    const SimPlan plan = Simulator().Compile(graph);
-    const LintReport plan_report = GraphLint::LintPlan(plan, graph);
-    report.findings.insert(report.findings.end(), plan_report.findings.begin(),
-                           plan_report.findings.end());
-    report.passes_run.insert(report.passes_run.end(), plan_report.passes_run.begin(),
-                             plan_report.passes_run.end());
-    report.truncated = report.truncated || plan_report.truncated;
-    report.num_errors += plan_report.num_errors;
-    report.num_warnings += plan_report.num_warnings;
-  } else {
+  if (!plan_passes_run) {
     std::cout << "plan passes skipped: graph lint found errors\n";
   }
 
@@ -372,8 +290,8 @@ int CmdLint(const Args& args) {
 }
 
 int CmdSweep(const Args& args) {
-  const std::optional<Trace> trace = LoadTrace(args);
-  if (!trace.has_value()) {
+  const std::shared_ptr<TraceSession> session = LoadSession(args);
+  if (session == nullptr) {
     return 2;
   }
   const std::optional<std::vector<ClusterConfig>> clusters = ParseClusterList(args);
@@ -395,15 +313,14 @@ int CmdSweep(const Args& args) {
     return 2;
   }
 
-  const Daydream daydream(*trace);
-  std::vector<SweepCase> cases = BuildStandardSweep(*trace, *clusters);
+  std::vector<SweepCase> cases = BuildStandardSweep(session->trace(), *clusters);
   if (pipeline->enabled) {
     PipelineSweepSpec spec;
     spec.stages = pipeline->stages;
     spec.microbatches = pipeline->microbatches;
     spec.schedules = pipeline->schedules;
     spec.network = pipeline->network;
-    if (!AppendPipelineSweep(&cases, *trace, spec)) {
+    if (!AppendPipelineSweep(&cases, session->trace(), spec)) {
       std::cerr << "trace lacks a known model name (needed for --pipeline-stages)\n";
       return 2;
     }
@@ -412,11 +329,11 @@ int CmdSweep(const Args& args) {
   options.num_threads = *jobs;
   options.engine = *engine;
   options.validate = args.Has("validate");
-  std::vector<SweepOutcome> outcomes = SweepRunner(daydream, options).Run(cases);
+  std::vector<SweepOutcome> outcomes = session->Sweep(cases, options);
   RankBySpeedup(&outcomes);
 
   std::cout << StrFormat("baseline (simulated): %.1f ms — %zu what-if cases\n\n",
-                         ToMs(daydream.BaselineSimTime()), outcomes.size());
+                         ToMs(session->daydream().BaselineSimTime()), outcomes.size());
   TablePrinter table({"rank", "what-if", "predicted(ms)", "speedup(%)", "ratio", "tasks"});
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const SweepOutcome& o = outcomes[i];
@@ -447,6 +364,37 @@ int CmdSweep(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  ServeOptions options;
+  const std::optional<int> jobs = ParseInt(args.Get("jobs", "4"));
+  if (!jobs.has_value() || *jobs < 1) {
+    std::cerr << "bad --jobs '" << args.Get("jobs") << "' (expected a positive integer)\n";
+    return 2;
+  }
+  options.workers = *jobs;
+  const std::string port_text = args.Get("port");
+  if (port_text.empty()) {
+    return RunServeStdio(std::cin, std::cout, options);
+  }
+  const std::optional<int> port = ParseInt(port_text);
+  if (!port.has_value() || *port < 0 || *port > 65535) {
+    std::cerr << "bad --port '" << port_text << "' (expected 0..65535; 0 picks a free port)\n";
+    return 2;
+  }
+  return RunServeTcp(*port, options);
+}
+
+int CmdVersion(const Args& args) {
+  if (args.Has("json")) {
+    std::cout << DaydreamVersionJson() << "\n";
+    return 0;
+  }
+  std::cout << "daydream " << DaydreamVersionString() << "\n"
+            << "serve protocol: v" << kServeProtocolVersion << "\n"
+            << "trace schema: " << kTraceSchemaVersion << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -471,7 +419,19 @@ int Main(int argc, char** argv) {
   if (args.command == "sweep") {
     return CmdSweep(args);
   }
-  return Usage();
+  if (args.command == "serve") {
+    return CmdServe(args);
+  }
+  if (args.command == "version") {
+    return CmdVersion(args);
+  }
+  if (args.command.empty()) {
+    return Usage();
+  }
+  // An attempted-but-unknown verb names itself and the valid verbs rather
+  // than drowning the typo in the full usage text.
+  std::cerr << UnknownCommandMessage(args.command) << "\n";
+  return 2;
 }
 
 }  // namespace
