@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace daydream {
 namespace {
@@ -200,6 +202,357 @@ SimResult RunEventEngine(const SimPlan& plan) {
 
 SimResult RunEventEngine(const DependencyGraph& graph, const Scheduler& scheduler) {
   return SimPlan::Compile(graph, scheduler).Run();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded dispatch: the serial engine's loop, run per shard between
+// conservative synchronization windows.
+//
+// Why this is exact and not approximate: a task's simulated start is
+// max(lane progress, earliest bound), both of which depend only on the
+// *per-lane* dispatch order — never on how dispatches interleave across
+// lanes. A shard may therefore dispatch its locally minimal (feasible,
+// packed-key) candidate at feasible time f as long as no still-pending
+// cross-shard edge could introduce a competitor at or before f. The shard's
+// horizon H — the minimum static completion bound over unpublished incoming
+// cross-shard edges — guarantees every pending delivery lands with an
+// earliest bound >= H, so while f < H (strictly, which settles key ties at
+// equal feasible times) the serial engine would have made the identical
+// pick. When every shard stalls at its horizon, the globally minimal
+// candidate across shards *is* the serial engine's next dispatch: the
+// orchestrator dispatches exactly that one task, publishes it, and resumes
+// the rounds — so equality holds unconditionally, zero-duration chains and
+// bound ties included.
+//
+// Thread discipline (what makes this TSan-clean without atomics): every
+// task, lane, and window entry has one owner shard. During a dispatch round
+// a shard writes only its own tasks' result/earliest/refs entries and
+// appends to per-(source, target) outboxes; during a delivery round a shard
+// drains only the outboxes addressed to it and flips only its own published
+// flags. The phases are separated by ParallelFor joins, whose mutex
+// publication orders every write before every cross-thread read.
+
+namespace {
+
+constexpr TimeNs kInfTime = std::numeric_limits<TimeNs>::max();
+
+// One cross-shard completion: the CSR child to update plus the window entry
+// (owned by the target shard) that the source's completion publishes.
+struct ShardDelivery {
+  int32_t child = 0;
+  int32_t window_pos = 0;
+  TimeNs end = 0;
+};
+
+// Per-shard engine state: the serial engine's lane/heap structures,
+// restricted to the shard's lanes (heap entries hold *local* lane indices).
+struct ShardEngineState {
+  std::vector<uint32_t> lane_ids;  // local lane index -> global lane
+  std::vector<LaneState> lanes;
+  std::vector<GlobalEntry> heap;
+  size_t window_cursor = 0;  // relative to the shard's window range
+  // Head candidate recorded when the shard stalls at its horizon.
+  TimeNs cand_feasible = 0;
+  uint64_t cand_packed = kNoHead;
+  int round_dispatched = 0;
+  TimeNs makespan = 0;
+  int dispatched = 0;
+};
+
+}  // namespace
+
+SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool) {
+  const SimPlan& plan = *shards.plan_;
+  SimResult result;
+  if (plan.empty()) {
+    return result;
+  }
+  const SimPlan::Structure& s = *plan.structure_;
+  const std::vector<TimeNs>& duration = plan.duration_;
+  const std::vector<TimeNs>& gap = plan.gap_;
+  const std::vector<uint64_t>& order_key = plan.order_key_;
+  const size_t n = s.task_ids.size();
+  const int S = shards.num_shards_;
+
+  result.start.assign(static_cast<size_t>(s.capacity), -1);
+  result.end.assign(static_cast<size_t>(s.capacity), -1);
+  result.lane_threads = s.lane_threads;
+  result.lane_busy.assign(s.lane_threads.size(), 0);
+  result.lane_end.assign(s.lane_threads.size(), -1);
+  if (n == 0) {
+    return result;
+  }
+
+  // Owner-partitioned shared arrays: only the shard owning a task writes its
+  // entries (see the thread-discipline note above).
+  std::vector<TimeNs> earliest(n, 0);
+  std::vector<int32_t> refs = s.pred_count;
+  std::vector<uint8_t> published(shards.window_end_.size(), 0);
+
+  std::vector<int32_t> local_of_lane(s.lane_threads.size(), -1);
+  std::vector<ShardEngineState> st(static_cast<size_t>(S));
+  for (int sh = 0; sh < S; ++sh) {
+    ShardEngineState& ss = st[static_cast<size_t>(sh)];
+    const int32_t begin = shards.shard_lane_offset_[static_cast<size_t>(sh)];
+    const int32_t end = shards.shard_lane_offset_[static_cast<size_t>(sh) + 1];
+    ss.lane_ids.reserve(static_cast<size_t>(end - begin));
+    ss.lanes.resize(static_cast<size_t>(end - begin));
+    for (int32_t j = begin; j < end; ++j) {
+      const uint32_t lane = static_cast<uint32_t>(shards.shard_lanes_[static_cast<size_t>(j)]);
+      local_of_lane[lane] = static_cast<int32_t>(ss.lane_ids.size());
+      ss.lane_ids.push_back(lane);
+      const size_t lane_tasks = static_cast<size_t>(s.lane_offset[lane + 1] - s.lane_offset[lane]);
+      LaneState& state = ss.lanes[ss.lane_ids.size() - 1];
+      state.now.reserve(std::min<size_t>(lane_tasks, 64));
+      state.future.reserve(std::min<size_t>(lane_tasks, 64));
+    }
+    ss.heap.reserve(ss.lanes.size() + 16);
+  }
+
+  auto insert_ready = [&](LaneState& lane, size_t idx, TimeNs bound) {
+    if (bound <= lane.progress) {
+      lane.now.push_back(order_key[idx]);
+      std::push_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
+    } else {
+      lane.future.emplace_back(bound, order_key[idx]);
+      std::push_heap(lane.future.begin(), lane.future.end(),
+                     std::greater<std::pair<TimeNs, uint64_t>>());
+    }
+  };
+  auto head = [](const LaneState& lane) -> std::pair<TimeNs, uint64_t> {
+    if (!lane.now.empty()) {
+      return {lane.progress, lane.now.front()};
+    }
+    if (!lane.future.empty()) {
+      return lane.future.front();
+    }
+    return {0, kNoHead};
+  };
+  const GlobalHeapCmp heap_cmp;
+  auto refresh = [&](ShardEngineState& ss, uint32_t local_lane) {
+    LaneState& lane = ss.lanes[local_lane];
+    ++lane.stamp;
+    const auto [feasible, packed] = head(lane);
+    if (packed != kNoHead) {
+      ss.heap.push_back(GlobalEntry{feasible, packed, local_lane, lane.stamp});
+      std::push_heap(ss.heap.begin(), ss.heap.end(), heap_cmp);
+    }
+  };
+
+  for (const int32_t idx : s.initial_ready) {
+    const uint32_t lane = static_cast<uint32_t>(s.lane[static_cast<size_t>(idx)]);
+    ShardEngineState& ss = st[static_cast<size_t>(shards.shard_of_lane_[lane])];
+    ss.lanes[static_cast<size_t>(local_of_lane[lane])].now.push_back(
+        order_key[static_cast<size_t>(idx)]);
+  }
+  for (ShardEngineState& ss : st) {
+    for (uint32_t li = 0; li < ss.lanes.size(); ++li) {
+      std::make_heap(ss.lanes[li].now.begin(), ss.lanes[li].now.end(), std::greater<uint64_t>());
+      refresh(ss, li);
+    }
+  }
+
+  // outbox[source * S + target]: completions crossing between two shards this
+  // round. Written by the source's dispatch, drained by the target's delivery.
+  std::vector<std::vector<ShardDelivery>> outbox(static_cast<size_t>(S) * static_cast<size_t>(S));
+
+  // Dispatches one popped-and-fresh heap entry; the serial engine's dispatch
+  // body with cross-shard children routed to the outboxes.
+  auto dispatch_entry = [&](int sh, const GlobalEntry& entry) {
+    ShardEngineState& ss = st[static_cast<size_t>(sh)];
+    LaneState& lane = ss.lanes[entry.lane];
+    const size_t idx = IndexOf(entry.packed);
+    if (!lane.now.empty()) {
+      DD_CHECK_EQ(lane.now.front(), entry.packed);
+      std::pop_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
+      lane.now.pop_back();
+    } else {
+      DD_CHECK_EQ(lane.future.front().second, entry.packed);
+      std::pop_heap(lane.future.begin(), lane.future.end(),
+                    std::greater<std::pair<TimeNs, uint64_t>>());
+      lane.future.pop_back();
+    }
+
+    const TimeNs start = entry.feasible;
+    const TimeNs end = start + duration[idx];
+    const size_t id = static_cast<size_t>(s.task_ids[idx]);
+    result.start[id] = start;
+    result.end[id] = end;
+    lane.progress = end + gap[idx];
+    lane.dispatched_any = true;
+    result.lane_busy[ss.lane_ids[entry.lane]] += duration[idx];
+    ss.makespan = std::max(ss.makespan, end);
+    ++ss.dispatched;
+
+    while (!lane.future.empty() && lane.future.front().first <= lane.progress) {
+      const uint64_t migrated = lane.future.front().second;
+      std::pop_heap(lane.future.begin(), lane.future.end(),
+                    std::greater<std::pair<TimeNs, uint64_t>>());
+      lane.future.pop_back();
+      lane.now.push_back(migrated);
+      std::push_heap(lane.now.begin(), lane.now.end(), std::greater<uint64_t>());
+    }
+
+    for (int32_t k = s.succ_offset[idx]; k < s.succ_offset[idx + 1]; ++k) {
+      const size_t ci = static_cast<size_t>(s.succ[static_cast<size_t>(k)]);
+      const uint32_t cl = static_cast<uint32_t>(s.lane[ci]);
+      const int32_t cs = shards.shard_of_lane_[cl];
+      if (cs != sh) {
+        outbox[static_cast<size_t>(sh) * static_cast<size_t>(S) + static_cast<size_t>(cs)]
+            .push_back(ShardDelivery{static_cast<int32_t>(ci), shards.edge_window_pos_[static_cast<size_t>(k)], end});
+        continue;
+      }
+      TimeNs& e = earliest[ci];
+      e = std::max(e, end);
+      if (--refs[ci] == 0) {
+        const uint32_t local = static_cast<uint32_t>(local_of_lane[cl]);
+        insert_ready(ss.lanes[local], ci, e);
+        if (local != entry.lane) {
+          refresh(ss, local);
+        }
+      }
+    }
+    refresh(ss, entry.lane);
+  };
+
+  // One dispatch round: advance the horizon over newly published entries,
+  // then drain the shard's heap while the head is strictly inside it.
+  auto dispatch_phase = [&](int sh) {
+    ShardEngineState& ss = st[static_cast<size_t>(sh)];
+    const size_t wbegin = static_cast<size_t>(shards.window_offset_[static_cast<size_t>(sh)]);
+    const size_t wend = static_cast<size_t>(shards.window_offset_[static_cast<size_t>(sh) + 1]);
+    while (wbegin + ss.window_cursor < wend && published[wbegin + ss.window_cursor] != 0) {
+      ++ss.window_cursor;
+    }
+    const TimeNs horizon =
+        wbegin + ss.window_cursor < wend ? shards.window_end_[wbegin + ss.window_cursor] : kInfTime;
+    ss.round_dispatched = 0;
+    ss.cand_packed = kNoHead;
+    while (!ss.heap.empty()) {
+      std::pop_heap(ss.heap.begin(), ss.heap.end(), heap_cmp);
+      const GlobalEntry entry = ss.heap.back();
+      ss.heap.pop_back();
+      if (entry.stamp != ss.lanes[entry.lane].stamp) {
+        continue;
+      }
+      if (entry.feasible >= horizon) {
+        // Stalled at the window: remember the head for the stall fallback and
+        // put the (still fresh) entry back.
+        ss.cand_feasible = entry.feasible;
+        ss.cand_packed = entry.packed;
+        ss.heap.push_back(entry);
+        std::push_heap(ss.heap.begin(), ss.heap.end(), heap_cmp);
+        break;
+      }
+      dispatch_entry(sh, entry);
+      ++ss.round_dispatched;
+    }
+  };
+
+  // One delivery round: apply every completion addressed to this shard and
+  // publish the corresponding window entries.
+  auto delivery_phase = [&](int sh) {
+    ShardEngineState& ss = st[static_cast<size_t>(sh)];
+    for (int src = 0; src < S; ++src) {
+      std::vector<ShardDelivery>& box =
+          outbox[static_cast<size_t>(src) * static_cast<size_t>(S) + static_cast<size_t>(sh)];
+      for (const ShardDelivery& d : box) {
+        published[static_cast<size_t>(d.window_pos)] = 1;
+        const size_t ci = static_cast<size_t>(d.child);
+        TimeNs& e = earliest[ci];
+        e = std::max(e, d.end);
+        if (--refs[ci] == 0) {
+          const uint32_t local =
+              static_cast<uint32_t>(local_of_lane[static_cast<size_t>(s.lane[ci])]);
+          insert_ready(ss.lanes[local], ci, e);
+          refresh(ss, local);
+        }
+      }
+      box.clear();
+    }
+  };
+
+  size_t total = 0;
+  while (total < n) {
+    if (pool != nullptr && S > 1) {
+      pool->ParallelFor(S, dispatch_phase);
+      pool->ParallelFor(S, delivery_phase);
+    } else {
+      for (int sh = 0; sh < S; ++sh) {
+        dispatch_phase(sh);
+      }
+      for (int sh = 0; sh < S; ++sh) {
+        delivery_phase(sh);
+      }
+    }
+    size_t round = 0;
+    for (const ShardEngineState& ss : st) {
+      round += static_cast<size_t>(ss.round_dispatched);
+    }
+    total += round;
+    if (round != 0 || total >= n) {
+      continue;
+    }
+    // Every shard stalled at its horizon without progress. The globally
+    // minimal candidate is exactly the serial engine's next dispatch (see the
+    // header note): dispatch that single task and publish it immediately —
+    // the pool is idle between rounds, so the orchestrator may touch any
+    // shard's state.
+    int best = -1;
+    for (int sh = 0; sh < S; ++sh) {
+      const ShardEngineState& ss = st[static_cast<size_t>(sh)];
+      if (ss.cand_packed == kNoHead) {
+        continue;
+      }
+      if (best < 0 || ss.cand_feasible < st[static_cast<size_t>(best)].cand_feasible ||
+          (ss.cand_feasible == st[static_cast<size_t>(best)].cand_feasible &&
+           ss.cand_packed < st[static_cast<size_t>(best)].cand_packed)) {
+        best = sh;
+      }
+    }
+    DD_CHECK_GE(best, 0) << "sharded dispatch stalled with no candidates";
+    ShardEngineState& ss = st[static_cast<size_t>(best)];
+    while (true) {
+      DD_CHECK(!ss.heap.empty());
+      std::pop_heap(ss.heap.begin(), ss.heap.end(), heap_cmp);
+      const GlobalEntry entry = ss.heap.back();
+      ss.heap.pop_back();
+      if (entry.stamp != ss.lanes[entry.lane].stamp) {
+        continue;  // stale leftovers may still sort ahead of the fresh head
+      }
+      DD_CHECK_EQ(entry.packed, ss.cand_packed);
+      dispatch_entry(best, entry);
+      break;
+    }
+    for (int sh = 0; sh < S; ++sh) {
+      delivery_phase(sh);
+    }
+    ++total;
+  }
+
+  for (const ShardEngineState& ss : st) {
+    result.makespan = std::max(result.makespan, ss.makespan);
+    result.dispatched += ss.dispatched;
+    for (size_t li = 0; li < ss.lanes.size(); ++li) {
+      if (ss.lanes[li].dispatched_any) {
+        result.lane_end[ss.lane_ids[li]] = ss.lanes[li].progress;
+      }
+    }
+  }
+  DD_CHECK_EQ(result.dispatched, static_cast<int>(n)) << "cycle or disconnected bookkeeping";
+  return result;
+}
+
+SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool) {
+  if (sim_jobs <= 1 || plan.empty()) {
+    return plan.Run();
+  }
+  const ShardPlan shards = ShardPlan::Compile(plan, sim_jobs);
+  if (pool != nullptr || shards.num_shards() <= 1) {
+    return shards.Run(pool);
+  }
+  ThreadPool local(shards.num_shards() - 1);
+  return shards.Run(&local);
 }
 
 }  // namespace daydream

@@ -872,4 +872,268 @@ LintReport GraphLint::LintPlan(const SimPlan& plan, const DependencyGraph& graph
   return report;
 }
 
+void GraphLint::PassShardPartition(const ShardPlan& shards, Sink* sink, bool* broken) {
+  sink->BeginPass("shard-partition");
+  *broken = true;
+  if (shards.empty()) {
+    sink->Emit(MakeFinding("shard-partition", LintSeverity::kError,
+                           "shard plan is empty (never compiled)"));
+    return;
+  }
+  const SimPlan::Structure& s = *shards.plan_->structure_;
+  const size_t num_lanes = s.lane_threads.size();
+  const int num_shards = shards.num_shards_;
+  if (num_shards < 1) {
+    sink->Emit(MakeFinding("shard-partition", LintSeverity::kError,
+                           StrFormat("invalid shard count %d", num_shards)));
+    return;
+  }
+  if (shards.shard_of_lane_.size() != num_lanes ||
+      shards.shard_lane_offset_.size() != static_cast<size_t>(num_shards) + 1 ||
+      shards.shard_lanes_.size() != num_lanes ||
+      shards.shard_task_count_.size() != static_cast<size_t>(num_shards)) {
+    sink->Emit(MakeFinding(
+        "shard-partition", LintSeverity::kError,
+        StrFormat("partition arrays disagree with the plan: %zu lane assignments, %zu grouped "
+                  "lanes, %zu offsets, %zu task counts for %zu lanes / %d shards",
+                  shards.shard_of_lane_.size(), shards.shard_lanes_.size(),
+                  shards.shard_lane_offset_.size(), shards.shard_task_count_.size(), num_lanes,
+                  num_shards)));
+    return;
+  }
+  if (shards.shard_lane_offset_.front() != 0 ||
+      shards.shard_lane_offset_.back() != static_cast<int32_t>(num_lanes)) {
+    sink->Emit(MakeFinding("shard-partition", LintSeverity::kError,
+                           StrFormat("shard lane offsets span [%d, %d), expected [0, %zu)",
+                                     shards.shard_lane_offset_.front(),
+                                     shards.shard_lane_offset_.back(), num_lanes)));
+    return;
+  }
+  bool ok = true;
+  std::vector<uint8_t> seen(num_lanes, 0);
+  for (int b = 0; b < num_shards && ok; ++b) {
+    const int32_t begin = shards.shard_lane_offset_[static_cast<size_t>(b)];
+    const int32_t end = shards.shard_lane_offset_[static_cast<size_t>(b) + 1];
+    if (end < begin) {
+      sink->Emit(MakeFinding("shard-partition", LintSeverity::kError,
+                             StrFormat("shard %d has a decreasing lane range [%d, %d)", b,
+                                       begin, end)));
+      ok = false;
+      break;
+    }
+    int64_t tasks = 0;
+    for (int32_t j = begin; j < end; ++j) {
+      const int32_t lane = shards.shard_lanes_[static_cast<size_t>(j)];
+      if (lane < 0 || static_cast<size_t>(lane) >= num_lanes ||
+          seen[static_cast<size_t>(lane)] != 0 ||
+          shards.shard_of_lane_[static_cast<size_t>(lane)] != b) {
+        sink->Emit(MakeFinding(
+            "shard-partition", LintSeverity::kError,
+            StrFormat("lane %d in shard %d's group is %s — the lane partition is not a "
+                      "disjoint cover",
+                      lane, b,
+                      (lane < 0 || static_cast<size_t>(lane) >= num_lanes) ? "out of range"
+                      : seen[static_cast<size_t>(lane)] != 0              ? "listed twice"
+                                                  : "assigned to a different shard"),
+            {}, lane >= 0 && static_cast<size_t>(lane) < num_lanes
+                    ? s.lane_threads[static_cast<size_t>(lane)].Label()
+                    : std::string()));
+        ok = false;
+        break;
+      }
+      seen[static_cast<size_t>(lane)] = 1;
+      tasks += s.lane_offset[static_cast<size_t>(lane) + 1] -
+               s.lane_offset[static_cast<size_t>(lane)];
+    }
+    if (ok && tasks != shards.shard_task_count_[static_cast<size_t>(b)]) {
+      sink->Emit(MakeFinding(
+          "shard-partition", LintSeverity::kError,
+          StrFormat("shard %d claims %d tasks but its lanes hold %lld", b,
+                    shards.shard_task_count_[static_cast<size_t>(b)],
+                    static_cast<long long>(tasks))));
+      ok = false;
+    }
+  }
+  // A disjoint cover of equal size covers everything; no second scan needed.
+  *broken = !ok;
+}
+
+void GraphLint::PassShardEdges(const ShardPlan& shards, bool broken, Sink* sink) {
+  sink->BeginPass("shard-edges");
+  if (broken) {
+    return;  // partition unusable: every cross-check below would misfire
+  }
+  const SimPlan::Structure& s = *shards.plan_->structure_;
+  const size_t n = s.task_ids.size();
+  if (shards.edge_window_pos_.size() != s.succ.size() ||
+      shards.window_end_.size() != shards.window_source_.size() ||
+      shards.window_offset_.size() != static_cast<size_t>(shards.num_shards_) + 1 ||
+      shards.window_offset_.back() != static_cast<int32_t>(shards.window_end_.size())) {
+    sink->Emit(MakeFinding(
+        "shard-edges", LintSeverity::kError,
+        StrFormat("window arrays disagree: %zu edge positions for %zu CSR slots, %zu bounds, "
+                  "%zu sources, offsets end at %d",
+                  shards.edge_window_pos_.size(), s.succ.size(), shards.window_end_.size(),
+                  shards.window_source_.size(),
+                  shards.window_offset_.empty() ? -1 : shards.window_offset_.back())));
+    return;
+  }
+  std::vector<uint8_t> used(shards.window_end_.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (sink->full()) {
+      return;
+    }
+    const int32_t si = shards.shard_of_lane_[static_cast<size_t>(s.lane[i])];
+    for (int32_t k = s.succ_offset[i]; k < s.succ_offset[i + 1]; ++k) {
+      const size_t ci = static_cast<size_t>(s.succ[static_cast<size_t>(k)]);
+      const int32_t sc = shards.shard_of_lane_[static_cast<size_t>(s.lane[ci])];
+      const int32_t pos = shards.edge_window_pos_[static_cast<size_t>(k)];
+      if (sc == si) {
+        if (pos != -1) {
+          sink->Emit(MakeFinding(
+              "shard-edges", LintSeverity::kError,
+              StrFormat("intra-shard edge task %d -> task %d carries window entry %d — "
+                        "cross-shard edge lists do not match the CSR",
+                        s.task_ids[i], s.task_ids[ci], pos),
+              {s.task_ids[i], s.task_ids[ci]}));
+        }
+        continue;
+      }
+      const int32_t wbegin = shards.window_offset_[static_cast<size_t>(sc)];
+      const int32_t wend = shards.window_offset_[static_cast<size_t>(sc) + 1];
+      if (pos < wbegin || pos >= wend) {
+        sink->Emit(MakeFinding(
+            "shard-edges", LintSeverity::kError,
+            StrFormat("cross-shard edge (plan %zu -> %zu, shard %d -> %d) has window entry %d "
+                      "outside the target's range [%d, %d)",
+                      i, ci, si, sc, pos, wbegin, wend)));
+        continue;
+      }
+      if (used[static_cast<size_t>(pos)] != 0) {
+        sink->Emit(MakeFinding("shard-edges", LintSeverity::kError,
+                               StrFormat("window entry %d is shared by two cross-shard edges",
+                                         pos)));
+        continue;
+      }
+      used[static_cast<size_t>(pos)] = 1;
+      if (shards.window_source_[static_cast<size_t>(pos)] != static_cast<int32_t>(i)) {
+        sink->Emit(MakeFinding(
+            "shard-edges", LintSeverity::kError,
+            StrFormat("window entry %d records source plan index %d but the CSR edge "
+                      "originates at %zu",
+                      pos, shards.window_source_[static_cast<size_t>(pos)], i)));
+      }
+    }
+  }
+  for (size_t pos = 0; pos < used.size(); ++pos) {
+    if (sink->full()) {
+      return;
+    }
+    if (used[pos] == 0) {
+      sink->Emit(MakeFinding(
+          "shard-edges", LintSeverity::kError,
+          StrFormat("window entry %zu corresponds to no cross-shard CSR edge", pos)));
+    }
+  }
+}
+
+void GraphLint::PassShardHorizon(const ShardPlan& shards, bool broken, Sink* sink) {
+  sink->BeginPass("shard-horizon");
+  if (broken) {
+    return;
+  }
+  const SimPlan::Structure& s = *shards.plan_->structure_;
+  const std::vector<TimeNs>& duration = shards.plan_->duration_;
+  const size_t n = s.task_ids.size();
+  if (shards.static_start_lb_.size() != n) {
+    sink->Emit(MakeFinding(
+        "shard-horizon", LintSeverity::kError,
+        StrFormat("static bound array holds %zu entries for %zu tasks",
+                  shards.static_start_lb_.size(), n)));
+    return;
+  }
+  // Recompute the longest-path bounds from scratch (fresh Kahn order — the
+  // stored topo order is itself under test) and require exact equality.
+  std::vector<TimeNs> expected(n, 0);
+  std::vector<int32_t> degree = s.pred_count;
+  std::vector<int32_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (degree[i] == 0) {
+      order.push_back(static_cast<int32_t>(i));
+    }
+  }
+  for (size_t cursor = 0; cursor < order.size(); ++cursor) {
+    const size_t i = static_cast<size_t>(order[cursor]);
+    const TimeNs end_lb = expected[i] + duration[i];
+    for (int32_t k = s.succ_offset[i]; k < s.succ_offset[i + 1]; ++k) {
+      const size_t ci = static_cast<size_t>(s.succ[static_cast<size_t>(k)]);
+      expected[ci] = std::max(expected[ci], end_lb);
+      if (--degree[ci] == 0) {
+        order.push_back(static_cast<int32_t>(ci));
+      }
+    }
+  }
+  if (order.size() != n) {
+    sink->Emit(MakeFinding("shard-horizon", LintSeverity::kError,
+                           "plan CSR is cyclic; static bounds are undefined"));
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (sink->full()) {
+      return;
+    }
+    if (shards.static_start_lb_[i] != expected[i]) {
+      sink->Emit(MakeFinding(
+          "shard-horizon", LintSeverity::kError,
+          StrFormat("static bound of plan index %zu is %lld, longest-path recurrence gives "
+                    "%lld",
+                    i, static_cast<long long>(shards.static_start_lb_[i]),
+                    static_cast<long long>(expected[i])),
+          {s.task_ids[i]}));
+    }
+  }
+  for (int b = 0; b < shards.num_shards_; ++b) {
+    const int32_t wbegin = shards.window_offset_[static_cast<size_t>(b)];
+    const int32_t wend = shards.window_offset_[static_cast<size_t>(b) + 1];
+    for (int32_t pos = wbegin; pos < wend; ++pos) {
+      if (sink->full()) {
+        return;
+      }
+      const size_t src = static_cast<size_t>(shards.window_source_[static_cast<size_t>(pos)]);
+      if (src < n) {
+        const TimeNs bound = shards.static_start_lb_[src] + duration[src];
+        if (shards.window_end_[static_cast<size_t>(pos)] != bound) {
+          sink->Emit(MakeFinding(
+              "shard-horizon", LintSeverity::kError,
+              StrFormat("window entry %d holds bound %lld but its source (plan %zu) completes "
+                        "no earlier than %lld",
+                        pos, static_cast<long long>(shards.window_end_[static_cast<size_t>(pos)]),
+                        src, static_cast<long long>(bound))));
+        }
+      }
+      if (pos > wbegin && shards.window_end_[static_cast<size_t>(pos)] <
+                              shards.window_end_[static_cast<size_t>(pos) - 1]) {
+        sink->Emit(MakeFinding(
+            "shard-horizon", LintSeverity::kError,
+            StrFormat("shard %d's window bounds are not monotone: entry %d (%lld) < entry %d "
+                      "(%lld) — the horizon would move backward",
+                      b, pos, static_cast<long long>(shards.window_end_[static_cast<size_t>(pos)]),
+                      pos - 1,
+                      static_cast<long long>(shards.window_end_[static_cast<size_t>(pos) - 1]))));
+      }
+    }
+  }
+}
+
+LintReport GraphLint::LintShards(const ShardPlan& shards, const LintOptions& options) {
+  LintReport report;
+  Sink sink(&report, options);
+  bool broken = false;
+  PassShardPartition(shards, &sink, &broken);
+  PassShardEdges(shards, broken, &sink);
+  PassShardHorizon(shards, broken, &sink);
+  return report;
+}
+
 }  // namespace daydream

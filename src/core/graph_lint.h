@@ -47,6 +47,19 @@
 //     plan-timing         SoA duration/gap arrays match the graph's current
 //                         timings (detects a missed Retime)
 //
+//   shard passes (GraphLint::LintShards, against the plan the shard plan was
+//   compiled from):
+//     shard-partition     shard lane assignment is a disjoint cover of the
+//                         plan's lanes; grouped lane lists and per-shard task
+//                         counts agree with it
+//     shard-edges         cross-shard window entries correspond 1:1 with the
+//                         CSR's cross-shard edges (and intra-shard edges have
+//                         none); sources match
+//     shard-horizon       per-shard window bounds are monotone non-decreasing
+//                         and equal the sources' static completion bounds;
+//                         the static lower bounds satisfy the longest-path
+//                         recurrence over the CSR
+//
 // Severities: kError findings mean simulation is meaningless or will abort;
 // kWarning findings are smells worth surfacing but legal to simulate.
 // Entry points:
@@ -67,6 +80,7 @@
 
 namespace daydream {
 
+class ShardPlan;
 class SimPlan;
 
 enum class LintSeverity { kWarning, kError };
@@ -132,6 +146,12 @@ class GraphLint {
   static LintReport LintPlan(const SimPlan& plan, const DependencyGraph& graph,
                              const LintOptions& options = {});
 
+  // Shard passes: verifies a shard plan's partition and window metadata
+  // against the plan it was compiled from. Sharded dispatch trusts this
+  // metadata unconditionally (the engine indexes owner-partitioned arrays
+  // with it), so `--validate` paths run these before a parallel run.
+  static LintReport LintShards(const ShardPlan& shards, const LintOptions& options = {});
+
  private:
   // Finding collector with the max_findings cap; defined in the .cc.
   struct Sink;
@@ -156,6 +176,9 @@ class GraphLint {
                            Sink* sink);
   static void PassPlanTiming(const SimPlan& plan, const DependencyGraph& graph, bool stale,
                              Sink* sink);
+  static void PassShardPartition(const ShardPlan& shards, Sink* sink, bool* broken);
+  static void PassShardEdges(const ShardPlan& shards, bool broken, Sink* sink);
+  static void PassShardHorizon(const ShardPlan& shards, bool broken, Sink* sink);
 };
 
 }  // namespace daydream

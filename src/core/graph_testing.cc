@@ -93,4 +93,30 @@ void PlanCorruptor::BreakDuration(SimPlan* plan, int plan_index, TimeNs duration
   plan->duration_[static_cast<size_t>(plan_index)] = duration;
 }
 
+
+void ShardCorruptor::BreakLaneShard(ShardPlan* shards, int lane, int32_t shard) {
+  shards->shard_of_lane_[static_cast<size_t>(lane)] = shard;
+}
+
+void ShardCorruptor::BreakTaskCount(ShardPlan* shards, int shard, int32_t count) {
+  shards->shard_task_count_[static_cast<size_t>(shard)] = count;
+}
+
+void ShardCorruptor::RedirectWindowEntry(ShardPlan* shards, int slot, int32_t pos) {
+  shards->edge_window_pos_[static_cast<size_t>(slot)] = pos;
+}
+
+void ShardCorruptor::BreakWindowSource(ShardPlan* shards, int pos, int32_t source) {
+  shards->window_source_[static_cast<size_t>(pos)] = source;
+}
+
+void ShardCorruptor::BreakStaticBound(ShardPlan* shards, int plan_index, TimeNs bound) {
+  shards->static_start_lb_[static_cast<size_t>(plan_index)] = bound;
+}
+
+void ShardCorruptor::SwapWindowBounds(ShardPlan* shards, int pos_a, int pos_b) {
+  std::swap(shards->window_end_[static_cast<size_t>(pos_a)],
+            shards->window_end_[static_cast<size_t>(pos_b)]);
+}
+
 }  // namespace daydream

@@ -62,6 +62,22 @@ class PlanCorruptor {
   static SimPlan::Structure* MutableStructure(SimPlan* plan);
 };
 
+class ShardCorruptor {
+ public:
+  // shard-partition: reassigns one lane without touching the grouped lists.
+  static void BreakLaneShard(ShardPlan* shards, int lane, int32_t shard);
+  // shard-partition: desynchronizes a shard's task count.
+  static void BreakTaskCount(ShardPlan* shards, int shard, int32_t count);
+  // shard-edges: points one cross-shard edge at a different window entry.
+  static void RedirectWindowEntry(ShardPlan* shards, int slot, int32_t pos);
+  // shard-edges: rewrites a window entry's recorded source.
+  static void BreakWindowSource(ShardPlan* shards, int pos, int32_t source);
+  // shard-horizon: corrupts one static lower bound.
+  static void BreakStaticBound(ShardPlan* shards, int plan_index, TimeNs bound);
+  // shard-horizon: swaps two window bounds so the horizon moves backward.
+  static void SwapWindowBounds(ShardPlan* shards, int pos_a, int pos_b);
+};
+
 }  // namespace daydream
 
 #endif  // SRC_CORE_GRAPH_TESTING_H_

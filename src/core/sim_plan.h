@@ -43,6 +43,9 @@
 
 namespace daydream {
 
+class ShardPlan;
+class ThreadPool;
+
 class SimPlan {
  public:
   SimPlan() = default;
@@ -75,6 +78,9 @@ class SimPlan {
 
  private:
   friend SimResult RunEventEngine(const SimPlan& plan);
+  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+  // ShardPlan partitions the frozen arrays for parallel dispatch.
+  friend class ShardPlan;
   // GraphLint's plan passes verify the frozen CSR/SoA arrays (and the
   // test-only corruptor in src/core/graph_testing.h injects defects there).
   friend class GraphLint;
@@ -113,6 +119,99 @@ class SimPlan {
 
 // Runs the event-driven engine over a compiled plan (same as plan.Run()).
 SimResult RunEventEngine(const SimPlan& plan);
+
+// A SimPlan partitioned for multi-core dispatch.
+//
+// Simulated start/end times depend only on each lane's local dispatch order,
+// never on how dispatches interleave across lanes — so lanes that do not
+// exchange edges can be simulated concurrently. A ShardPlan groups the plan's
+// lanes into shards (connected components of the lane graph, ignoring
+// compute<->comm edges so all-reduce/P2P channels cut the partition, packed
+// into `num_shards` bins longest-first) and precomputes the cross-shard
+// synchronization metadata:
+//   - one window entry per cross-shard CSR edge, held by the *target* shard
+//     and sorted by the source's static completion lower bound — the shard's
+//     conservative horizon is the first unpublished entry,
+//   - static lower bounds per task (longest duration-path over the frozen
+//     CSR; lane contention ignored, so always <= the simulated time),
+//   - per-edge window positions aligned with the CSR slot array, so dispatch
+//     publishes completions with plain array writes.
+//
+// Run() executes the windowed barrier loop in the event engine
+// (RunShardedEngine) and produces a SimResult byte-identical to plan.Run()
+// and Simulator::RunReference for every shard count — equality is exact, not
+// approximate (see docs/engine.md, "Parallel dispatch").
+//
+// Shard membership and window positions are structural; window bounds are
+// timing. A ShardPlan captures both from one plan, so recompile it after
+// Retime. The referencing-plan overload requires the plan to outlive the
+// ShardPlan (the SweepRunner/bench pattern); the shared_ptr overload co-owns
+// it (the session-cache pattern).
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  // Partitions `plan` into at most `num_shards` shards (fewer when the lane
+  // graph has fewer components). `plan` must outlive the returned ShardPlan.
+  static ShardPlan Compile(const SimPlan& plan, int num_shards);
+  // As above, sharing ownership of the plan.
+  static ShardPlan Compile(std::shared_ptr<const SimPlan> plan, int num_shards);
+
+  // Dispatches every shard on `pool` (caller participates; a null pool runs
+  // the barrier loop on the calling thread alone). The result is exactly
+  // plan().Run().
+  SimResult Run(ThreadPool* pool = nullptr) const;
+
+  bool empty() const { return plan_ == nullptr; }
+  int num_shards() const { return num_shards_; }
+  const SimPlan& plan() const { return *plan_; }
+
+ private:
+  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+  // GraphLint::LintShards verifies the partition/window invariants; the
+  // test-only ShardCorruptor (src/core/graph_testing.h) injects defects.
+  friend class GraphLint;
+  friend class ShardCorruptor;
+
+  // Rebuilds the timing-dependent members (static bounds + window lists) from
+  // plan_'s current durations; called by Compile after the structural part.
+  void FillWindows();
+
+  const SimPlan* plan_ = nullptr;
+  std::shared_ptr<const SimPlan> owned_;  // set by the shared_ptr overload
+  int num_shards_ = 0;
+
+  // Lane partition: a disjoint cover of the plan's lanes.
+  std::vector<int32_t> shard_of_lane_;      // lane -> shard
+  std::vector<int32_t> shard_lane_offset_;  // shard -> [begin, end) in shard_lanes_
+  std::vector<int32_t> shard_lanes_;        // lanes grouped by shard
+  std::vector<int32_t> shard_task_count_;   // tasks per shard (binning weight)
+
+  // Structural topological order of the plan indices (Kahn).
+  std::vector<int32_t> topo_order_;
+
+  // Static longest-path lower bound on each task's simulated start (timing).
+  std::vector<TimeNs> static_start_lb_;
+
+  // Cross-shard windows: entry j (within a shard's [window_offset_) range)
+  // carries the source's static completion bound; entries per shard are
+  // sorted ascending, so the first unpublished one is the horizon.
+  std::vector<int32_t> window_offset_;  // shard -> [begin, end) in window_*
+  std::vector<TimeNs> window_end_;      // static end bound of the source
+  std::vector<int32_t> window_source_;  // source plan index (lint/debug)
+  // CSR slot -> window entry (-1 for intra-shard edges). Aligned with
+  // SimPlan::Structure::succ.
+  std::vector<int32_t> edge_window_pos_;
+};
+
+// Runs the windowed barrier loop over a shard plan (same as shards.Run(pool)).
+SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+
+// Dispatches `plan` across `sim_jobs` shards sharing `pool`; a null pool
+// spawns a private pool sized to the shard count for the duration of the
+// call. sim_jobs <= 1 is exactly the serial plan.Run(). Every path returns
+// the identical SimResult.
+SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool = nullptr);
 
 }  // namespace daydream
 

@@ -16,6 +16,7 @@
 #include "src/util/csv.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace daydream {
 
@@ -90,6 +91,16 @@ SweepRunner::Prepared SweepRunner::Prepare(const SweepCase& sweep_case, size_t i
       DD_CHECK(plan_report.ok()) << "sweep case '" << sweep_case.name
                                  << "' compiled an inconsistent plan:\n"
                                  << plan_report.ToString();
+      if (options_.sim_jobs > 1) {
+        // Sharded dispatch trusts the partition/window metadata blindly;
+        // strict mode verifies it per case. The lint-only shard plan is
+        // rebuilt by Simulate (it must reference the plan's final address).
+        const ShardPlan shards = ShardPlan::Compile(prepared.plan, options_.sim_jobs);
+        const LintReport shard_report = GraphLint::LintShards(shards);
+        DD_CHECK(shard_report.ok()) << "sweep case '" << sweep_case.name
+                                    << "' compiled an inconsistent shard plan:\n"
+                                    << shard_report.ToString();
+      }
     }
     // The plan is self-contained: release the clone before simulating so a
     // prepared-but-unsimulated case holds plan-sized, not graph-sized, memory.
@@ -101,8 +112,11 @@ SweepRunner::Prepared SweepRunner::Prepare(const SweepCase& sweep_case, size_t i
   return prepared;
 }
 
-TimeNs SweepRunner::Simulate(Prepared* prepared) {
+TimeNs SweepRunner::Simulate(Prepared* prepared, ThreadPool* pool) const {
   if (prepared->graph == nullptr) {
+    if (options_.sim_jobs > 1) {
+      return RunPlanParallel(prepared->plan, options_.sim_jobs, pool).makespan;
+    }
     return prepared->plan.Run().makespan;
   }
   return Simulator(prepared->scheduler, EngineKind::kReference).Run(*prepared->graph).makespan;
@@ -113,19 +127,30 @@ std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) 
   if (cases.empty()) {
     return outcomes;
   }
+  // One thread budget covers both parallelism levels: sim_jobs > 1 trades
+  // case-level width for per-case sharded dispatch (workers ~ budget /
+  // sim_jobs; the freed threads become the shared shard pool), so cases ×
+  // shards never oversubscribes the requested thread count.
+  int budget = options_.num_threads;
+  if (budget <= 0) {
+    budget = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  budget = std::max(budget, 1);
+  const int sim_jobs = std::max(options_.sim_jobs, 1);
+  std::unique_ptr<ThreadPool> shard_pool;
+  if (sim_jobs > 1) {
+    shard_pool = std::make_unique<ThreadPool>(std::max(budget - std::max(budget / sim_jobs, 1), 0));
+  }
+
   auto record = [&](Prepared* prepared, const SweepCase& sweep_case) {
     SweepOutcome& out = outcomes[prepared->index];
     out.name = sweep_case.name;
     out.tasks = prepared->tasks;
     out.prediction.baseline = baseline_sim_;
-    out.prediction.predicted = Simulate(prepared);
+    out.prediction.predicted = Simulate(prepared, shard_pool.get());
   };
 
-  int workers = options_.num_threads;
-  if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  workers = std::clamp(workers, 1, static_cast<int>(cases.size()));
+  int workers = std::clamp(budget / sim_jobs, 1, static_cast<int>(cases.size()));
   if (workers == 1) {
     for (size_t i = 0; i < cases.size(); ++i) {
       Prepared prepared = Prepare(cases[i], i);

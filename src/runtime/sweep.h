@@ -35,6 +35,8 @@
 
 namespace daydream {
 
+class ThreadPool;
+
 // One cell of the sweep matrix: a named graph transformation plus an optional
 // scheduler override (null = the default EarliestStart policy).
 struct SweepCase {
@@ -54,6 +56,13 @@ struct SweepOutcome {
 struct SweepOptions {
   // Worker threads; 0 = one per hardware thread (at least 1).
   int num_threads = 0;
+  // Shards per case simulation (sharded parallel dispatch; 1 = the serial
+  // engine). The thread budget is shared, not multiplied: with B total
+  // threads the runner uses ~B/sim_jobs case workers and pools the rest for
+  // shard dispatch, so cases × shards never oversubscribes the machine.
+  // Worth > 1 only when the matrix is narrower than the machine — at full
+  // case-width, case-level parallelism already saturates every core.
+  int sim_jobs = 1;
   // Simulation engine per case; kReference is the differential-debugging
   // path (`daydream sweep --engine=reference`). Cases whose scheduler is not
   // comparator-based run on the reference engine regardless.
@@ -92,7 +101,8 @@ class SweepRunner {
   struct Prepared;
 
   Prepared Prepare(const SweepCase& sweep_case, size_t index) const;
-  static TimeNs Simulate(Prepared* prepared);
+  // `pool` is the shared shard-dispatch pool (null when sim_jobs <= 1).
+  TimeNs Simulate(Prepared* prepared, ThreadPool* pool) const;
 
   const DependencyGraph* baseline_graph_;
   TimeNs baseline_sim_;

@@ -1,6 +1,8 @@
 #include "src/service/request_executor.h"
 
+#include <algorithm>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -143,7 +145,22 @@ std::string StatusCode(SessionStatus status) {
   return "internal";
 }
 
+// The per-request shard budget: with `workers` requests potentially running
+// at once, each may fan out to at most hw/workers shard threads before the
+// daemon oversubscribes the machine.
+int SimJobsCap(int workers) {
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return std::max(1, hw / std::max(1, workers));
+}
+
 }  // namespace
+
+RequestExecutor::RequestExecutor(SessionOptions session_options, int workers,
+                                 int default_sim_jobs)
+    : session_options_(session_options),
+      workers_(std::max(1, workers)),
+      sim_jobs_cap_(SimJobsCap(workers)),
+      default_sim_jobs_(std::clamp(default_sim_jobs, 1, sim_jobs_cap_)) {}
 
 RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
   Response response;
@@ -266,6 +283,12 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     writer.AddInt("plan_cache_evictions", static_cast<long long>(stats.evictions));
     writer.AddInt("plan_cache_retimes", static_cast<long long>(stats.retimes));
     writer.AddInt("plan_cache_compiles", static_cast<long long>(stats.compiles));
+    // The daemon's effective thread budget, so clients can see how a
+    // requested sim_jobs will be clamped before sending it.
+    writer.AddInt("serve_workers", workers_);
+    writer.AddInt("hardware_concurrency",
+                  std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+    writer.AddInt("sim_jobs_cap", sim_jobs_cap_);
     response.line = writer.Finish();
     return response;
   }
@@ -319,6 +342,14 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
       response.line = writer.Finish();
       return response;
     }
+    // Thread-budget clamp: a request's sim_jobs (or the daemon default) may
+    // not push workers × shards past the machine. Consumption-only — the
+    // response carries no sim_jobs echo, so answers stay byte-identical
+    // across shard counts.
+    if (!args.Has("sim-jobs")) {
+      what_if.sim_jobs = default_sim_jobs_;
+    }
+    what_if.sim_jobs = std::clamp(what_if.sim_jobs, 1, sim_jobs_cap_);
     PredictOutcome outcome;
     const SessionStatus status = session->Predict(what_if, &outcome, &error);
     if (status != SessionStatus::kOk) {
@@ -407,10 +438,19 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
         return response;
       }
     }
+    const std::optional<int> sim_jobs =
+        ParseInt(args.Get("sim-jobs", StrFormat("%d", default_sim_jobs_)));
+    if (!sim_jobs.has_value() || *sim_jobs < 1) {
+      response.line = ErrorResponse(
+          id, "bad_request",
+          "bad sim_jobs '" + args.Get("sim-jobs") + "' (expected a positive integer)");
+      return response;
+    }
     SweepOptions options;
     options.num_threads = *jobs;
     options.engine = *engine;
     options.validate = args.Has("validate");
+    options.sim_jobs = std::clamp(*sim_jobs, 1, sim_jobs_cap_);
     std::vector<SweepOutcome> outcomes = session->Sweep(cases, options);
     RankBySpeedup(&outcomes);
     ResponseWriter writer = BeginResponse(id, /*ok=*/true);

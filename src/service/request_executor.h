@@ -28,16 +28,27 @@ class RequestExecutor {
     bool shutdown = false; // the request asked the daemon to stop
   };
 
-  explicit RequestExecutor(SessionOptions session_options = SessionOptions{})
-      : session_options_(session_options) {}
+  // `workers` is the serve worker-pool width this executor is driven from and
+  // `default_sim_jobs` the per-request shard count when a request carries no
+  // sim_jobs field. Both feed the executor's thread-budget clamp: effective
+  // sim_jobs is capped at hardware_concurrency / workers, so concurrent
+  // requests × shards never oversubscribe the machine (`stats` reports the
+  // effective cap as sim_jobs_cap).
+  explicit RequestExecutor(SessionOptions session_options = SessionOptions{}, int workers = 1,
+                           int default_sim_jobs = 1);
 
   // Handles one request line (the line terminator may be included or not).
   Response Handle(const std::string& line);
 
   SessionManager& sessions() { return sessions_; }
 
+  int sim_jobs_cap() const { return sim_jobs_cap_; }
+
  private:
   const SessionOptions session_options_;
+  const int workers_;
+  const int sim_jobs_cap_;
+  const int default_sim_jobs_;  // pre-clamped to [1, sim_jobs_cap_]
   SessionManager sessions_;
 };
 

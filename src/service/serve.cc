@@ -113,7 +113,7 @@ std::string ServeHelloBanner() {
 }
 
 int RunServeStdio(std::istream& in, std::ostream& out, const ServeOptions& options) {
-  RequestExecutor executor(options.session);
+  RequestExecutor executor(options.session, options.workers, options.sim_jobs);
   std::mutex out_mu;
   {
     std::lock_guard<std::mutex> lock(out_mu);
@@ -215,7 +215,7 @@ int RunServeTcp(int port, const ServeOptions& options) {
   std::cout << "daydream serve listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n"
             << std::flush;
 
-  RequestExecutor executor(options.session);
+  RequestExecutor executor(options.session, options.workers, options.sim_jobs);
   std::atomic<bool> shutting_down{false};
   // A shutdown verb stops the accept loop by shutting the listener down;
   // the blocked accept() then fails and the loop exits.

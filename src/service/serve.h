@@ -26,6 +26,11 @@ struct ServeOptions {
   // Request worker threads per transport stream; 1 = strictly in-order
   // responses.
   int workers = 4;
+  // Default shards per predict/sweep plan dispatch (`daydream serve
+  // --sim-jobs`); requests may override with their own sim_jobs field. The
+  // executor clamps the effective value so workers × sim_jobs stays within
+  // hardware_concurrency (the `stats` verb reports the cap).
+  int sim_jobs = 1;
   SessionOptions session;
 };
 

@@ -1,6 +1,7 @@
 #include "src/service/session.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "src/core/breakdown.h"
@@ -257,7 +258,13 @@ SessionStatus TraceSession::Predict(const WhatIfRequest& request, PredictOutcome
         simulator.Compile(*graph, retime ? &daydream_.baseline_plan() : nullptr));
     plan_cache_.Put(key, plan, retime);
   }
-  outcome->prediction.predicted = plan->Run().makespan;
+  // sim_jobs is clamped to the machine here (the serve executor additionally
+  // caps it against its own worker count before the request reaches us).
+  const int sim_jobs =
+      std::clamp(request.sim_jobs, 1,
+                 std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  outcome->prediction.predicted =
+      sim_jobs > 1 ? RunPlanParallel(*plan, sim_jobs).makespan : plan->Run().makespan;
   return SessionStatus::kOk;
 }
 

@@ -53,6 +53,11 @@ struct WhatIfRequest {
   PipelineWhatIf pipeline;   // pipeline
   EngineKind engine = EngineKind::kEvent;
   bool validate = false;     // full lint catalog over the transformed graph
+  // Shards for the plan dispatch (sharded parallel engine; 1 = serial).
+  // Consumption-only, like engine/validate: it changes how fast the answer
+  // arrives, never the answer, so it must not enter Signature() — requests
+  // differing only in sim_jobs share cached transforms and plans.
+  int sim_jobs = 1;
 
   // Canonical cache signature: every parameter that shapes the transform.
   std::string Signature() const;

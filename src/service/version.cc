@@ -1,5 +1,8 @@
 #include "src/service/version.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "src/trace/chrome_trace.h"  // JsonEscape
 #include "src/util/string_util.h"
 
@@ -12,9 +15,14 @@ namespace daydream {
 std::string DaydreamVersionString() { return DAYDREAM_GIT_VERSION; }
 
 std::string DaydreamVersionJson() {
-  return StrFormat("{\"version\": \"%s\", \"protocol\": %d, \"trace_schema\": \"%s\"}",
+  // hardware_concurrency is additive (no protocol bump): clients sizing
+  // --sim-jobs / --jobs read the machine width from the hello banner instead
+  // of guessing.
+  return StrFormat("{\"version\": \"%s\", \"protocol\": %d, \"trace_schema\": \"%s\", "
+                   "\"hardware_concurrency\": %d}",
                    JsonEscape(DaydreamVersionString()).c_str(), kServeProtocolVersion,
-                   kTraceSchemaVersion);
+                   kTraceSchemaVersion,
+                   std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
 }
 
 }  // namespace daydream

@@ -19,9 +19,9 @@ inline constexpr char kTraceSchemaVersion[] = "daydream-trace v1";
 // "unknown" when the build tree had no git metadata.
 std::string DaydreamVersionString();
 
-// Single-line JSON: {"version": ..., "protocol": N, "trace_schema": ...}.
-// Embedded verbatim in the serve hello banner and printed by
-// `daydream version --json`.
+// Single-line JSON: {"version": ..., "protocol": N, "trace_schema": ...,
+// "hardware_concurrency": N}. Embedded verbatim in the serve hello banner and
+// printed by `daydream version --json`.
 std::string DaydreamVersionJson();
 
 }  // namespace daydream

@@ -1,0 +1,91 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace daydream {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(0, threads);
+  threads_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& body) {
+  if (n <= 0) {
+    return;
+  }
+  if (n == 1 || threads_.empty()) {
+    for (int i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>(n, body);
+  std::unique_lock<std::mutex> lock(mu_);
+  jobs_.push_back(job);
+  work_cv_.notify_all();
+  // Claim indices alongside the workers; RunIndices re-acquires the lock.
+  RunIndices(lock, job);
+  job->done.wait(lock, [&] { return job->completed == job->n; });
+}
+
+void ThreadPool::RunIndices(std::unique_lock<std::mutex>& lock, const std::shared_ptr<Job>& job) {
+  lock.unlock();
+  int ran = 0;
+  for (;;) {
+    const int i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) {
+      break;
+    }
+    job->body(i);
+    ++ran;
+  }
+  lock.lock();
+  // Drop the job from the queue once every index has been claimed; the last
+  // claimant to get here may not be the one that noticed exhaustion first,
+  // so erase idempotently.
+  const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) {
+    jobs_.erase(it);
+  }
+  job->completed += ran;
+  if (job->completed == job->n) {
+    job->done.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    for (const std::shared_ptr<Job>& candidate : jobs_) {
+      if (candidate->next.load(std::memory_order_relaxed) < candidate->n) {
+        job = candidate;
+        break;
+      }
+    }
+    if (job != nullptr) {
+      RunIndices(lock, job);
+      continue;
+    }
+    if (stopping_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace daydream

@@ -270,6 +270,26 @@ TEST(ParseWhatIfRequest, BuildsTheSessionRequest) {
   EXPECT_TRUE(request.validate);
 }
 
+TEST(ParseWhatIfRequest, SimJobsDefaultsToSerialAndRejectsGarbage) {
+  Args args;
+  args.command = "predict";
+  args.flags["what-if"] = "amp";
+  WhatIfRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseWhatIfRequest(args, &request, &error)) << error;
+  EXPECT_EQ(request.sim_jobs, 1);
+
+  args.flags["sim-jobs"] = "4";
+  ASSERT_TRUE(ParseWhatIfRequest(args, &request, &error)) << error;
+  EXPECT_EQ(request.sim_jobs, 4);
+
+  for (const char* bad : {"0", "-2", "fast"}) {
+    args.flags["sim-jobs"] = bad;
+    EXPECT_FALSE(ParseWhatIfRequest(args, &request, &error)) << bad;
+    EXPECT_NE(error.find("--sim-jobs"), std::string::npos);
+  }
+}
+
 TEST(ParseWhatIfRequest, UnknownNamesParseResolutionIsTheSessionsJob) {
   Args args;
   args.command = "predict";

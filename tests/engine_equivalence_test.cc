@@ -25,6 +25,7 @@
 #include "src/core/sim_plan.h"
 #include "src/core/transform.h"
 #include "src/runtime/ground_truth.h"
+#include "src/util/thread_pool.h"
 
 namespace daydream {
 namespace {
@@ -530,6 +531,130 @@ TEST(TieBreakRegression, LateReadyTaskJoinsTiePool) {
   EXPECT_EQ(r.start[static_cast<size_t>(first_id)], Us(50));
   EXPECT_EQ(r.start[static_cast<size_t>(second_id)], Us(60));
   ExpectSameResult(simulator.RunReference(g), r);
+}
+
+// ---- Sharded parallel dispatch ----
+//
+// The windowed barrier engine must be *exactly* equal to both oracles — the
+// reference scan and the serial plan dispatch — at every sim_jobs level. The
+// contract is byte-identical SimResults, not approximate equality, so the
+// whole zoo x what-if matrix runs through ExpectSameResult, and the random
+// DAGs (zero durations, bound ties, cross-lane webs) hammer the shard
+// boundaries and the stall fallback.
+
+const std::vector<int>& ShardJobLevels() {
+  static const std::vector<int>* levels = new std::vector<int>{1, 2, 4, 8};
+  return *levels;
+}
+
+// Runs the full differential at every job level: parallel vs reference and
+// parallel vs serial plan dispatch.
+void ExpectShardedMatches(const DependencyGraph& graph, std::shared_ptr<Scheduler> scheduler) {
+  const SimPlan plan = SimPlan::Compile(graph, *scheduler);
+  const SimResult serial = plan.Run();
+  ExpectSameResult(Simulator(std::move(scheduler)).RunReference(graph), serial);
+  for (const int jobs : ShardJobLevels()) {
+    const ShardPlan shards = ShardPlan::Compile(plan, jobs);
+    EXPECT_LE(shards.num_shards(), std::max(1, jobs));
+    ThreadPool pool(shards.num_shards() - 1);
+    ExpectSameResult(serial, shards.Run(&pool));
+    // Pool-less path (orchestrator thread runs every shard) must match too.
+    ExpectSameResult(serial, shards.Run(nullptr));
+  }
+}
+
+class ShardDifferential : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShardDifferential, ParallelDispatchReproducesReference) {
+  const ModelId model = AllModels()[static_cast<size_t>(std::get<0>(GetParam()))];
+  const WhatIfCase& what_if = WhatIfs()[static_cast<size_t>(std::get<1>(GetParam()))];
+
+  const Trace& trace = CachedTrace(model);
+  const ModelGraph model_graph = BuildModel(model);
+  DependencyGraph graph = BuildDependencyGraph(trace);
+  what_if.apply(&graph, model_graph, trace);
+
+  ExpectShardedMatches(graph, std::make_shared<EarliestStartScheduler>());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllWhatIfs, ShardDifferential,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(AllModels().size())),
+                       ::testing::Range(0, static_cast<int>(WhatIfs().size()))),
+    CaseName);
+
+class ShardRandomGraph : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardRandomGraph, EarliestStart) {
+  ExpectShardedMatches(RandomGraph(GetParam() + 2000, /*with_priorities=*/false),
+                       std::make_shared<EarliestStartScheduler>());
+}
+
+TEST_P(ShardRandomGraph, PriorityComm) {
+  ExpectShardedMatches(RandomGraph(GetParam() + 3000, /*with_priorities=*/true),
+                       std::make_shared<PriorityCommScheduler>());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardRandomGraph, ::testing::Range(1, 13));
+
+TEST(ShardDifferentialCluster, ReplicatedDistributedWorkers) {
+  // The target workload shape: replicated workers joined by an all-reduce
+  // channel — the partition that gives real multi-shard parallelism.
+  const Trace& trace = CachedTrace(ModelId::kResNet50);
+  DependencyGraph worker = BuildDependencyGraph(trace);
+  DistributedWhatIf opts;
+  opts.cluster.machines = 2;
+  opts.cluster.gpus_per_machine = 2;
+  DependencyGraph cluster = ReplicateWorkers(worker, 4);
+  WhatIfDistributed(&cluster, trace.gradients(), opts);
+
+  const SimPlan plan = SimPlan::Compile(cluster, EarliestStartScheduler());
+  const SimResult serial = plan.Run();
+  for (const int jobs : ShardJobLevels()) {
+    const ShardPlan shards = ShardPlan::Compile(plan, jobs);
+    if (jobs > 1) {
+      // 4 worker components + comm channels: sharding must actually split.
+      EXPECT_GE(shards.num_shards(), std::min(jobs, 2));
+    }
+    ThreadPool pool(shards.num_shards() - 1);
+    ExpectSameResult(serial, shards.Run(&pool));
+  }
+  ExpectSameResult(Simulator().RunReference(cluster), serial);
+}
+
+TEST(ShardDifferentialRetime, RetimedPlansReshardExactly) {
+  // Retime invalidates a ShardPlan's window bounds (timing changed), so the
+  // supported pattern is recompile-from-retimed-plan; the result must track
+  // the reference on the scaled graph at every job level.
+  std::mt19937 rng(77);
+  for (int seed = 1; seed <= 6; ++seed) {
+    const DependencyGraph base = RandomGraph(seed + 4000, /*with_priorities=*/false);
+    const SimPlan donor = SimPlan::Compile(base, EarliestStartScheduler());
+    DependencyGraph scaled = base.Clone();
+    for (TaskId id : scaled.AliveTasks()) {
+      Task& t = scaled.task(id);
+      t.duration = t.duration / (1 + static_cast<TimeNs>(rng() % 3));
+    }
+    ASSERT_TRUE(donor.CompatibleWith(scaled));
+    const SimPlan retimed = SimPlan::Retime(donor, scaled, EarliestStartScheduler());
+    const SimResult oracle = Simulator().RunReference(scaled);
+    for (const int jobs : ShardJobLevels()) {
+      ExpectSameResult(oracle, RunPlanParallel(retimed, jobs));
+    }
+  }
+}
+
+TEST(ShardDifferentialDeterminism, RepeatedRunsAreByteIdentical) {
+  // Same plan, same job level, repeated runs: thread scheduling must never
+  // leak into the result (the serve smoke depends on byte-identical JSON).
+  const DependencyGraph g = RandomGraph(31337, /*with_priorities=*/true);
+  const SimPlan plan = SimPlan::Compile(g, PriorityCommScheduler());
+  const ShardPlan shards = ShardPlan::Compile(plan, 4);
+  ThreadPool pool(3);
+  const SimResult first = shards.Run(&pool);
+  for (int rep = 0; rep < 8; ++rep) {
+    ExpectSameResult(first, shards.Run(&pool));
+  }
 }
 
 }  // namespace

@@ -588,6 +588,108 @@ TEST(PlanLint, ForgedStampIsCaught) {
   EXPECT_FALSE(FindingsIn(report, "plan-stamp").empty()) << report.ToString();
 }
 
+// ---- shard passes ----
+
+// Two GPU streams feeding an allreduce: the comm boundary cuts the lane
+// partition, so the shard plan really has multiple shards and real
+// cross-shard window entries for the corruptors to break. Durations are
+// distinct so the two window bounds differ (SwapWindowBounds must not be a
+// no-op).
+DependencyGraph ShardableGraph() {
+  DependencyGraph g;
+  const TaskId a0 = g.AddTask(GpuTask("fwd0", Us(40), /*stream=*/0));
+  const TaskId a1 = g.AddTask(GpuTask("bwd0", Us(30), /*stream=*/0));
+  const TaskId b0 = g.AddTask(GpuTask("fwd1", Us(50), /*stream=*/1));
+  const TaskId b1 = g.AddTask(GpuTask("bwd1", Us(35), /*stream=*/1));
+  const TaskId c = g.AddTask(CommTask("allreduce", /*bytes=*/1 << 20, /*dur=*/Us(80)));
+  g.AddEdge(a0, a1);
+  g.AddEdge(b0, b1);
+  g.AddEdge(a1, c);
+  g.AddEdge(b1, c);
+  g.LinkSequential();
+  return g;
+}
+
+ShardPlan CompileShards(const DependencyGraph& g, int num_shards = 4) {
+  auto plan = std::make_shared<const SimPlan>(Simulator().Compile(g));
+  return ShardPlan::Compile(std::move(plan), num_shards);
+}
+
+TEST(ShardLint, CleanShardPlanIsClean) {
+  const ShardPlan shards = CompileShards(ShardableGraph());
+  EXPECT_GE(shards.num_shards(), 2);
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.passes_run.size(), 3u);
+}
+
+TEST(ShardLint, CleanZooShardPlansAreClean) {
+  const Trace& trace = CachedTrace(ModelId::kResNet50);
+  const Daydream daydream(trace);
+  for (const int jobs : {2, 8}) {
+    const ShardPlan shards = CompileShards(daydream.graph(), jobs);
+    const LintReport report = GraphLint::LintShards(shards);
+    EXPECT_TRUE(report.ok()) << "sim_jobs=" << jobs << "\n" << report.ToString();
+  }
+}
+
+TEST(ShardLint, EmptyShardPlanIsFlagged) {
+  const ShardPlan shards;
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_NE(ExpectFlaggedBy(report, "shard-partition").message.find("empty"),
+            std::string::npos);
+}
+
+TEST(ShardLint, ReassignedLaneBreaksPartition) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  // Point lane 0 at a shard no grouped list claims; the disjoint-cover walk
+  // must notice the disagreement.
+  ShardCorruptor::BreakLaneShard(&shards, 0, shards.num_shards());
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_FALSE(FindingsIn(report, "shard-partition").empty()) << report.ToString();
+}
+
+TEST(ShardLint, ForgedTaskCountBreaksPartition) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  ShardCorruptor::BreakTaskCount(&shards, 0, 9999);
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_NE(ExpectFlaggedBy(report, "shard-partition").message.find("tasks"),
+            std::string::npos);
+}
+
+TEST(ShardLint, RedirectedWindowEntryBreaksEdges) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  // Whatever slot 0 is, pointing it at a wild window position is wrong: an
+  // intra-shard edge may carry no entry, and no shard's range holds 1 << 20.
+  ShardCorruptor::RedirectWindowEntry(&shards, 0, 1 << 20);
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_FALSE(FindingsIn(report, "shard-edges").empty()) << report.ToString();
+}
+
+TEST(ShardLint, ForgedWindowSourceBreaksEdges) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  ShardCorruptor::BreakWindowSource(&shards, 0, 1 << 20);
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_FALSE(FindingsIn(report, "shard-edges").empty()) << report.ToString();
+}
+
+TEST(ShardLint, CorruptedStaticBoundBreaksHorizon) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  ShardCorruptor::BreakStaticBound(&shards, 0, Us(999));
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_NE(ExpectFlaggedBy(report, "shard-horizon").message.find("longest-path"),
+            std::string::npos);
+}
+
+TEST(ShardLint, SwappedWindowBoundsBreakHorizon) {
+  ShardPlan shards = CompileShards(ShardableGraph());
+  // The allreduce shard holds both cross-shard entries, sorted ascending by
+  // bound (70us, 85us); swapping them moves the horizon backward.
+  ShardCorruptor::SwapWindowBounds(&shards, 0, 1);
+  const LintReport report = GraphLint::LintShards(shards);
+  EXPECT_FALSE(FindingsIn(report, "shard-horizon").empty()) << report.ToString();
+}
+
 // ---- strict sweep mode ----
 
 TEST(SweepValidate, StandardSweepPassesStrictValidation) {

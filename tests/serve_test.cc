@@ -170,6 +170,30 @@ TEST_F(ServeTest, WarmPredictHitsThePlanCache) {
   EXPECT_EQ(stats.GetNumber("plan_cache_compiles"), 0.0);
 }
 
+TEST_F(ServeTest, SimJobsIsConsumptionOnly) {
+  // A daemon sized 2 workers × default 4 shards: the executor clamps the
+  // effective shard count to the machine, requests may override it, and none
+  // of that may change the answer or fragment the plan cache.
+  RequestExecutor executor(SessionOptions{}, /*workers=*/2, /*default_sim_jobs=*/4);
+  const std::string handle = Open(&executor);
+
+  const std::string base =
+      "{\"verb\": \"predict\", \"session\": \"" + handle + "\", \"what_if\": \"amp\"";
+  const JsonObject serial = Parse(executor.Handle(base + ", \"sim_jobs\": 1}").line);
+  EXPECT_TRUE(serial.GetBool("ok"));
+  const JsonObject sharded = Parse(executor.Handle(base + ", \"sim_jobs\": 8}").line);
+  EXPECT_TRUE(sharded.GetBool("ok"));
+  EXPECT_EQ(sharded.GetNumber("predicted_ms"), serial.GetNumber("predicted_ms"));
+  // Same cache entry: sim_jobs is not part of the request signature.
+  EXPECT_TRUE(sharded.GetBool("cache_hit"));
+
+  const JsonObject stats =
+      Parse(executor.Handle("{\"verb\": \"stats\", \"session\": \"" + handle + "\"}").line);
+  EXPECT_EQ(stats.GetNumber("serve_workers"), 2.0);
+  EXPECT_GE(stats.GetNumber("hardware_concurrency"), 1.0);
+  EXPECT_GE(stats.GetNumber("sim_jobs_cap"), 1.0);
+}
+
 TEST_F(ServeTest, PredictReportsUnknownWhatIfsAndBadFlags) {
   RequestExecutor executor;
   const std::string handle = Open(&executor);

@@ -63,6 +63,31 @@ TEST(SweepRunner, ParallelOutcomesMatchSerialPredictions) {
   }
 }
 
+TEST(SweepRunner, ShardedDispatchMatchesSerialOutcomes) {
+  const Daydream daydream(ResNetTrace());
+  const std::vector<SweepCase> cases = BuildStandardSweep(ResNetTrace(), Clusters());
+
+  SweepOptions serial_options;
+  serial_options.num_threads = 1;
+  const std::vector<SweepOutcome> serial = SweepRunner(daydream, serial_options).Run(cases);
+
+  // sim_jobs shards every case's dispatch and shares the thread budget with
+  // the case workers; predictions must not move by a nanosecond.
+  for (const int sim_jobs : {2, 4}) {
+    SweepOptions options;
+    options.num_threads = 4;
+    options.sim_jobs = sim_jobs;
+    options.validate = true;  // also runs the shard-metadata lint per case
+    const std::vector<SweepOutcome> sharded = SweepRunner(daydream, options).Run(cases);
+    ASSERT_EQ(sharded.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(sharded[i].name, serial[i].name);
+      EXPECT_EQ(sharded[i].prediction.predicted, serial[i].prediction.predicted)
+          << serial[i].name << " sim_jobs=" << sim_jobs;
+    }
+  }
+}
+
 TEST(SweepRunner, ReferenceEngineMatchesCompiledPlans) {
   // --engine=reference differential: the pipelined plan path and the
   // Algorithm-1 scan must agree on every standard case.

@@ -5,12 +5,22 @@ Three kinds of gates:
   1. Within-run speedup floors read from the fresh JSON's sections — every
      top-level object with both "speedup" and "floor" keys (dispatch, plan,
      transform, ...) is gated. These are machine-independent ratios — the
-     hard gate. A section that the baseline had but the fresh run dropped is
-     a failure too (a silently deleted gate is a regression).
+     hard gate. A section may opt out by recording "gated": false (e.g.
+     parallel_dispatch on a host with too few cores to measure a speedup);
+     its floor is then reported but not enforced. A section that the baseline
+     had but the fresh run dropped is a failure too (a silently deleted gate
+     is a regression).
   2. Per-row wall-time regression vs the committed baseline, with a generous
      multiplicative tolerance (CI runners differ from the machine that
      produced the committed numbers; the tolerance absorbs that, not real
-     regressions).
+     regressions). Schema v4 rows carry "sim_jobs" (shard count used for that
+     row's simulation): a baseline/fresh sim_jobs mismatch on the same row is
+     a hard failure — the two numbers measure different configurations, so
+     comparing them would be meaningless; regenerate the committed baseline.
+     When the two files report different host "hardware_concurrency",
+     sim_jobs>1 rows are loudly excluded from the wall-time gate entirely:
+     parallel wall time is a property of core count, never silently compared
+     across core counts.
   3. Row-set drift, reported by name in both directions: rows present only
      in the baseline ("MISSING") always fail — a renamed or deleted
      benchmark must update the committed baseline. Rows present only in the
@@ -40,7 +50,19 @@ def load(path):
 
 
 def rows_by_name(doc):
-    return {row["name"]: row["ms"] for row in doc.get("benchmarks", [])}
+    # sim_jobs arrived with schema v4; v3 documents are all-serial.
+    return {
+        row["name"]: (row["ms"], int(row.get("sim_jobs", 1)))
+        for row in doc.get("benchmarks", [])
+    }
+
+
+def host_concurrency(doc):
+    """Host core count recorded by schema v4; None for older documents."""
+    host = doc.get("host")
+    if isinstance(host, dict) and "hardware_concurrency" in host:
+        return int(host["hardware_concurrency"])
+    return None
 
 
 def floor_sections(doc):
@@ -83,26 +105,53 @@ def main():
     base_rows = rows_by_name(baseline)
     fresh_rows = rows_by_name(fresh)
 
+    base_hw = host_concurrency(baseline)
+    fresh_hw = host_concurrency(fresh)
+    hw_mismatch = base_hw is not None and fresh_hw is not None and base_hw != fresh_hw
+
     failures = []
     lines = [
         "### perf_core: fresh vs committed baseline",
         "",
         f"tolerance: fresh ≤ {args.tolerance:.1f}× committed (runner variance allowance)",
+    ]
+    if hw_mismatch:
+        warning = (
+            f"WARNING: baseline was produced on a {base_hw}-thread host, fresh run "
+            f"on a {fresh_hw}-thread host — wall-time gating for sim_jobs>1 rows "
+            "is SKIPPED (parallel wall time is a property of core count)"
+        )
+        print(warning, file=sys.stderr)
+        lines.append("")
+        lines.append(f"**{warning}**")
+    lines += [
         "",
         "| benchmark | committed (ms) | fresh (ms) | ratio | status |",
         "|---|---:|---:|---:|---|",
     ]
     new_rows = sorted(set(fresh_rows) - set(base_rows))
     missing_rows = sorted(set(base_rows) - set(fresh_rows))
-    for name, fresh_ms in fresh_rows.items():
-        base_ms = base_rows.get(name)
-        if base_ms is None:
+    for name, (fresh_ms, fresh_jobs) in fresh_rows.items():
+        base = base_rows.get(name)
+        if base is None:
             status = "new row" if args.allow_new_rows else "**NEW (unexpected)**"
             lines.append(f"| {name} | — | {fresh_ms:.2f} | — | {status} |")
             continue
+        base_ms, base_jobs = base
         ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
         status = "ok"
-        if base_ms < args.min_gated_ms:
+        if base_jobs != fresh_jobs:
+            # Different shard counts time different configurations; never let
+            # that slide through as an apples-to-apples wall-time comparison.
+            status = "**SIM_JOBS MISMATCH**"
+            failures.append(
+                f"row '{name}': baseline measured sim_jobs={base_jobs}, fresh "
+                f"measured sim_jobs={fresh_jobs} — regenerate the committed "
+                "baseline so both runs time the same configuration"
+            )
+        elif hw_mismatch and fresh_jobs > 1:
+            status = "skipped (core-count mismatch)"
+        elif base_ms < args.min_gated_ms:
             status = "ok (not gated)" if ratio <= args.tolerance else "slow (not gated)"
         elif ratio > args.tolerance:
             status = "**REGRESSION**"
@@ -112,7 +161,7 @@ def main():
             )
         lines.append(f"| {name} | {base_ms:.2f} | {fresh_ms:.2f} | {ratio:.2f}x | {status} |")
     for name in missing_rows:
-        lines.append(f"| {name} | {base_rows[name]:.2f} | — | — | **MISSING** |")
+        lines.append(f"| {name} | {base_rows[name][0]:.2f} | — | — | **MISSING** |")
     if missing_rows:
         failures.append(
             "rows present in the baseline but missing from the fresh run: "
@@ -135,6 +184,16 @@ def main():
     for section, sec in sorted(fresh_sections.items()):
         floor = float(sec.get("floor", 0.0))
         speedup = float(sec.get("speedup", 0.0))
+        # Sections may self-gate ("gated": false when the producing host could
+        # not meaningfully measure the ratio, e.g. parallel speedup on a
+        # 1-core runner). The section must still exist — only the floor check
+        # is conditional.
+        if not sec.get("gated", True):
+            lines.append(
+                f"| {section} speedup | ≥ {floor:.1f}x | {speedup:.2f}x | "
+                "not gated on this host |"
+            )
+            continue
         ok = speedup >= floor
         if not ok:
             failures.append(

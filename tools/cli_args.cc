@@ -275,6 +275,12 @@ bool ParseWhatIfRequest(const Args& args, WhatIfRequest* request, std::string* e
   }
   request->engine = *engine;
   request->validate = args.Has("validate");
+  const std::optional<int> sim_jobs = ParseInt(args.Get("sim-jobs", "1"));
+  if (!sim_jobs.has_value() || *sim_jobs < 1) {
+    *error = "bad --sim-jobs '" + args.Get("sim-jobs") + "' (expected a positive integer)";
+    return false;
+  }
+  request->sim_jobs = *sim_jobs;
   if (request->what_if == "distributed" || request->what_if == "p3") {
     const std::optional<ClusterConfig> cluster = ParseCluster(args, error);
     if (!cluster.has_value()) {

@@ -94,11 +94,12 @@ std::optional<PipelineFlags> ParsePipelineFlags(const Args& args, std::string* e
 std::optional<PipelineFlags> ParsePipelineFlags(const Args& args);
 
 // Builds the session-layer WhatIfRequest from predict-style flags: --what-if
-// plus --engine/--validate always, --cluster/--gbps for distributed and p3,
-// and the pipeline flags (with predict's single-stage/single-schedule
-// constraints) for pipeline. Unknown what-if names parse fine — resolution
-// is the session's job (TraceSession::ResolveTransform). Returns false with
-// *error set on malformed flags.
+// plus --engine/--validate/--sim-jobs always, --cluster/--gbps for
+// distributed and p3, and the pipeline flags (with predict's
+// single-stage/single-schedule constraints) for pipeline. Unknown what-if
+// names parse fine — resolution is the session's job
+// (TraceSession::ResolveTransform). Returns false with *error set on
+// malformed flags.
 bool ParseWhatIfRequest(const Args& args, WhatIfRequest* request, std::string* error);
 
 }  // namespace daydream

@@ -49,6 +49,8 @@ commands:
                                         (pipeline options)
            [--engine event|reference]   (reference = Algorithm-1 scan, for
                                          differential debugging)
+           [--sim-jobs N]               (shards for parallel plan dispatch;
+                                         same result, more cores)
            [--json FILE]                (machine-readable result)
            [--validate]                 (full GraphLint pass over the what-if
                                          output before predicting)
@@ -58,12 +60,15 @@ commands:
                                          clean, 1 findings, 2 usage errors)
   sweep    --trace FILE                 evaluate the whole what-if matrix concurrently
            [--cluster M1xG1,M2xG2,...] [--gbps BW1,BW2,...] [--jobs N]
+           [--sim-jobs N]               (shards per case simulation; the
+                                         thread budget is shared with --jobs)
            [--pipeline-stages N1,N2,...] [--microbatches M]
            [--schedule gpipe|1f1b|both]
            [--engine event|reference] [--csv FILE] [--json FILE] [--validate]
   serve    [--port N] [--jobs N]        line-delimited-JSON prediction daemon
-                                        (stdin/stdout without --port; see
-                                         docs/serve.md)
+           [--sim-jobs N]               (stdin/stdout without --port; see
+                                         docs/serve.md; --sim-jobs sets the
+                                         default shards per request)
   version  [--json]                     build + protocol version
 )";
   return 2;
@@ -325,10 +330,17 @@ int CmdSweep(const Args& args) {
       return 2;
     }
   }
+  const std::optional<int> sim_jobs = ParseInt(args.Get("sim-jobs", "1"));
+  if (!sim_jobs.has_value() || *sim_jobs < 1) {
+    std::cerr << "bad --sim-jobs '" << args.Get("sim-jobs")
+              << "' (expected a positive integer)\n";
+    return 2;
+  }
   SweepOptions options;
   options.num_threads = *jobs;
   options.engine = *engine;
   options.validate = args.Has("validate");
+  options.sim_jobs = *sim_jobs;
   std::vector<SweepOutcome> outcomes = session->Sweep(cases, options);
   RankBySpeedup(&outcomes);
 
@@ -372,6 +384,13 @@ int CmdServe(const Args& args) {
     return 2;
   }
   options.workers = *jobs;
+  const std::optional<int> sim_jobs = ParseInt(args.Get("sim-jobs", "1"));
+  if (!sim_jobs.has_value() || *sim_jobs < 1) {
+    std::cerr << "bad --sim-jobs '" << args.Get("sim-jobs")
+              << "' (expected a positive integer)\n";
+    return 2;
+  }
+  options.sim_jobs = *sim_jobs;
   const std::string port_text = args.Get("port");
   if (port_text.empty()) {
     return RunServeStdio(std::cin, std::cout, options);
