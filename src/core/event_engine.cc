@@ -261,7 +261,11 @@ struct ShardEngineState {
 
 }  // namespace
 
-SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool) {
+SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool, const Deadline* deadline,
+                           bool* deadline_hit) {
+  if (deadline_hit != nullptr) {
+    *deadline_hit = false;
+  }
   const SimPlan& plan = *shards.plan_;
   SimResult result;
   if (plan.empty()) {
@@ -473,7 +477,16 @@ SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool) {
   };
 
   size_t total = 0;
+  bool expired = false;
   while (total < n) {
+    // Cooperative cancellation between dispatch rounds: a round is the
+    // natural quiescent point (no shard mid-phase, outboxes drained), so
+    // abandoning here leaves no thread wedged — the result is simply partial
+    // and the caller reports deadline_exceeded instead of a makespan.
+    if (deadline != nullptr && deadline->Expired()) {
+      expired = true;
+      break;
+    }
     if (pool != nullptr && S > 1) {
       pool->ParallelFor(S, dispatch_phase);
       pool->ParallelFor(S, delivery_phase);
@@ -539,20 +552,35 @@ SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool) {
       }
     }
   }
-  DD_CHECK_EQ(result.dispatched, static_cast<int>(n)) << "cycle or disconnected bookkeeping";
+  if (deadline_hit != nullptr) {
+    *deadline_hit = expired;
+  }
+  if (!expired) {
+    DD_CHECK_EQ(result.dispatched, static_cast<int>(n)) << "cycle or disconnected bookkeeping";
+  }
   return result;
 }
 
-SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool) {
+SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool,
+                          const Deadline* deadline, bool* deadline_hit) {
+  if (deadline_hit != nullptr) {
+    *deadline_hit = false;
+  }
   if (sim_jobs <= 1 || plan.empty()) {
+    if (deadline != nullptr && deadline->Expired()) {
+      if (deadline_hit != nullptr) {
+        *deadline_hit = true;
+      }
+      return SimResult{};
+    }
     return plan.Run();
   }
   const ShardPlan shards = ShardPlan::Compile(plan, sim_jobs);
   if (pool != nullptr || shards.num_shards() <= 1) {
-    return shards.Run(pool);
+    return shards.Run(pool, deadline, deadline_hit);
   }
   ThreadPool local(shards.num_shards() - 1);
-  return shards.Run(&local);
+  return shards.Run(&local, deadline, deadline_hit);
 }
 
 }  // namespace daydream

@@ -370,7 +370,9 @@ void ShardPlan::FillWindows() {
   }
 }
 
-SimResult ShardPlan::Run(ThreadPool* pool) const { return RunShardedEngine(*this, pool); }
+SimResult ShardPlan::Run(ThreadPool* pool, const Deadline* deadline, bool* deadline_hit) const {
+  return RunShardedEngine(*this, pool, deadline, deadline_hit);
+}
 
 SimPlan SimPlan::Retime(const SimPlan& donor, const DependencyGraph& graph,
                         const Scheduler& scheduler) {

@@ -40,6 +40,7 @@
 
 #include "src/core/dependency_graph.h"
 #include "src/core/simulator.h"
+#include "src/util/deadline.h"
 
 namespace daydream {
 
@@ -78,7 +79,8 @@ class SimPlan {
 
  private:
   friend SimResult RunEventEngine(const SimPlan& plan);
-  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool,
+                                    const Deadline* deadline, bool* deadline_hit);
   // ShardPlan partitions the frozen arrays for parallel dispatch.
   friend class ShardPlan;
   // GraphLint's plan passes verify the frozen CSR/SoA arrays (and the
@@ -159,15 +161,20 @@ class ShardPlan {
 
   // Dispatches every shard on `pool` (caller participates; a null pool runs
   // the barrier loop on the calling thread alone). The result is exactly
-  // plan().Run().
-  SimResult Run(ThreadPool* pool = nullptr) const;
+  // plan().Run(). A non-null `deadline` is checked between dispatch rounds:
+  // on expiry the loop abandons the remaining rounds, sets *deadline_hit and
+  // returns a partial result (serve-layer cooperative cancellation — the CLI
+  // and benchmarks pass no deadline and always run to completion).
+  SimResult Run(ThreadPool* pool = nullptr, const Deadline* deadline = nullptr,
+                bool* deadline_hit = nullptr) const;
 
   bool empty() const { return plan_ == nullptr; }
   int num_shards() const { return num_shards_; }
   const SimPlan& plan() const { return *plan_; }
 
  private:
-  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+  friend SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool,
+                                    const Deadline* deadline, bool* deadline_hit);
   // GraphLint::LintShards verifies the partition/window invariants; the
   // test-only ShardCorruptor (src/core/graph_testing.h) injects defects.
   friend class GraphLint;
@@ -204,14 +211,19 @@ class ShardPlan {
   std::vector<int32_t> edge_window_pos_;
 };
 
-// Runs the windowed barrier loop over a shard plan (same as shards.Run(pool)).
-SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool);
+// Runs the windowed barrier loop over a shard plan (same as shards.Run(pool,
+// deadline, deadline_hit)).
+SimResult RunShardedEngine(const ShardPlan& shards, ThreadPool* pool,
+                           const Deadline* deadline = nullptr, bool* deadline_hit = nullptr);
 
 // Dispatches `plan` across `sim_jobs` shards sharing `pool`; a null pool
 // spawns a private pool sized to the shard count for the duration of the
 // call. sim_jobs <= 1 is exactly the serial plan.Run(). Every path returns
-// the identical SimResult.
-SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool = nullptr);
+// the identical SimResult. `deadline`/`deadline_hit` follow ShardPlan::Run
+// (checked between rounds on the sharded path, before dispatch on the serial
+// one).
+SimResult RunPlanParallel(const SimPlan& plan, int sim_jobs, ThreadPool* pool = nullptr,
+                          const Deadline* deadline = nullptr, bool* deadline_hit = nullptr);
 
 }  // namespace daydream
 

@@ -122,11 +122,16 @@ TimeNs SweepRunner::Simulate(Prepared* prepared, ThreadPool* pool) const {
   return Simulator(prepared->scheduler, EngineKind::kReference).Run(*prepared->graph).makespan;
 }
 
-std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) const {
+std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases,
+                                           bool* deadline_exceeded) const {
+  if (deadline_exceeded != nullptr) {
+    *deadline_exceeded = false;
+  }
   std::vector<SweepOutcome> outcomes(cases.size());
   if (cases.empty()) {
     return outcomes;
   }
+  const bool bounded = options_.deadline.bounded();
   // One thread budget covers both parallelism levels: sim_jobs > 1 trades
   // case-level width for per-case sharded dispatch (workers ~ budget /
   // sim_jobs; the freed threads become the shared shard pool), so cases ×
@@ -153,6 +158,12 @@ std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) 
   int workers = std::clamp(budget / sim_jobs, 1, static_cast<int>(cases.size()));
   if (workers == 1) {
     for (size_t i = 0; i < cases.size(); ++i) {
+      if (bounded && options_.deadline.Expired()) {
+        if (deadline_exceeded != nullptr) {
+          *deadline_exceeded = true;
+        }
+        break;
+      }
       Prepared prepared = Prepare(cases[i], i);
       record(&prepared, cases[i]);
     }
@@ -169,11 +180,23 @@ std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) 
   size_t next_case = 0;
   size_t simulated = 0;
   size_t preparing = 0;
+  bool deadline_hit = false;
   const size_t depth = static_cast<size_t>(workers) + 2;
 
   auto work = [&]() {
     std::unique_lock<std::mutex> lock(mu);
     while (simulated < cases.size()) {
+      // Cooperative cancellation: an expired budget abandons unclaimed cases
+      // and drains already-prepared ones unrecorded. Cases mid-Prepare still
+      // finish (preparers count themselves as simulated on re-entry).
+      if (bounded && !deadline_hit && options_.deadline.Expired()) {
+        deadline_hit = true;
+        simulated += (cases.size() - next_case) + ready.size();
+        next_case = cases.size();
+        ready.clear();
+        cv.notify_all();
+        continue;
+      }
       if (!ready.empty()) {
         Prepared prepared = std::move(ready.front());
         ready.pop_front();
@@ -193,8 +216,16 @@ std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) 
         Prepared prepared = Prepare(cases[i], i);
         lock.lock();
         --preparing;
-        ready.push_back(std::move(prepared));
-        cv.notify_all();
+        if (deadline_hit) {
+          // The budget expired while this case was being prepared: retire it
+          // unrecorded instead of feeding the abandoned simulate stage.
+          if (++simulated == cases.size()) {
+            cv.notify_all();
+          }
+        } else {
+          ready.push_back(std::move(prepared));
+          cv.notify_all();
+        }
         continue;
       }
       cv.wait(lock);
@@ -208,6 +239,9 @@ std::vector<SweepOutcome> SweepRunner::Run(const std::vector<SweepCase>& cases) 
   }
   for (std::thread& t : pool) {
     t.join();
+  }
+  if (deadline_hit && deadline_exceeded != nullptr) {
+    *deadline_exceeded = true;
   }
   return outcomes;
 }

@@ -32,6 +32,7 @@
 #include "src/comm/network_spec.h"
 #include "src/core/predictor.h"
 #include "src/parallel/pipeline.h"
+#include "src/util/deadline.h"
 
 namespace daydream {
 
@@ -73,6 +74,10 @@ struct SweepOptions {
   // before dispatch. Catches transform bugs at the case that planted them
   // instead of as a wrong number in the ranking.
   bool validate = false;
+  // Wall-clock budget for the whole matrix, checked between cases (a serve
+  // request's deadline, threaded through TraceSession::Sweep). Unbounded by
+  // default — the CLI and benchmarks run to completion.
+  Deadline deadline;
 };
 
 class SweepRunner {
@@ -94,8 +99,13 @@ class SweepRunner {
   SweepRunner& operator=(const SweepRunner&) = delete;
 
   // Evaluates every case (concurrently when options.num_threads != 1);
-  // outcomes are returned in case order.
-  std::vector<SweepOutcome> Run(const std::vector<SweepCase>& cases) const;
+  // outcomes are returned in case order. When options.deadline expires the
+  // runner stops claiming cases, sets *deadline_exceeded (if non-null), and
+  // returns with the unreached outcomes left blank (empty name, zero
+  // prediction) — callers that set a deadline must check the flag before
+  // trusting the vector.
+  std::vector<SweepOutcome> Run(const std::vector<SweepCase>& cases,
+                                bool* deadline_exceeded = nullptr) const;
 
  private:
   struct Prepared;

@@ -1,0 +1,64 @@
+// ServeLimits / ServeCounters: the admission-control contract of the daemon.
+//
+// Every limit here exists because its absence is a single-client denial of
+// service: an unbounded request queue buffers a flood until OOM, an unbounded
+// line buffer lets one newline-less peer do the same, unlimited connections
+// accumulate threads, unlimited sessions pin every trace ever opened. The
+// limits are enforced at the edges (serve.cc transports, RequestExecutor,
+// SessionManager) and reported — together with the counters that show them
+// working — by the `stats` verb, so operators can see shedding, timeouts and
+// eviction instead of guessing.
+#ifndef SRC_SERVICE_LIMITS_H_
+#define SRC_SERVICE_LIMITS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace daydream {
+
+struct ServeLimits {
+  // Queued-but-unstarted requests per transport stream; excess load is
+  // answered with an `overloaded` envelope (shed, not buffered). 0 disables
+  // the bound (tests only — a production daemon should always bound it).
+  int max_queue = 256;
+  // Per-request wall-clock budget measured from admission (enqueue); 0 = no
+  // daemon-wide deadline. A request's own `timeout_ms` field can only
+  // tighten it. Expired requests answer `deadline_exceeded`.
+  int request_timeout_ms = 0;
+  // Longest accepted request line, both transports. Oversized input answers
+  // one `bad_request` envelope (and, on TCP, closes the connection).
+  size_t max_line_bytes = 1 << 20;
+  // Concurrent TCP connections; a connection past the cap is answered with a
+  // single `overloaded` line and closed.
+  int max_connections = 64;
+  // Open sessions; opening past the cap evicts the least-recently-used
+  // session (its handle answers `unknown_session` afterwards).
+  size_t max_sessions = 16;
+  // Resident trace-memory estimate across open sessions, in bytes; 0 = no
+  // bound. Enforced by the same LRU eviction as max_sessions.
+  size_t max_resident_bytes = 0;
+};
+
+// Shared monotone counters, written by the transports and the worker pool,
+// read by the `stats` verb. Plain relaxed atomics: these are tallies, not
+// synchronization.
+struct ServeCounters {
+  std::atomic<uint64_t> shed{0};               // requests answered `overloaded`
+  std::atomic<uint64_t> deadline_exceeded{0};  // requests answered `deadline_exceeded`
+  std::atomic<uint64_t> oversized_lines{0};    // lines rejected for length
+  std::atomic<uint64_t> connections_refused{0};  // TCP accepts past the cap
+  std::atomic<int> queue_high_water{0};        // deepest queue seen
+  std::atomic<int> active_connections{0};      // live TCP connection threads
+
+  void RecordQueueDepth(int depth) {
+    int seen = queue_high_water.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !queue_high_water.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace daydream
+
+#endif  // SRC_SERVICE_LIMITS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/util/fault.h"
+
 namespace daydream {
 
 size_t PlanCache::KeyHash::operator()(const Key& key) const {
@@ -30,6 +32,11 @@ std::shared_ptr<const SimPlan> PlanCache::Get(const Key& key) {
 }
 
 void PlanCache::Put(const Key& key, std::shared_ptr<const SimPlan> plan, bool retimed) {
+  // Fault site: a failed insert degrades gracefully — the request that built
+  // the plan still answers from its local copy, the cache just stays cold.
+  if (FaultInjector::Global().ShouldFail("plan_cache_insert")) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (retimed) {
     ++stats_.retimes;

@@ -12,6 +12,7 @@
 #include "src/service/version.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/trace_io.h"
+#include "src/util/fault.h"
 #include "src/util/json.h"
 #include "src/util/string_util.h"
 #include "src/util/time_units.h"
@@ -52,9 +53,11 @@ class ResponseWriter {
   std::string body_;
 };
 
-// The verb catalog, for the unknown-verb diagnostic.
+// The verb catalog, for the unknown-verb diagnostic. session.close is the
+// namespaced alias of close (the session-layer verbs may grow siblings).
 constexpr char kVerbs[] =
-    "open, close, sessions, predict, sweep, lint, report, stats, version, ping, shutdown";
+    "open, close, session.close, sessions, predict, sweep, lint, report, stats, version, ping, "
+    "shutdown";
 
 // The request id, re-encoded for the response. Numbers echo their untouched
 // source token; strings are re-escaped; anything else (or no id) is omitted.
@@ -103,7 +106,7 @@ Args RequestToArgs(const JsonObject& request, const std::string& verb) {
   args.command = verb;
   for (const auto& [key, value] : request.fields()) {
     if (key == "id" || key == "verb" || key == "session" || key == "trace" ||
-        key == "cache_capacity") {
+        key == "cache_capacity" || key == "timeout_ms") {
       continue;
     }
     std::string name = key;
@@ -141,6 +144,10 @@ std::string StatusCode(SessionStatus status) {
       return "bad_request";
     case SessionStatus::kLintFailed:
       return "lint_failed";
+    case SessionStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case SessionStatus::kUnavailable:
+      return "unavailable";
   }
   return "internal";
 }
@@ -153,16 +160,54 @@ int SimJobsCap(int workers) {
   return std::max(1, hw / std::max(1, workers));
 }
 
+// Best-effort id extraction for the pre-execution rejection envelopes: the
+// line may be arbitrary garbage, in which case the envelope goes out without
+// an id (same as parse_error).
+std::optional<std::string> IdOfLine(const std::string& line) {
+  std::string ignored;
+  const std::optional<JsonObject> request = ParseJsonObject(line, &ignored);
+  if (!request.has_value()) {
+    return std::nullopt;
+  }
+  return IdToken(*request);
+}
+
 }  // namespace
 
 RequestExecutor::RequestExecutor(SessionOptions session_options, int workers,
-                                 int default_sim_jobs)
+                                 int default_sim_jobs, ServeLimits limits)
     : session_options_(session_options),
       workers_(std::max(1, workers)),
       sim_jobs_cap_(SimJobsCap(workers)),
-      default_sim_jobs_(std::clamp(default_sim_jobs, 1, sim_jobs_cap_)) {}
+      default_sim_jobs_(std::clamp(default_sim_jobs, 1, sim_jobs_cap_)),
+      limits_(limits),
+      sessions_(SessionManagerLimits{limits.max_sessions, limits.max_resident_bytes}) {}
 
-RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
+std::string RequestExecutor::OverloadedResponse(const std::string& line) {
+  counters_.shed.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(IdOfLine(line), "overloaded",
+                       "request queue is full; retry later or lower the request rate");
+}
+
+std::string RequestExecutor::ExpiredResponse(const std::string& line) {
+  counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(IdOfLine(line), "deadline_exceeded",
+                       "request deadline expired before execution started");
+}
+
+std::string RequestExecutor::FaultedResponse(const std::string& line, const std::string& site) {
+  return ErrorResponse(IdOfLine(line), "unavailable", "injected fault at " + site);
+}
+
+std::string RequestExecutor::OversizedResponse() {
+  counters_.oversized_lines.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(std::nullopt, "bad_request",
+                       StrFormat("request line exceeds max_line_bytes (%zu)",
+                                 limits_.max_line_bytes));
+}
+
+RequestExecutor::Response RequestExecutor::Handle(const std::string& line,
+                                                  const Deadline& transport_deadline) {
   Response response;
 
   std::string parse_error;
@@ -172,6 +217,21 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     return response;
   }
   const std::optional<std::string> id = IdToken(*request);
+
+  // The effective budget: the transport deadline (admission-stamped when the
+  // daemon runs with --request-timeout-ms) tightened by the request's own
+  // timeout_ms, which counts from execution start — a queued request cannot
+  // consult its body before a worker picks it up.
+  Deadline deadline = transport_deadline;
+  if (request->Has("timeout_ms")) {
+    const double timeout_ms = request->GetNumber("timeout_ms", -1.0);
+    if (timeout_ms < 1.0) {
+      response.line =
+          ErrorResponse(id, "bad_request", "bad timeout_ms (expected a positive integer)");
+      return response;
+    }
+    deadline = Deadline::Sooner(deadline, Deadline::AfterMs(static_cast<long long>(timeout_ms)));
+  }
 
   const std::string verb = request->GetString("verb");
   if (verb.empty()) {
@@ -213,7 +273,23 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     return response;
   }
 
+  // Cooperative cancellation, first checkpoint: a request whose budget is
+  // already gone must not start a heavy verb (the cheap verbs above always
+  // answer — a ping should succeed even with an absurd timeout).
+  const bool heavy = verb == "open" || verb == "predict" || verb == "sweep" || verb == "lint" ||
+                     verb == "report";
+  if (heavy && deadline.Expired()) {
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    response.line =
+        ErrorResponse(id, "deadline_exceeded", "deadline expired before '" + verb + "' started");
+    return response;
+  }
+
   if (verb == "open") {
+    if (FaultInjector::Global().ShouldFail("trace_load")) {
+      response.line = ErrorResponse(id, "unavailable", "injected fault at trace_load");
+      return response;
+    }
     const std::string path = request->GetString("trace");
     if (path.empty()) {
       response.line = ErrorResponse(id, "bad_request", "open needs a \"trace\" path field");
@@ -251,8 +327,8 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     return response;
   }
 
-  if (verb != "close" && verb != "stats" && verb != "report" && verb != "predict" &&
-      verb != "lint" && verb != "sweep") {
+  if (verb != "close" && verb != "session.close" && verb != "stats" && verb != "report" &&
+      verb != "predict" && verb != "lint" && verb != "sweep") {
     response.line = ErrorResponse(
         id, "unknown_verb", "unknown verb '" + verb + "' (verbs: " + std::string(kVerbs) + ")");
     return response;
@@ -266,7 +342,7 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     return response;
   }
 
-  if (verb == "close") {
+  if (verb == "close" || verb == "session.close") {
     sessions_.Close(handle);
     ResponseWriter writer = BeginResponse(id, /*ok=*/true);
     writer.AddBool("closed", true);
@@ -289,6 +365,35 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     writer.AddInt("hardware_concurrency",
                   std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
     writer.AddInt("sim_jobs_cap", sim_jobs_cap_);
+    // Admission control: the configured limits next to the counters that
+    // show them firing (docs/serve.md, "Limits & fault tolerance").
+    writer.AddInt("max_queue", limits_.max_queue);
+    writer.AddInt("request_timeout_ms", limits_.request_timeout_ms);
+    writer.AddInt("max_line_bytes", static_cast<long long>(limits_.max_line_bytes));
+    writer.AddInt("max_connections", limits_.max_connections);
+    writer.AddInt("max_sessions", static_cast<long long>(limits_.max_sessions));
+    writer.AddInt("max_resident_bytes", static_cast<long long>(limits_.max_resident_bytes));
+    writer.AddInt("shed", static_cast<long long>(counters_.shed.load(std::memory_order_relaxed)));
+    writer.AddInt("deadline_exceeded",
+                  static_cast<long long>(
+                      counters_.deadline_exceeded.load(std::memory_order_relaxed)));
+    writer.AddInt("oversized_lines",
+                  static_cast<long long>(counters_.oversized_lines.load(std::memory_order_relaxed)));
+    writer.AddInt("connections_refused",
+                  static_cast<long long>(
+                      counters_.connections_refused.load(std::memory_order_relaxed)));
+    writer.AddInt("queue_high_water",
+                  counters_.queue_high_water.load(std::memory_order_relaxed));
+    writer.AddInt("active_connections",
+                  counters_.active_connections.load(std::memory_order_relaxed));
+    writer.AddInt("sessions_open", static_cast<long long>(sessions_.size()));
+    writer.AddInt("sessions_evicted", static_cast<long long>(sessions_.evicted()));
+    writer.AddInt("resident_bytes", static_cast<long long>(sessions_.resident_bytes()));
+    // Fault-injection visibility: the armed spec (empty when unarmed) and how
+    // many times any site fired — the chaos suite's liveness probe.
+    writer.AddString("faults", FaultInjector::Global().SpecString());
+    writer.AddInt("faults_fired",
+                  static_cast<long long>(FaultInjector::Global().fired()));
     response.line = writer.Finish();
     return response;
   }
@@ -351,8 +456,11 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     }
     what_if.sim_jobs = std::clamp(what_if.sim_jobs, 1, sim_jobs_cap_);
     PredictOutcome outcome;
-    const SessionStatus status = session->Predict(what_if, &outcome, &error);
+    const SessionStatus status = session->Predict(what_if, &outcome, &error, deadline);
     if (status != SessionStatus::kOk) {
+      if (status == SessionStatus::kDeadlineExceeded) {
+        counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      }
       response.line = ErrorResponse(id, StatusCode(status), error);
       return response;
     }
@@ -451,7 +559,15 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line) {
     options.engine = *engine;
     options.validate = args.Has("validate");
     options.sim_jobs = std::clamp(*sim_jobs, 1, sim_jobs_cap_);
-    std::vector<SweepOutcome> outcomes = session->Sweep(cases, options);
+    options.deadline = deadline;
+    bool sweep_expired = false;
+    std::vector<SweepOutcome> outcomes = session->Sweep(cases, options, &sweep_expired);
+    if (sweep_expired) {
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      response.line = ErrorResponse(id, "deadline_exceeded",
+                                    "deadline expired inside the sweep matrix");
+      return response;
+    }
     RankBySpeedup(&outcomes);
     ResponseWriter writer = BeginResponse(id, /*ok=*/true);
     writer.AddMs("baseline_ms", session->daydream().BaselineSimTime());

@@ -10,6 +10,12 @@
 // library (bad trace, bad what-if flags) all produce error envelopes — the
 // daemon never crashes on input.
 //
+// The executor also owns the daemon's admission-control state (ServeLimits /
+// ServeCounters, src/service/limits.h): the transports call the shed/expiry
+// helpers so a request rejected before execution still gets exactly one
+// envelope, and the `stats` verb reports the limits next to the counters that
+// show them firing.
+//
 // Handle() is thread-safe: the serve front ends run it from a worker pool so
 // predict/sweep/lint requests against warm sessions execute concurrently.
 #ifndef SRC_SERVICE_REQUEST_EXECUTOR_H_
@@ -17,7 +23,9 @@
 
 #include <string>
 
+#include "src/service/limits.h"
 #include "src/service/session.h"
+#include "src/util/deadline.h"
 
 namespace daydream {
 
@@ -33,14 +41,30 @@ class RequestExecutor {
   // sim_jobs field. Both feed the executor's thread-budget clamp: effective
   // sim_jobs is capped at hardware_concurrency / workers, so concurrent
   // requests × shards never oversubscribe the machine (`stats` reports the
-  // effective cap as sim_jobs_cap).
+  // effective cap as sim_jobs_cap). `limits` configures admission control;
+  // the session quotas inside it feed the SessionManager.
   explicit RequestExecutor(SessionOptions session_options = SessionOptions{}, int workers = 1,
-                           int default_sim_jobs = 1);
+                           int default_sim_jobs = 1, ServeLimits limits = ServeLimits{});
 
   // Handles one request line (the line terminator may be included or not).
-  Response Handle(const std::string& line);
+  // `deadline` is the transport-assigned budget (stamped at admission when
+  // --request-timeout-ms is set); a request's own `timeout_ms` field — its
+  // budget measured from execution start — can only tighten it. Expiry is
+  // checked before the heavy verbs and at cooperative points inside them.
+  Response Handle(const std::string& line, const Deadline& deadline = Deadline());
+
+  // Pre-execution rejection envelopes for the transports. Each parses `line`
+  // only to echo its `id` (a malformed line still gets an envelope, without
+  // an id) and bumps the matching counter.
+  std::string OverloadedResponse(const std::string& line);       // queue/connection shed
+  std::string ExpiredResponse(const std::string& line);          // died waiting in queue
+  std::string FaultedResponse(const std::string& line,
+                              const std::string& site);          // injected worker fault
+  std::string OversizedResponse();                               // line over max_line_bytes
 
   SessionManager& sessions() { return sessions_; }
+  const ServeLimits& limits() const { return limits_; }
+  ServeCounters& counters() { return counters_; }
 
   int sim_jobs_cap() const { return sim_jobs_cap_; }
 
@@ -49,6 +73,8 @@ class RequestExecutor {
   const int workers_;
   const int sim_jobs_cap_;
   const int default_sim_jobs_;  // pre-clamped to [1, sim_jobs_cap_]
+  const ServeLimits limits_;
+  ServeCounters counters_;
   SessionManager sessions_;
 };
 

@@ -13,11 +13,19 @@
 //     announced on stdout) and serves each connection on its own thread
 //     against one shared session table, until a shutdown verb stops the
 //     accept loop and drains open connections.
+//
+// Hardening (docs/serve.md, "Limits & fault tolerance"): both transports
+// enforce ServeOptions::limits — bounded request queues that shed with
+// `overloaded` envelopes, bounded line lengths, a TCP connection cap, and
+// per-request deadlines — and both drain gracefully on SIGINT/SIGTERM when
+// install_signal_handlers is set: stop accepting input, answer everything
+// already accepted, exit 0.
 #ifndef SRC_SERVICE_SERVE_H_
 #define SRC_SERVICE_SERVE_H_
 
 #include <iosfwd>
 
+#include "src/service/limits.h"
 #include "src/service/session.h"
 
 namespace daydream {
@@ -32,13 +40,19 @@ struct ServeOptions {
   // hardware_concurrency (the `stats` verb reports the cap).
   int sim_jobs = 1;
   SessionOptions session;
+  // Admission control and resource quotas (src/service/limits.h).
+  ServeLimits limits;
+  // Install SIGINT/SIGTERM handlers that trigger a graceful drain (self-pipe;
+  // the handlers are process-global). The CLI sets this; tests that run the
+  // transports in-process leave it off and drive shutdown via the protocol.
+  bool install_signal_handlers = false;
 };
 
 // The hello banner (single line, no trailing newline): identifies the
 // protocol and embeds the same version JSON `daydream version --json` prints.
 std::string ServeHelloBanner();
 
-// Returns 0 after a clean drain (EOF or shutdown verb).
+// Returns 0 after a clean drain (EOF, shutdown verb, or drain signal).
 int RunServeStdio(std::istream& in, std::ostream& out, const ServeOptions& options = {});
 
 // Returns 0 on clean shutdown, 1 when the socket could not be set up (the

@@ -9,6 +9,7 @@
 #include "src/core/graph_builder.h"
 #include "src/core/layer_report.h"
 #include "src/core/optimizations/optimizations.h"
+#include "src/util/fault.h"
 #include "src/util/string_util.h"
 
 namespace daydream {
@@ -90,6 +91,8 @@ TraceSession::TraceSession(Trace trace, DependencyGraph graph, SessionOptions op
   if (model_id_.has_value()) {
     model_graph_ = std::make_shared<const ModelGraph>(BuildModel(*model_id_));
   }
+  resident_bytes_ = daydream_.trace().size() * sizeof(TraceEvent) +
+                    static_cast<size_t>(daydream_.graph().num_alive()) * sizeof(Task);
 }
 
 SessionStatus TraceSession::ResolveTransform(const WhatIfRequest& request,
@@ -208,7 +211,7 @@ SessionStatus TraceSession::TransformedGraph(
 }
 
 SessionStatus TraceSession::Predict(const WhatIfRequest& request, PredictOutcome* outcome,
-                                    std::string* error) {
+                                    std::string* error, const Deadline& deadline) {
   std::function<void(DependencyGraph*)> transform;
   const SessionStatus resolved = ResolveTransform(request, &transform, error);
   if (resolved != SessionStatus::kOk) {
@@ -220,6 +223,10 @@ SessionStatus TraceSession::Predict(const WhatIfRequest& request, PredictOutcome
   const SessionStatus built = TransformedGraph(request, transform, &graph, &tasks, error);
   if (built != SessionStatus::kOk) {
     return built;
+  }
+  if (deadline.Expired()) {
+    *error = "deadline expired after the what-if transform";
+    return SessionStatus::kDeadlineExceeded;
   }
 
   if (request.validate) {
@@ -249,6 +256,10 @@ SessionStatus TraceSession::Predict(const WhatIfRequest& request, PredictOutcome
   std::shared_ptr<const SimPlan> plan = plan_cache_.Get(key);
   outcome->plan_cache_hit = plan != nullptr;
   if (plan == nullptr) {
+    if (FaultInjector::Global().ShouldFail("plan_compile")) {
+      *error = "injected fault at plan_compile";
+      return SessionStatus::kUnavailable;
+    }
     // Timing-only transforms leave the baseline structure stamp intact, so
     // the baseline plan donates its structure block (Retime); anything else
     // pays the full CSR compile.
@@ -258,19 +269,35 @@ SessionStatus TraceSession::Predict(const WhatIfRequest& request, PredictOutcome
         simulator.Compile(*graph, retime ? &daydream_.baseline_plan() : nullptr));
     plan_cache_.Put(key, plan, retime);
   }
+  if (deadline.Expired()) {
+    *error = "deadline expired before plan dispatch";
+    return SessionStatus::kDeadlineExceeded;
+  }
   // sim_jobs is clamped to the machine here (the serve executor additionally
   // caps it against its own worker count before the request reaches us).
   const int sim_jobs =
       std::clamp(request.sim_jobs, 1,
                  std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
-  outcome->prediction.predicted =
-      sim_jobs > 1 ? RunPlanParallel(*plan, sim_jobs).makespan : plan->Run().makespan;
+  if (sim_jobs > 1) {
+    // The sharded engine checks the deadline between synchronization
+    // horizons — the only dispatch path with a cooperative mid-run exit.
+    bool deadline_hit = false;
+    outcome->prediction.predicted =
+        RunPlanParallel(*plan, sim_jobs, nullptr, &deadline, &deadline_hit).makespan;
+    if (deadline_hit) {
+      *error = "deadline expired during sharded plan dispatch";
+      return SessionStatus::kDeadlineExceeded;
+    }
+  } else {
+    outcome->prediction.predicted = plan->Run().makespan;
+  }
   return SessionStatus::kOk;
 }
 
 std::vector<SweepOutcome> TraceSession::Sweep(const std::vector<SweepCase>& cases,
-                                              const SweepOptions& options) const {
-  return SweepRunner(daydream_, options).Run(cases);
+                                              const SweepOptions& options,
+                                              bool* deadline_exceeded) const {
+  return SweepRunner(daydream_, options).Run(cases, deadline_exceeded);
 }
 
 SessionStatus TraceSession::Lint(const WhatIfRequest* request, LintReport* report,
@@ -318,18 +345,52 @@ std::string TraceSession::ReportText() const {
   return out;
 }
 
+void SessionManager::EnforceQuotasLocked(const std::string& keep) {
+  auto over_quota = [this] {
+    if (limits_.max_sessions != 0 && sessions_.size() > limits_.max_sessions) {
+      return true;
+    }
+    if (limits_.max_resident_bytes != 0) {
+      size_t resident = 0;
+      for (const Entry& entry : sessions_) {
+        resident += entry.session->resident_bytes();
+      }
+      return resident > limits_.max_resident_bytes;
+    }
+    return false;
+  };
+  while (over_quota()) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->handle == keep) {
+        continue;  // the just-opened session must survive its own admission
+      }
+      if (victim == sessions_.end() || it->last_use < victim->last_use) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) {
+      break;  // only `keep` is left; a single over-budget session is admitted
+    }
+    sessions_.erase(victim);
+    ++evicted_;
+  }
+}
+
 std::string SessionManager::Open(std::shared_ptr<TraceSession> session) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string handle = StrFormat("s%llu", static_cast<unsigned long long>(++next_handle_));
-  sessions_.emplace_back(handle, std::move(session));
+  sessions_.push_back(Entry{handle, std::move(session), ++use_clock_});
+  EnforceQuotasLocked(handle);
   return handle;
 }
 
 std::shared_ptr<TraceSession> SessionManager::Get(const std::string& handle) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, session] : sessions_) {
-    if (name == handle) {
-      return session;
+  for (Entry& entry : sessions_) {
+    if (entry.handle == handle) {
+      entry.last_use = ++use_clock_;  // LRU bump: active sessions evict last
+      return entry.session;
     }
   }
   return nullptr;
@@ -338,7 +399,7 @@ std::shared_ptr<TraceSession> SessionManager::Get(const std::string& handle) con
 bool SessionManager::Close(const std::string& handle) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    if (it->first == handle) {
+    if (it->handle == handle) {
       sessions_.erase(it);
       return true;
     }
@@ -351,12 +412,26 @@ size_t SessionManager::size() const {
   return sessions_.size();
 }
 
+uint64_t SessionManager::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+size_t SessionManager::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t resident = 0;
+  for (const Entry& entry : sessions_) {
+    resident += entry.session->resident_bytes();
+  }
+  return resident;
+}
+
 std::vector<std::string> SessionManager::Handles() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> handles;
   handles.reserve(sessions_.size());
-  for (const auto& [handle, session] : sessions_) {
-    handles.push_back(handle);
+  for (const Entry& entry : sessions_) {
+    handles.push_back(entry.handle);
   }
   return handles;
 }

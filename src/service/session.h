@@ -41,6 +41,7 @@
 #include "src/models/model_zoo.h"
 #include "src/runtime/sweep.h"
 #include "src/service/plan_cache.h"
+#include "src/util/deadline.h"
 
 namespace daydream {
 
@@ -71,7 +72,18 @@ struct PredictOutcome {
 
 // How a session call failed; the CLI maps these onto its historical exit
 // codes (unknown what-if -> usage, lint findings -> 1, the rest -> 2).
-enum class SessionStatus { kOk, kUnknownWhatIf, kBadRequest, kLintFailed };
+// kDeadlineExceeded: the request's Deadline expired at a cooperative
+// cancellation point. kUnavailable: an armed fault site (src/util/fault.h)
+// failed the operation — the graceful-degradation path the chaos suite
+// drives.
+enum class SessionStatus {
+  kOk,
+  kUnknownWhatIf,
+  kBadRequest,
+  kLintFailed,
+  kDeadlineExceeded,
+  kUnavailable,
+};
 
 struct SessionOptions {
   // Bounds both the PlanCache and the per-signature transformed-graph cache.
@@ -99,12 +111,18 @@ class TraceSession {
                                  std::string* error) const;
 
   // One what-if prediction with warm-plan reuse (see file comment).
+  // `deadline` is checked between the pipeline's stages (after the transform,
+  // after the compile, between shard horizons when the dispatch is sharded):
+  // an expired budget returns kDeadlineExceeded instead of finishing.
   SessionStatus Predict(const WhatIfRequest& request, PredictOutcome* outcome,
-                        std::string* error);
+                        std::string* error, const Deadline& deadline = Deadline());
 
-  // The sweep matrix over this session's shared Daydream.
+  // The sweep matrix over this session's shared Daydream. When
+  // options.deadline expires mid-matrix the runner stops claiming cases and
+  // sets *deadline_exceeded (remaining outcomes are left blank).
   std::vector<SweepOutcome> Sweep(const std::vector<SweepCase>& cases,
-                                  const SweepOptions& options) const;
+                                  const SweepOptions& options,
+                                  bool* deadline_exceeded = nullptr) const;
 
   // GraphLint catalog over the session graph — after `request`'s transform
   // when non-null — plus the compiled plan when the graph passes structural
@@ -118,6 +136,12 @@ class TraceSession {
 
   PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t plan_cache_size() const { return plan_cache_.size(); }
+
+  // Estimated resident footprint (trace events + alive graph tasks), the
+  // quantity SessionManager's max_resident_bytes quota sums. An estimate on
+  // purpose: eviction needs a stable relative ordering, not an allocator
+  // audit.
+  size_t resident_bytes() const { return resident_bytes_; }
 
  private:
   struct CachedTransform {
@@ -145,16 +169,29 @@ class TraceSession {
   std::shared_ptr<const ModelGraph> model_graph_;
 
   PlanCache plan_cache_;
+  size_t resident_bytes_ = 0;
   mutable std::mutex transforms_mu_;
   std::map<std::string, CachedTransform> transforms_;  // signature -> graph
   uint64_t transform_sequence_ = 0;
 };
 
+// Resource quotas for the session table; zero disables a bound.
+struct SessionManagerLimits {
+  size_t max_sessions = 0;
+  size_t max_resident_bytes = 0;
+};
+
 // The serve session table: handles ("s1", "s2", ...) -> sessions.
 // Thread-safe; a session closed while requests are in flight stays alive
-// until the last shared_ptr drops.
+// until the last shared_ptr drops. Opening a session past the quotas evicts
+// the least-recently-used session (Get bumps recency); an evicted handle
+// answers `unknown_session` afterwards — clients re-`open`, which is cheap
+// compared to wedging the daemon on resident traces nobody queries.
 class SessionManager {
  public:
+  SessionManager() = default;
+  explicit SessionManager(SessionManagerLimits limits) : limits_(limits) {}
+
   std::string Open(std::shared_ptr<TraceSession> session);
   std::shared_ptr<TraceSession> Get(const std::string& handle) const;
   bool Close(const std::string& handle);
@@ -162,12 +199,28 @@ class SessionManager {
   // Handles in insertion order (stable listing for the `sessions` verb).
   std::vector<std::string> Handles() const;
 
+  uint64_t evicted() const;        // sessions dropped by quota eviction
+  size_t resident_bytes() const;   // summed session estimates
+
  private:
+  struct Entry {
+    std::string handle;
+    std::shared_ptr<TraceSession> session;
+    uint64_t last_use = 0;  // LRU clock; bumped by Get
+  };
+
+  // Drops LRU entries until the quotas hold, never evicting `keep` (the
+  // just-opened session must survive its own admission). Called under mu_.
+  void EnforceQuotasLocked(const std::string& keep);
+
+  const SessionManagerLimits limits_;
   mutable std::mutex mu_;
   // Insertion-ordered (handle "s10" must list after "s9", which a map keyed
   // on the handle string would not give); session counts are small.
-  std::vector<std::pair<std::string, std::shared_ptr<TraceSession>>> sessions_;
+  mutable std::vector<Entry> sessions_;
   uint64_t next_handle_ = 0;
+  mutable uint64_t use_clock_ = 0;
+  uint64_t evicted_ = 0;
 };
 
 }  // namespace daydream

@@ -1,0 +1,172 @@
+#include "src/util/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+// Splits on `sep`, keeping empty tokens (a trailing ':' is a spec error the
+// parser should see, not silently swallow).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaultInjector::KnownSites() {
+  static const std::vector<std::string> kSites = {
+      "trace_load", "plan_compile", "plan_cache_insert", "worker_execute", "socket_write",
+  };
+  return kSites;
+}
+
+FaultInjector::FaultInjector() : rng_(0x6461796472u /* fixed seed: deterministic in distribution */) {
+  const char* env = std::getenv("DAYDREAM_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    std::string error;
+    if (!ArmSpec(env, &error)) {
+      std::cerr << "DAYDREAM_FAULTS: " << error << "\n";
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+bool FaultInjector::ArmSpec(const std::string& spec, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  for (const std::string& token : Split(spec, ',')) {
+    if (token.empty()) {
+      continue;  // tolerate "a,,b" and trailing commas
+    }
+    const std::vector<std::string> parts = Split(token, ':');
+    if (parts.size() < 2 || parts.size() > 4) {
+      return fail("bad fault entry '" + token + "' (expected site:kind[:rate[:delay_ms]])");
+    }
+    Entry entry;
+    entry.site = parts[0];
+    bool known = false;
+    for (const std::string& site : KnownSites()) {
+      known = known || site == entry.site;
+    }
+    if (!known) {
+      std::string sites;
+      for (const std::string& site : KnownSites()) {
+        sites += sites.empty() ? site : ", " + site;
+      }
+      return fail("unknown fault site '" + entry.site + "' (sites: " + sites + ")");
+    }
+    if (parts[1] == "fail") {
+      entry.is_delay = false;
+    } else if (parts[1] == "delay") {
+      entry.is_delay = true;
+    } else {
+      return fail("bad fault kind '" + parts[1] + "' in '" + token + "' (kinds: fail, delay)");
+    }
+    if (parts.size() >= 3) {
+      char* end = nullptr;
+      entry.rate = std::strtod(parts[2].c_str(), &end);
+      if (parts[2].empty() || end == nullptr || *end != '\0' || entry.rate < 0.0 ||
+          entry.rate > 1.0) {
+        return fail("bad fault rate '" + parts[2] + "' in '" + token + "' (expected 0..1)");
+      }
+    }
+    if (parts.size() == 4) {
+      char* end = nullptr;
+      const long ms = std::strtol(parts[3].c_str(), &end, 10);
+      if (parts[3].empty() || end == nullptr || *end != '\0' || ms < 0 || ms > 60000) {
+        return fail("bad fault delay '" + parts[3] + "' in '" + token +
+                    "' (expected 0..60000 ms)");
+      }
+      entry.delay_ms = static_cast<int>(ms);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::move(entry));
+  }
+  return true;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+FaultAction FaultInjector::Fire(const std::string& site) {
+  FaultAction action;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.site != site) {
+      continue;
+    }
+    if (entry.rate < 1.0) {
+      std::uniform_real_distribution<double> roll(0.0, 1.0);
+      if (roll(rng_) >= entry.rate) {
+        continue;
+      }
+    }
+    ++fired_;
+    if (entry.is_delay) {
+      action.delay_ms += entry.delay_ms;
+    } else {
+      action.fail = true;
+    }
+  }
+  return action;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  const FaultAction action = Fire(site);
+  if (action.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+  }
+  return action.fail;
+}
+
+uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !entries_.empty();
+}
+
+std::string FaultInjector::SpecString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string spec;
+  for (const Entry& entry : entries_) {
+    if (!spec.empty()) {
+      spec += ",";
+    }
+    spec += StrFormat("%s:%s:%g", entry.site.c_str(), entry.is_delay ? "delay" : "fail",
+                      entry.rate);
+    if (entry.is_delay) {
+      spec += StrFormat(":%d", entry.delay_ms);
+    }
+  }
+  return spec;
+}
+
+}  // namespace daydream

@@ -4,6 +4,11 @@
 // own ParseJsonObject — the daemon must emit what its parser accepts.
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -14,6 +19,7 @@
 #include "src/service/serve.h"
 #include "src/service/version.h"
 #include "src/trace/trace_io.h"
+#include "src/util/fault.h"
 #include "src/util/json.h"
 
 namespace daydream {
@@ -394,6 +400,289 @@ TEST_F(ServeTest, HelloBannerEmbedsTheVersionJson) {
   EXPECT_NE(banner.find("\"daydream\": \"serve\""), std::string::npos);
   EXPECT_NE(banner.find(DaydreamVersionJson()), std::string::npos);
 }
+
+// ---- Admission control, deadlines, quotas ----
+
+// Restores the process-global injector even when an assertion bails out.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(ServeTest, OversizedStdioLineAnswersOneEnvelopeAndContinues) {
+  ServeOptions options;
+  options.workers = 1;
+  options.limits.max_line_bytes = 64;
+  std::istringstream in(std::string(200, 'x') + "\n{\"id\": 1, \"verb\": \"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunServeStdio(in, out, options), 0);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  const JsonObject oversized = Parse(lines[1]);
+  EXPECT_FALSE(oversized.GetBool("ok", true));
+  EXPECT_EQ(oversized.GetString("code"), "bad_request");
+  EXPECT_NE(oversized.GetString("error").find("max_line_bytes"), std::string::npos);
+  // The oversized line is discarded through its newline; the stream (and the
+  // daemon) keep going.
+  EXPECT_EQ(Parse(lines[2]).GetNumber("id"), 1.0);
+}
+
+TEST_F(ServeTest, FullQueueShedsWithOverloadedEnvelopes) {
+  FaultGuard guard;
+  std::string error;
+  // One worker held for ~40ms per request makes the flood outrun the queue.
+  ASSERT_TRUE(FaultInjector::Global().ArmSpec("worker_execute:delay:1:40", &error)) << error;
+
+  constexpr int kRequests = 10;
+  std::string input;
+  for (int i = 1; i <= kRequests; ++i) {
+    input += "{\"id\": " + std::to_string(i) + ", \"verb\": \"ping\"}\n";
+  }
+  ServeOptions options;
+  options.workers = 1;
+  options.limits.max_queue = 1;
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(RunServeStdio(in, out, options), 0);
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kRequests) + 1);
+  std::vector<int> answered(kRequests + 1, 0);
+  int ok = 0;
+  int overloaded = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const JsonObject response = Parse(lines[i]);
+    const int id = static_cast<int>(response.GetNumber("id", -1.0));
+    ASSERT_GE(id, 1) << lines[i];
+    ASSERT_LE(id, kRequests) << lines[i];
+    ++answered[id];
+    if (response.GetBool("ok", false)) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response.GetString("code"), "overloaded") << lines[i];
+      ++overloaded;
+    }
+  }
+  // Exactly one envelope per request — shed or served, never dropped, never
+  // doubled — and the flood must actually have shed something.
+  for (int i = 1; i <= kRequests; ++i) {
+    EXPECT_EQ(answered[i], 1) << "id " << i;
+  }
+  EXPECT_EQ(ok + overloaded, kRequests);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_GE(ok, 1);  // the in-flight and queued requests still answer
+}
+
+TEST_F(ServeTest, QueuedRequestPastItsDeadlineIsAnsweredWithoutExecuting) {
+  FaultGuard guard;
+  std::string error;
+  // The first request holds the only worker for ~40ms; the second's 5ms
+  // admission deadline expires while it waits and it must be answered at
+  // dequeue, not executed.
+  ASSERT_TRUE(FaultInjector::Global().ArmSpec("worker_execute:delay:1:40", &error)) << error;
+
+  ServeOptions options;
+  options.workers = 1;
+  options.limits.request_timeout_ms = 5;
+  std::istringstream in(
+      "{\"id\": 1, \"verb\": \"ping\"}\n"
+      "{\"id\": 2, \"verb\": \"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunServeStdio(in, out, options), 0);
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  const JsonObject first = Parse(lines[1]);
+  EXPECT_EQ(first.GetNumber("id"), 1.0);
+  EXPECT_TRUE(first.GetBool("ok")) << lines[1];
+  const JsonObject second = Parse(lines[2]);
+  EXPECT_EQ(second.GetNumber("id"), 2.0);
+  EXPECT_FALSE(second.GetBool("ok", true));
+  EXPECT_EQ(second.GetString("code"), "deadline_exceeded");
+}
+
+TEST_F(ServeTest, PerRequestTimeoutCancelsInsidePredict) {
+  FaultGuard guard;
+  std::string error;
+  // A 50ms stall at the compile stage against a 5ms request budget: the
+  // deadline check after the stage must answer deadline_exceeded instead of
+  // dispatching the plan.
+  ASSERT_TRUE(FaultInjector::Global().ArmSpec("plan_compile:delay:1:50", &error)) << error;
+
+  RequestExecutor executor;
+  const std::string handle = Open(&executor);
+  const JsonObject response = Parse(
+      executor
+          .Handle("{\"id\": 1, \"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"amp\", \"timeout_ms\": 5}")
+          .line);
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code"), "deadline_exceeded");
+
+  // With the budget gone the worker is free immediately; the same request
+  // without a timeout completes.
+  FaultInjector::Global().Disarm();
+  const JsonObject retried = Parse(
+      executor
+          .Handle("{\"id\": 2, \"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"amp\"}")
+          .line);
+  EXPECT_TRUE(retried.GetBool("ok")) << retried.GetString("error");
+
+  // Validation: timeout_ms must be a positive number.
+  const JsonObject bad = Parse(
+      executor
+          .Handle("{\"id\": 3, \"verb\": \"predict\", \"session\": \"" + handle +
+                  "\", \"what_if\": \"amp\", \"timeout_ms\": 0}")
+          .line);
+  EXPECT_EQ(bad.GetString("code"), "bad_request");
+}
+
+TEST_F(ServeTest, SessionQuotaEvictsLruAndSessionCloseAliasWorks) {
+  ServeLimits limits;
+  limits.max_sessions = 2;
+  RequestExecutor executor(SessionOptions{}, /*workers=*/1, /*default_sim_jobs=*/1, limits);
+  const std::string first = Open(&executor);
+  const std::string second = Open(&executor);
+  // Touch the first so the second is the LRU candidate when the third opens.
+  EXPECT_TRUE(
+      Parse(executor.Handle("{\"verb\": \"stats\", \"session\": \"" + first + "\"}").line)
+          .GetBool("ok"));
+  const std::string third = Open(&executor);
+  EXPECT_EQ(executor.sessions().size(), 2u);
+
+  const JsonObject evicted = Parse(
+      executor.Handle("{\"verb\": \"report\", \"session\": \"" + second + "\"}").line);
+  EXPECT_EQ(evicted.GetString("code"), "unknown_session");
+  const JsonObject survivor = Parse(
+      executor.Handle("{\"verb\": \"report\", \"session\": \"" + first + "\"}").line);
+  EXPECT_TRUE(survivor.GetBool("ok"));
+
+  const JsonObject stats = Parse(
+      executor.Handle("{\"verb\": \"stats\", \"session\": \"" + first + "\"}").line);
+  EXPECT_EQ(stats.GetNumber("sessions_open"), 2.0);
+  EXPECT_EQ(stats.GetNumber("sessions_evicted"), 1.0);
+  EXPECT_GT(stats.GetNumber("resident_bytes"), 0.0);
+  EXPECT_EQ(stats.GetNumber("max_sessions"), 2.0);
+
+  // session.close is the namespaced alias of close.
+  const JsonObject closed = Parse(
+      executor.Handle("{\"verb\": \"session.close\", \"session\": \"" + third + "\"}").line);
+  EXPECT_TRUE(closed.GetBool("closed"));
+  EXPECT_EQ(executor.sessions().size(), 1u);
+}
+
+TEST_F(ServeTest, StatsReportsTheConfiguredLimits) {
+  ServeLimits limits;
+  limits.max_queue = 7;
+  limits.request_timeout_ms = 1234;
+  limits.max_line_bytes = 4096;
+  limits.max_connections = 3;
+  RequestExecutor executor(SessionOptions{}, 1, 1, limits);
+  const std::string handle = Open(&executor);
+  const JsonObject stats =
+      Parse(executor.Handle("{\"verb\": \"stats\", \"session\": \"" + handle + "\"}").line);
+  EXPECT_EQ(stats.GetNumber("max_queue"), 7.0);
+  EXPECT_EQ(stats.GetNumber("request_timeout_ms"), 1234.0);
+  EXPECT_EQ(stats.GetNumber("max_line_bytes"), 4096.0);
+  EXPECT_EQ(stats.GetNumber("max_connections"), 3.0);
+  EXPECT_EQ(stats.GetNumber("shed"), 0.0);
+  EXPECT_EQ(stats.GetNumber("deadline_exceeded"), 0.0);
+  EXPECT_EQ(stats.GetNumber("oversized_lines"), 0.0);
+  EXPECT_EQ(stats.GetNumber("connections_refused"), 0.0);
+  EXPECT_EQ(stats.GetNumber("active_connections"), 0.0);
+  EXPECT_EQ(stats.GetString("faults"), "");
+  // faults_fired is cumulative for the process, so other tests in this binary
+  // may have bumped it; just require the field to be present and sane.
+  EXPECT_GE(stats.GetNumber("faults_fired", -1.0), 0.0);
+}
+
+// ---- Graceful drain (subprocess) ----
+
+#ifdef DAYDREAM_CLI_PATH
+
+// SIGTERM to a live daemon must drain, not kill: every accepted request's
+// response is flushed and the process exits 0. Runs the real CLI binary —
+// signal disposition is process state the in-process tests must not touch.
+TEST_F(ServeTest, SigtermDrainsTheStdioDaemonCleanly) {
+  int to_child[2];
+  int from_child[2];
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_child[0], 0);
+    ::dup2(from_child[1], 1);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(DAYDREAM_CLI_PATH, DAYDREAM_CLI_PATH, "serve", "--jobs", "2",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  // Line reader with a poll() timeout so a wedged daemon fails the test
+  // instead of hanging the suite.
+  std::string buffered;
+  auto read_line = [&buffered, &from_child](std::string* line) -> bool {
+    for (int spins = 0; spins < 200; ++spins) {
+      const size_t newline = buffered.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffered.substr(0, newline);
+        buffered.erase(0, newline + 1);
+        return true;
+      }
+      struct pollfd pfd = {from_child[0], POLLIN, 0};
+      if (::poll(&pfd, 1, 100) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(from_child[0], chunk, sizeof(chunk));
+      if (n <= 0) {
+        return false;  // EOF: the daemon closed stdout
+      }
+      buffered.append(chunk, static_cast<size_t>(n));
+    }
+    return false;
+  };
+
+  std::string line;
+  ASSERT_TRUE(read_line(&line)) << "no hello banner";
+  EXPECT_NE(line.find("\"daydream\": \"serve\""), std::string::npos);
+  const std::string ping = "{\"id\": 1, \"verb\": \"ping\"}\n{\"id\": 2, \"verb\": \"ping\"}\n";
+  ASSERT_EQ(::write(to_child[1], ping.data(), ping.size()), static_cast<ssize_t>(ping.size()));
+  ASSERT_TRUE(read_line(&line)) << "first response never arrived";
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos);
+  ASSERT_TRUE(read_line(&line)) << "second response never arrived";
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos);
+
+  // Drain: the daemon is blocked reading stdin; SIGTERM must unblock it and
+  // exit 0 without losing the already-flushed responses above.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  pid_t waited = 0;
+  for (int spins = 0; spins < 200; ++spins) {
+    waited = ::waitpid(pid, &status, WNOHANG);
+    if (waited == pid) {
+      break;
+    }
+    ::poll(nullptr, 0, 50);  // portable sub-second sleep
+  }
+  if (waited != pid) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    FAIL() << "daemon did not exit within 10s of SIGTERM";
+  }
+  EXPECT_TRUE(WIFEXITED(status)) << "daemon was killed, not drained (status " << status << ")";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::close(to_child[1]);
+  ::close(from_child[0]);
+}
+
+#endif  // DAYDREAM_CLI_PATH
 
 }  // namespace
 }  // namespace daydream

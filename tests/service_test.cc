@@ -486,5 +486,65 @@ TEST_F(TraceSessionTest, SessionManagerSurvivesConcurrentClients) {
   EXPECT_EQ(manager.size(), 0u);
 }
 
+// ---- SessionManager quotas ----
+
+TEST_F(TraceSessionTest, SessionManagerEvictsTheLeastRecentlyUsedSession) {
+  SessionManager manager(SessionManagerLimits{/*max_sessions=*/2, /*max_resident_bytes=*/0});
+  std::shared_ptr<TraceSession> session = NewSession();
+  const std::string first = manager.Open(session);
+  const std::string second = manager.Open(session);
+  // Touching the first makes the second the LRU candidate.
+  EXPECT_NE(manager.Get(first), nullptr);
+  const std::string third = manager.Open(session);
+  EXPECT_EQ(manager.size(), 2u);
+  EXPECT_EQ(manager.evicted(), 1u);
+  EXPECT_EQ(manager.Get(second), nullptr);  // evicted handle is gone
+  EXPECT_NE(manager.Get(first), nullptr);
+  EXPECT_NE(manager.Get(third), nullptr);
+}
+
+TEST_F(TraceSessionTest, SessionManagerNeverEvictsTheSessionBeingOpened) {
+  // max_sessions=1 forces every Open to evict — but the incoming session must
+  // survive its own admission, so each Open replaces the previous one.
+  SessionManager manager(SessionManagerLimits{/*max_sessions=*/1, /*max_resident_bytes=*/0});
+  std::shared_ptr<TraceSession> session = NewSession();
+  const std::string first = manager.Open(session);
+  const std::string second = manager.Open(session);
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(manager.Get(first), nullptr);
+  EXPECT_NE(manager.Get(second), nullptr);
+  EXPECT_EQ(manager.evicted(), 1u);
+}
+
+TEST_F(TraceSessionTest, SessionManagerEnforcesTheResidentBytesQuota) {
+  std::shared_ptr<TraceSession> session = NewSession();
+  ASSERT_GT(session->resident_bytes(), 0u);
+  // A quota that fits exactly one copy of this trace: opening a second evicts
+  // the first, and a session alone over quota is never evicted (it is `keep`).
+  SessionManager manager(
+      SessionManagerLimits{/*max_sessions=*/0, /*max_resident_bytes=*/session->resident_bytes()});
+  const std::string first = manager.Open(session);
+  EXPECT_EQ(manager.resident_bytes(), session->resident_bytes());
+  const std::string second = manager.Open(session);
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(manager.evicted(), 1u);
+  EXPECT_EQ(manager.Get(first), nullptr);
+  EXPECT_NE(manager.Get(second), nullptr);
+  EXPECT_EQ(manager.resident_bytes(), session->resident_bytes());
+}
+
+TEST_F(TraceSessionTest, SessionManagerResidentBytesTracksOpenAndClose) {
+  SessionManager manager;  // unlimited
+  std::shared_ptr<TraceSession> session = NewSession();
+  const std::string first = manager.Open(session);
+  const std::string second = manager.Open(session);
+  EXPECT_EQ(manager.resident_bytes(), 2 * session->resident_bytes());
+  EXPECT_TRUE(manager.Close(first));
+  EXPECT_EQ(manager.resident_bytes(), session->resident_bytes());
+  EXPECT_TRUE(manager.Close(second));
+  EXPECT_EQ(manager.resident_bytes(), 0u);
+  EXPECT_EQ(manager.evicted(), 0u);  // Close is not eviction
+}
+
 }  // namespace
 }  // namespace daydream

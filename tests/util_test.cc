@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "src/util/csv.h"
+#include "src/util/deadline.h"
+#include "src/util/fault.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -293,6 +299,108 @@ TEST(Json, RejectsUnescapedControlCharacters) {
   std::string error;
   EXPECT_FALSE(ParseJsonObject("{\"a\": \"b\x01c\"}", &error).has_value());
   EXPECT_NE(error.find("unescaped control character"), std::string::npos);
+}
+
+// ---- Deadline ----
+
+TEST(DeadlineTest, DefaultConstructedIsUnbounded) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.bounded());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMs(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, AfterMsExpiresOnceTheBudgetIsSpent) {
+  const Deadline generous = Deadline::AfterMs(60'000);
+  EXPECT_TRUE(generous.bounded());
+  EXPECT_FALSE(generous.Expired());
+  EXPECT_GT(generous.RemainingMs(), 0.0);
+  EXPECT_LE(generous.RemainingMs(), 60'000.0);
+
+  const Deadline spent = Deadline::AfterMs(0);
+  EXPECT_TRUE(spent.Expired());
+  EXPECT_EQ(spent.RemainingMs(), 0.0);
+
+  const Deadline tiny = Deadline::AfterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(tiny.Expired());
+}
+
+TEST(DeadlineTest, SoonerPicksTheTighterBudget) {
+  const Deadline unbounded;
+  const Deadline close = Deadline::AfterMs(10);
+  const Deadline far = Deadline::AfterMs(60'000);
+  // An unbounded deadline never wins against a bounded one.
+  EXPECT_TRUE(Deadline::Sooner(unbounded, close).bounded());
+  EXPECT_TRUE(Deadline::Sooner(close, unbounded).bounded());
+  EXPECT_FALSE(Deadline::Sooner(unbounded, unbounded).bounded());
+  EXPECT_LE(Deadline::Sooner(close, far).RemainingMs(), close.RemainingMs() + 1.0);
+  EXPECT_LE(Deadline::Sooner(far, close).RemainingMs(), close.RemainingMs() + 1.0);
+}
+
+// ---- FaultInjector ----
+
+// The process-global injector needs restoring even when an assertion fails.
+struct FaultDisarmGuard {
+  ~FaultDisarmGuard() { FaultInjector::Global().Disarm(); }
+};
+
+TEST(FaultInjectorTest, KnownSitesCoverTheServeStack) {
+  const std::vector<std::string>& sites = FaultInjector::KnownSites();
+  for (const char* site : {"trace_load", "plan_compile", "plan_cache_insert",
+                           "worker_execute", "socket_write"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end()) << site;
+  }
+}
+
+TEST(FaultInjectorTest, CertainFailEntryAlwaysFires) {
+  FaultDisarmGuard guard;
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  std::string error;
+  ASSERT_TRUE(injector.ArmSpec("plan_compile:fail", &error)) << error;
+  EXPECT_TRUE(injector.armed());
+  const uint64_t before = injector.fired();
+  EXPECT_TRUE(injector.ShouldFail("plan_compile"));
+  EXPECT_FALSE(injector.ShouldFail("trace_load"));  // other sites untouched
+  EXPECT_EQ(injector.fired(), before + 1);
+}
+
+TEST(FaultInjectorTest, ZeroRateEntryNeverFires) {
+  FaultDisarmGuard guard;
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  std::string error;
+  ASSERT_TRUE(injector.ArmSpec("trace_load:fail:0", &error)) << error;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("trace_load"));
+  }
+}
+
+TEST(FaultInjectorTest, DelayEntriesReportTheirSleepBudget) {
+  FaultDisarmGuard guard;
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  std::string error;
+  ASSERT_TRUE(injector.ArmSpec("worker_execute:delay:1:2", &error)) << error;
+  const FaultAction action = injector.Fire("worker_execute");
+  EXPECT_FALSE(action.fail);  // delay stalls, it does not fail the site
+  EXPECT_EQ(action.delay_ms, 2);
+}
+
+TEST(FaultInjectorTest, SpecStringRoundTripsAndDisarmClears) {
+  FaultDisarmGuard guard;
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  std::string error;
+  ASSERT_TRUE(injector.ArmSpec("plan_compile:fail:0.5,worker_execute:delay:1:3", &error)) << error;
+  const std::string spec = injector.SpecString();
+  EXPECT_NE(spec.find("plan_compile:fail"), std::string::npos);
+  EXPECT_NE(spec.find("worker_execute:delay"), std::string::npos);
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.SpecString(), "");
+  EXPECT_FALSE(injector.ShouldFail("plan_compile"));
 }
 
 }  // namespace

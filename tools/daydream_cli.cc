@@ -69,6 +69,11 @@ commands:
            [--sim-jobs N]               (stdin/stdout without --port; see
                                          docs/serve.md; --sim-jobs sets the
                                          default shards per request)
+           [--max-queue N] [--request-timeout-ms MS] [--max-connections N]
+           [--max-sessions N] [--max-resident-mb MB] [--max-line-kib KIB]
+                                        (admission control & quotas; 0
+                                         disables a bound; SIGINT/SIGTERM
+                                         drain gracefully)
   version  [--json]                     build + protocol version
 )";
   return 2;
@@ -210,6 +215,12 @@ int CmdPredict(const Args& args) {
     case SessionStatus::kLintFailed:
       std::cerr << error;
       return 1;
+    case SessionStatus::kDeadlineExceeded:
+    case SessionStatus::kUnavailable:
+      // The CLI passes no deadline and arms no faults; reachable only with
+      // DAYDREAM_FAULTS set in the environment.
+      std::cerr << error << "\n";
+      return 2;
   }
   const PredictionResult& r = outcome.prediction;
   std::cout << StrFormat(
@@ -267,6 +278,8 @@ int CmdLint(const Args& args) {
       return 2;
     case SessionStatus::kBadRequest:
     case SessionStatus::kLintFailed:
+    case SessionStatus::kDeadlineExceeded:
+    case SessionStatus::kUnavailable:
       std::cerr << error << "\n";
       return 2;
   }
@@ -391,6 +404,42 @@ int CmdServe(const Args& args) {
     return 2;
   }
   options.sim_jobs = *sim_jobs;
+  // Admission-control knobs; the defaults live in ServeLimits and show up in
+  // the `stats` verb. Zero disables a bound (see docs/serve.md).
+  struct IntKnob {
+    const char* flag;
+    int minimum;
+    int* target;
+  };
+  int max_sessions = static_cast<int>(options.limits.max_sessions);
+  int max_resident_mb = 0;
+  int max_line_kib = static_cast<int>(options.limits.max_line_bytes / 1024);
+  const IntKnob knobs[] = {
+      {"max-queue", 0, &options.limits.max_queue},
+      {"request-timeout-ms", 0, &options.limits.request_timeout_ms},
+      {"max-connections", 0, &options.limits.max_connections},
+      {"max-sessions", 0, &max_sessions},
+      {"max-resident-mb", 0, &max_resident_mb},
+      {"max-line-kib", 0, &max_line_kib},
+  };
+  for (const IntKnob& knob : knobs) {
+    if (!args.Has(knob.flag)) {
+      continue;
+    }
+    const std::optional<int> value = ParseInt(args.Get(knob.flag));
+    if (!value.has_value() || *value < knob.minimum) {
+      std::cerr << "bad --" << knob.flag << " '" << args.Get(knob.flag)
+                << "' (expected an integer >= " << knob.minimum << ")\n";
+      return 2;
+    }
+    *knob.target = *value;
+  }
+  options.limits.max_sessions = static_cast<size_t>(max_sessions);
+  options.limits.max_resident_bytes = static_cast<size_t>(max_resident_mb) * kMiB;
+  options.limits.max_line_bytes = static_cast<size_t>(max_line_kib) * 1024;
+  // The daemon proper handles SIGINT/SIGTERM as a graceful drain; in-process
+  // tests drive the transports without touching process signal state.
+  options.install_signal_handlers = true;
   const std::string port_text = args.Get("port");
   if (port_text.empty()) {
     return RunServeStdio(std::cin, std::cout, options);
