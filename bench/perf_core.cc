@@ -31,6 +31,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -50,6 +51,9 @@
 #include "src/runtime/ground_truth.h"
 #include "src/runtime/sweep.h"
 #include "src/service/session.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/import_chrome.h"
+#include "src/trace/import_cupti.h"
 #include "src/util/logging.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
@@ -408,6 +412,52 @@ int Main(int argc, char** argv) {
   rows.push_back({"simulate_event", MeasureMs([&] { Simulator().Run(graph); })});
   rows.push_back({"simulate_reference", MeasureMs([&] { Simulator().RunReference(graph); })});
 
+  // Importer throughput: the profile-once side of the workflow must keep up
+  // with real profiler dumps. Both importers parse the baseline profile from
+  // memory — Chrome via our own lossless export, CUPTI via a synthesized
+  // record stream of launch/kernel pairs sized to the same event count.
+  std::ostringstream chrome_ss;
+  WriteChromeTrace(trace, chrome_ss);
+  const std::string chrome_json = chrome_ss.str();
+  const double import_chrome_ms = MeasureMs([&] {
+    std::istringstream in(chrome_json);
+    std::string error;
+    const std::optional<Trace> imported = ImportChromeTrace(in, &error);
+    DD_CHECK(imported.has_value()) << error;
+  });
+  std::string cupti_lines;
+  {
+    std::ostringstream ss;
+    ss << R"({"kind":"trace","model":"Bench","config":"synthetic"})"
+       << "\n";
+    const long long pairs = static_cast<long long>(trace.events().size()) / 2 + 1;
+    for (long long i = 0; i < pairs; ++i) {
+      const long long t0 = 1000 * i;
+      ss << StrFormat(R"({"kind":"runtime","name":"cudaLaunchKernel","start":%lld,"end":%lld,)"
+                      R"("processId":1,"threadId":0,"correlationId":%lld})",
+                      t0, t0 + 400, i + 1)
+         << "\n";
+      ss << StrFormat(R"({"kind":"kernel","name":"bench_kernel","start":%lld,"end":%lld,)"
+                      R"("streamId":0,"correlationId":%lld})",
+                      t0 + 500, t0 + 900, i + 1)
+         << "\n";
+    }
+    cupti_lines = ss.str();
+  }
+  const double import_cupti_ms = MeasureMs([&] {
+    std::istringstream in(cupti_lines);
+    std::string error;
+    CuptiImportStats stats;
+    const std::optional<Trace> imported = ImportCuptiTrace(in, &error, &stats);
+    DD_CHECK(imported.has_value()) << error;
+    DD_CHECK_EQ(stats.unmatched_gpu, 0u);
+  });
+  const double trace_events = static_cast<double>(trace.events().size());
+  const double import_chrome_eps = trace_events / (import_chrome_ms / 1e3);
+  const double import_cupti_eps = trace_events / (import_cupti_ms / 1e3);
+  rows.push_back({"import_chrome", import_chrome_ms});
+  rows.push_back({"import_cupti", import_cupti_ms});
+
   Daydream daydream(trace);
   rows.push_back({"what_if_amp_round_trip",
                   MeasureMs([&] { daydream.Predict([](DependencyGraph* g) { WhatIfAmp(g); }); })});
@@ -637,6 +687,11 @@ int Main(int argc, char** argv) {
       "pipeline cluster (8st x 32mb 1f1b x 16 workers: %d tasks, %d lanes): "
       "compile+dispatch %.1f ms\n",
       pipe_cluster.num_alive(), pipe_cluster.num_lanes(), pipeline_ms);
+  std::cout << StrFormat(
+      "trace import (%s, %.0f events): chrome %.1f ms (%.0f events/s), "
+      "cupti %.1f ms (%.0f events/s)\n",
+      ModelName(kModel), trace_events, import_chrome_ms, import_chrome_eps, import_cupti_ms,
+      import_cupti_eps);
   std::cout << StrFormat(
       "serve (%s, distributed 4x4): warm %.2f ms (%.0f qps) vs cold %.1f ms "
       "(%.1f qps) — %.1fx\n",

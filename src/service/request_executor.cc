@@ -105,7 +105,7 @@ Args RequestToArgs(const JsonObject& request, const std::string& verb) {
   Args args;
   args.command = verb;
   for (const auto& [key, value] : request.fields()) {
-    if (key == "id" || key == "verb" || key == "session" || key == "trace" ||
+    if (key == "id" || key == "verb" || key == "session" || key == "trace" || key == "format" ||
         key == "cache_capacity" || key == "timeout_ms") {
       continue;
     }
@@ -295,9 +295,20 @@ RequestExecutor::Response RequestExecutor::Handle(const std::string& line,
       response.line = ErrorResponse(id, "bad_request", "open needs a \"trace\" path field");
       return response;
     }
-    std::optional<Trace> trace = ReadTraceFile(path);
+    // Optional "format" field: ddtrace (default), cupti, or chrome — the
+    // same importers `daydream import` uses (docs/trace.md).
+    const std::string format_text = request->GetString("format", "ddtrace");
+    const std::optional<TraceFormat> format = ParseTraceFormat(format_text);
+    if (!format.has_value()) {
+      response.line = ErrorResponse(
+          id, "bad_request", "bad format '" + format_text + "' (expected ddtrace, cupti or chrome)");
+      return response;
+    }
+    std::string read_error;
+    std::optional<Trace> trace = ReadTraceFileAs(path, *format, &read_error);
     if (!trace.has_value()) {
-      response.line = ErrorResponse(id, "bad_request", "cannot read trace from " + path);
+      response.line =
+          ErrorResponse(id, "bad_request", "cannot read trace from " + path + ": " + read_error);
       return response;
     }
     SessionOptions options = session_options_;

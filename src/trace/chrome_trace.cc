@@ -36,6 +36,17 @@ std::string JsonEscape(const std::string& text) {
 
 namespace {
 
+// Chrome timestamps are decimal microseconds. Formatting through double
+// (%.3f on ToUs) rounds the last nanosecond once |ns| passes 2^53 — real
+// CUPTI epoch timestamps live out there — so format straight from the
+// integer instead; ImportChromeTrace decodes with the same integer math.
+std::string FormatUs(TimeNs ns) {
+  // Negate via unsigned so INT64_MIN doesn't overflow.
+  const unsigned long long magnitude =
+      ns < 0 ? 0ULL - static_cast<unsigned long long>(ns) : static_cast<unsigned long long>(ns);
+  return StrFormat("%s%llu.%03llu", ns < 0 ? "-" : "", magnitude / 1000, magnitude % 1000);
+}
+
 // Stable row ids: CPU threads first, then GPU streams, then comm channels.
 int RowTid(const TraceEvent& e) {
   if (e.is_cpu()) {
@@ -60,6 +71,17 @@ void WriteChromeTrace(const Trace& trace, std::ostream& os) {
     os << line;
   };
 
+  // Daydream side-channel metadata: model/config and the gradient table ride
+  // along as "M" rows so ImportChromeTrace can reconstruct the full Trace,
+  // not just the timeline. Viewers ignore metadata they don't know.
+  emit(StrFormat(R"({"name":"daydream_trace","ph":"M","pid":1,"args":{"model":"%s","config":"%s"}})",
+                 JsonEscape(trace.model_name()).c_str(), JsonEscape(trace.config()).c_str()));
+  for (const GradientInfo& g : trace.gradients()) {
+    emit(StrFormat(R"({"name":"daydream_gradient","ph":"M","pid":1,)"
+                   R"("args":{"layer":%d,"bytes":%lld,"bucket":%d}})",
+                   g.layer_id, static_cast<long long>(g.bytes), g.bucket_id));
+  }
+
   // Row name metadata.
   for (int tid : trace.CpuThreadIds()) {
     emit(StrFormat(R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,)"
@@ -79,18 +101,35 @@ void WriteChromeTrace(const Trace& trace, std::ostream& os) {
 
   for (const TraceEvent& e : trace.events()) {
     if (e.kind == EventKind::kLayerMarker) {
-      // Markers become instantaneous events.
-      emit(StrFormat(R"({"name":"%s/%s/%s","ph":"i","pid":1,"tid":%d,"ts":%.3f,"s":"t"})",
-                     JsonEscape(e.name).c_str(), ToString(e.phase),
-                     e.marker_begin ? "begin" : "end", RowTid(e), ToUs(e.start)));
+      // Markers become instantaneous events; the layer id rides in args.
+      emit(StrFormat(
+          R"({"name":"%s/%s/%s","ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","args":{"layer":%d}})",
+          JsonEscape(e.name).c_str(), ToString(e.phase), e.marker_begin ? "begin" : "end",
+          RowTid(e), FormatUs(e.start).c_str(), e.layer_id));
       continue;
     }
-    emit(StrFormat(
-        R"({"name":"%s","cat":"%s","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,)"
-        R"("args":{"layer":%d,"phase":"%s","corr":%lld,"bytes":%lld}})",
-        JsonEscape(e.name).c_str(), ToString(e.kind), RowTid(e), ToUs(e.start), ToUs(e.duration),
-        e.layer_id, ToString(e.phase), static_cast<long long>(e.correlation_id),
-        static_cast<long long>(e.bytes)));
+    std::string args =
+        StrFormat(R"("layer":%d,"phase":"%s","corr":%lld,"bytes":%lld)", e.layer_id,
+                  ToString(e.phase), static_cast<long long>(e.correlation_id),
+                  static_cast<long long>(e.bytes));
+    // Kind-specific attributes the tid/cat pair cannot carry, so the importer
+    // can rebuild the event exactly.
+    if (e.kind == EventKind::kRuntimeApi && e.api != ApiKind::kNone) {
+      args += StrFormat(R"(,"api":"%s")", ToString(e.api));
+    }
+    if (e.kind == EventKind::kMemcpy && e.memcpy_kind != MemcpyKind::kNone) {
+      args += StrFormat(R"(,"copy":"%s")", ToString(e.memcpy_kind));
+    }
+    if (e.kind == EventKind::kCommunication && e.comm_kind != CommKind::kNone) {
+      args += StrFormat(R"(,"comm":"%s")", ToString(e.comm_kind));
+    }
+    if (e.is_cpu() && e.stream_id >= 0) {
+      args += StrFormat(R"(,"stream":%d)", e.stream_id);  // sync-call target stream
+    }
+    emit(StrFormat(R"({"name":"%s","cat":"%s","ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,)"
+                   R"("args":{%s}})",
+                   JsonEscape(e.name).c_str(), ToString(e.kind), RowTid(e),
+                   FormatUs(e.start).c_str(), FormatUs(e.duration).c_str(), args.c_str()));
   }
   os << "\n]\n";
 }

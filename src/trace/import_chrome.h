@@ -1,0 +1,53 @@
+// Chrome trace-event JSON importer.
+//
+// Round-trips the output of WriteChromeTrace (src/trace/chrome_trace.h) back
+// into an equivalent Trace: a timeline exported for chrome://tracing /
+// Perfetto is a first-class ingestion format, not a dead end. The file is an
+// array of event objects; this importer drives the streaming tokenizer from
+// src/util/json_stream.h, so a multi-gigabyte timeline is parsed with bounded
+// memory — peak state is one event's fields plus the output Trace.
+//
+// Accepted rows (anything else is a line-item error, never a crash):
+//   - "ph":"M" metadata: "thread_name" rows are ignored (rows are derived
+//     from events on export); "daydream_trace" carries model/config;
+//     "daydream_gradient" carries one GradientInfo per row. Unknown metadata
+//     names are skipped for compatibility with real Chrome dumps.
+//   - "ph":"X" complete events: `cat` names the EventKind, `tid` encodes the
+//     lane (CPU thread < 1000, GPU stream 1000+, comm channel 2000+ — the
+//     RowTid bands), `ts`/`dur` are decimal microseconds decoded exactly to
+//     ns, and `args` carries layer/phase/corr/bytes plus the api/copy/comm/
+//     stream attributes the exporter emits for losslessness.
+//   - "ph":"i" instants: layer markers named "<layer>/<phase>/<begin|end>",
+//     with the layer id in args.
+//
+// Timestamps decode via ParseDecimalUsToNs (integer arithmetic, exact past
+// 2^53 ns); ids and sizes must be pure integers. Malformed input — negative
+// lane ids, garbage numbers, truncated arrays, absurd nesting — rejects the
+// import with an offset-tagged error.
+#ifndef SRC_TRACE_IMPORT_CHROME_H_
+#define SRC_TRACE_IMPORT_CHROME_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace daydream {
+
+struct ChromeImportStats {
+  uint64_t events = 0;         // TraceEvents produced (X rows + markers)
+  uint64_t gradients = 0;      // daydream_gradient metadata rows
+  uint64_t skipped_rows = 0;   // metadata rows ignored (thread_name, foreign)
+};
+
+// Returns nullopt with *error naming the byte offset and cause on failure.
+std::optional<Trace> ImportChromeTrace(std::istream& in, std::string* error = nullptr,
+                                       ChromeImportStats* stats = nullptr);
+std::optional<Trace> ImportChromeTraceFile(const std::string& path, std::string* error = nullptr,
+                                           ChromeImportStats* stats = nullptr);
+
+}  // namespace daydream
+
+#endif  // SRC_TRACE_IMPORT_CHROME_H_

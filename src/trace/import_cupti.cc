@@ -1,0 +1,436 @@
+#include "src/trace/import_cupti.h"
+
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "src/util/json.h"
+#include "src/util/string_util.h"
+
+namespace daydream {
+
+namespace {
+
+// One JSON-lines record may not exceed this; a multi-gigabyte "line" is an
+// attack (or a corrupt file), not a record, and must fail before it is
+// buffered whole.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+// getline with a hard cap: reads into *out until '\n' or EOF, failing once
+// the cap is hit so hostile input cannot balloon the line buffer.
+// Returns false at EOF with nothing read.
+bool BoundedGetline(std::istream& in, std::string* out, bool* too_long) {
+  out->clear();
+  *too_long = false;
+  std::streambuf* buf = in.rdbuf();
+  if (buf == nullptr) {
+    return false;
+  }
+  int c;
+  while ((c = buf->sbumpc()) != std::char_traits<char>::eof()) {
+    if (c == '\n') {
+      return true;
+    }
+    if (out->size() >= kMaxLineBytes) {
+      *too_long = true;
+      return true;
+    }
+    out->push_back(static_cast<char>(c));
+  }
+  return !out->empty();
+}
+
+// CUPTI runtime records name the cbid ("cudaLaunchKernel_v7000",
+// "cudaMemcpyAsync_ptsz_v7000"); match on the base name.
+ApiKind ApiFromName(const std::string& name) {
+  static const std::map<std::string, ApiKind>* kByName = new std::map<std::string, ApiKind>{
+      {"cudaLaunchKernel", ApiKind::kLaunchKernel},
+      {"cudaMemcpyAsync", ApiKind::kMemcpyAsync},
+      {"cudaMemcpy", ApiKind::kMemcpySync},
+      {"cudaDeviceSynchronize", ApiKind::kDeviceSynchronize},
+      {"cudaStreamSynchronize", ApiKind::kStreamSynchronize},
+      {"cudaEventRecord", ApiKind::kEventRecord},
+      {"cudaMalloc", ApiKind::kMalloc},
+      {"cudaFree", ApiKind::kFree},
+  };
+  const size_t cut = name.find('_');
+  const std::string base = cut == std::string::npos ? name : name.substr(0, cut);
+  const auto it = kByName->find(base);
+  return it == kByName->end() ? ApiKind::kOther : it->second;
+}
+
+std::optional<Phase> PhaseFromName(const std::string& name) {
+  for (const Phase phase : {Phase::kUnknown, Phase::kDataLoad, Phase::kForward, Phase::kBackward,
+                            Phase::kWeightUpdate}) {
+    if (name == ToString(phase)) {
+      return phase;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MemcpyKind> CopyKindFromName(const std::string& name) {
+  for (const MemcpyKind kind :
+       {MemcpyKind::kHostToDevice, MemcpyKind::kDeviceToHost, MemcpyKind::kDeviceToDevice}) {
+    if (name == ToString(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CommKind> CommKindFromName(const std::string& name) {
+  for (const CommKind kind : {CommKind::kAllReduce, CommKind::kReduceScatter, CommKind::kAllGather,
+                              CommKind::kPush, CommKind::kPull, CommKind::kP2p}) {
+    if (name == ToString(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// Per-correlation-id matching state; indexes into Trace::mutable_events()
+// defer the unmatched-GPU repair to end-of-stream (flush order is arbitrary).
+struct CorrState {
+  bool launch_seen = false;
+  bool gpu_seen = false;
+};
+
+class Importer {
+ public:
+  explicit Importer(CuptiImportStats* stats) : stats_(stats) {}
+
+  bool Record(const JsonObject& record, uint64_t line, std::string* error) {
+    const std::string kind = record.GetString("kind");
+    if (kind.empty()) {
+      return Fail(line, "record needs a string \"kind\" field", error);
+    }
+    ++stats_->records;
+    if (kind == "trace") {
+      trace_.set_model_name(record.GetString("model"));
+      trace_.set_config(record.GetString("config"));
+      return true;
+    }
+    if (kind == "gradient") {
+      GradientInfo g;
+      int64_t layer = 0;
+      int64_t bytes = 0;
+      int64_t bucket = 0;
+      if (!RequireInt(record, "layer", line, &layer, error) ||
+          !RequireInt(record, "bytes", line, &bytes, error) ||
+          !RequireInt(record, "bucket", line, &bucket, error)) {
+        return false;
+      }
+      if (bytes < 0) {
+        return Fail(line, "negative gradient bytes", error);
+      }
+      g.layer_id = static_cast<int>(layer);
+      g.bytes = bytes;
+      g.bucket_id = static_cast<int>(bucket);
+      trace_.AddGradientInfo(g);
+      return true;
+    }
+
+    // Event records. All carry start (ns); all but markers carry end (ns).
+    TraceEvent e;
+    e.name = record.GetString("name");
+    int64_t start = 0;
+    if (!RequireInt(record, "start", line, &start, error)) {
+      return false;
+    }
+    if (start < 0) {
+      return Fail(line, "negative start timestamp", error);
+    }
+    e.start = start;
+    const bool is_marker = kind == "marker";
+    if (is_marker) {
+      // Markers are instantaneous instrumentation stamps; "end" is optional
+      // and must equal start when present.
+      e.duration = 0;
+      if (record.Has("end") && record.GetInt64("end", -1) != start) {
+        return Fail(line, "marker with end != start", error);
+      }
+    } else {
+      int64_t end = 0;
+      if (!RequireInt(record, "end", line, &end, error)) {
+        return false;
+      }
+      if (end < start) {
+        return Fail(line, "end precedes start", error);
+      }
+      e.duration = end - start;
+    }
+
+    // Single-process streams only: a second processId is a different capture.
+    if (record.Has("processId")) {
+      const int64_t pid = record.GetInt64("processId", -1);
+      if (pid < 0) {
+        return Fail(line, "bad processId", error);
+      }
+      if (process_id_ < 0) {
+        process_id_ = pid;
+      } else if (pid != process_id_) {
+        return Fail(line, "record from a second processId (single-process streams only)", error);
+      }
+    }
+
+    if (kind == "runtime" || kind == "driver") {
+      e.kind = EventKind::kRuntimeApi;
+      e.api = ApiFromName(e.name);
+      if (!RequireId(record, "threadId", line, &e.thread_id, error) ||
+          !ReadCorrelation(record, line, &e, error) ||
+          !ReadOptionalLayer(record, line, &e, error)) {
+        return false;
+      }
+      // cudaStreamSynchronize targets a stream; the optional streamId names it.
+      if (record.Has("streamId") && !RequireId(record, "streamId", line, &e.stream_id, error)) {
+        return false;
+      }
+      if (e.correlation_id != 0 &&
+          (e.api == ApiKind::kLaunchKernel || e.api == ApiKind::kMemcpyAsync ||
+           e.api == ApiKind::kMemcpySync)) {
+        CorrState& state = corr_[e.correlation_id];
+        if (state.launch_seen) {
+          ++stats_->duplicate_launch;
+          e.correlation_id = 0;
+        } else {
+          state.launch_seen = true;
+        }
+      }
+    } else if (kind == "kernel" || kind == "concurrent_kernel" || kind == "memcpy") {
+      e.kind = kind == "memcpy" ? EventKind::kMemcpy : EventKind::kKernel;
+      if (!RequireId(record, "streamId", line, &e.stream_id, error) ||
+          !ReadCorrelation(record, line, &e, error) ||
+          !ReadOptionalLayer(record, line, &e, error)) {
+        return false;
+      }
+      if (e.kind == EventKind::kMemcpy) {
+        const std::optional<MemcpyKind> copy = CopyKindFromName(record.GetString("copyKind"));
+        if (!copy.has_value()) {
+          return Fail(line, "memcpy needs copyKind HtoD|DtoH|DtoD", error);
+        }
+        e.memcpy_kind = *copy;
+        if (!ReadOptionalBytes(record, line, &e, error)) {
+          return false;
+        }
+      }
+      if (e.correlation_id != 0) {
+        CorrState& state = corr_[e.correlation_id];
+        if (state.gpu_seen) {
+          ++stats_->duplicate_gpu;
+          e.correlation_id = 0;
+        } else {
+          state.gpu_seen = true;
+        }
+      }
+    } else if (is_marker) {
+      e.kind = EventKind::kLayerMarker;
+      int64_t layer = 0;
+      if (!RequireId(record, "threadId", line, &e.thread_id, error) ||
+          !RequireInt(record, "layer", line, &layer, error)) {
+        return false;
+      }
+      e.layer_id = static_cast<int>(layer);
+      const JsonValue* begin = record.Find("begin");
+      if (begin == nullptr || begin->kind != JsonValue::Kind::kBool) {
+        return Fail(line, "marker needs a boolean \"begin\" field", error);
+      }
+      e.marker_begin = begin->boolean;
+      const std::optional<Phase> phase = PhaseFromName(record.GetString("phase"));
+      if (!phase.has_value()) {
+        return Fail(line, "marker needs phase dataload|forward|backward|weight_update", error);
+      }
+      e.phase = *phase;
+    } else if (kind == "dataload") {
+      e.kind = EventKind::kDataLoad;
+      e.phase = Phase::kDataLoad;
+      if (!RequireId(record, "threadId", line, &e.thread_id, error)) {
+        return false;
+      }
+    } else if (kind == "comm") {
+      e.kind = EventKind::kCommunication;
+      const std::optional<CommKind> comm = CommKindFromName(record.GetString("commKind"));
+      if (!comm.has_value()) {
+        return Fail(line, "comm needs commKind allReduce|reduceScatter|allGather|push|pull|p2p",
+                    error);
+      }
+      e.comm_kind = *comm;
+      if (!RequireId(record, "channelId", line, &e.channel_id, error) ||
+          !ReadOptionalBytes(record, line, &e, error) || !ReadOptionalLayer(record, line, &e, error)) {
+        return false;
+      }
+    } else {
+      return Fail(line, "unknown record kind '" + kind + "'", error);
+    }
+
+    ++stats_->events;
+    trace_.Add(std::move(e));
+    return true;
+  }
+
+  // End-of-stream repair + bookkeeping: GPU activities whose id never saw a
+  // launch cannot contribute a dependency edge; clearing the id keeps the
+  // trace self-consistent (Trace::Validate) instead of failing downstream.
+  Trace Finish() {
+    for (const auto& [id, state] : corr_) {
+      if (state.launch_seen && state.gpu_seen) {
+        ++stats_->matched;
+      } else if (state.launch_seen) {
+        ++stats_->unmatched_launch;
+      }
+    }
+    for (TraceEvent& e : trace_.mutable_events()) {
+      if (e.is_gpu() && e.correlation_id != 0 && !corr_[e.correlation_id].launch_seen) {
+        e.correlation_id = 0;
+        ++stats_->unmatched_gpu;
+      }
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  static bool Fail(uint64_t line, const std::string& message, std::string* error) {
+    if (error != nullptr) {
+      *error = StrFormat("line %llu: %s", static_cast<unsigned long long>(line), message.c_str());
+    }
+    return false;
+  }
+
+  static bool RequireInt(const JsonObject& record, const char* key, uint64_t line, int64_t* out,
+                         std::string* error) {
+    const JsonValue* value = record.Find(key);
+    const std::optional<int64_t> parsed =
+        value != nullptr ? value->AsInt64() : std::optional<int64_t>();
+    if (!parsed.has_value()) {
+      return Fail(line, std::string("record needs an integer \"") + key + "\" field", error);
+    }
+    *out = *parsed;
+    return true;
+  }
+
+  // Lane ids must be non-negative (same guard as .ddtrace ingestion).
+  static bool RequireId(const JsonObject& record, const char* key, uint64_t line, int* out,
+                        std::string* error) {
+    int64_t value = 0;
+    if (!RequireInt(record, key, line, &value, error)) {
+      return false;
+    }
+    if (value < 0 || value > std::numeric_limits<int>::max()) {
+      return Fail(line, std::string("bad \"") + key + "\" (expected a non-negative id)", error);
+    }
+    *out = static_cast<int>(value);
+    return true;
+  }
+
+  bool ReadCorrelation(const JsonObject& record, uint64_t line, TraceEvent* e,
+                       std::string* error) {
+    if (!record.Has("correlationId")) {
+      return true;
+    }
+    int64_t corr = 0;
+    if (!RequireInt(record, "correlationId", line, &corr, error)) {
+      return false;
+    }
+    if (corr < 0) {
+      return Fail(line, "negative correlationId", error);
+    }
+    e->correlation_id = corr;
+    return true;
+  }
+
+  bool ReadOptionalBytes(const JsonObject& record, uint64_t line, TraceEvent* e,
+                         std::string* error) {
+    if (!record.Has("bytes")) {
+      return true;
+    }
+    int64_t bytes = 0;
+    if (!RequireInt(record, "bytes", line, &bytes, error)) {
+      return false;
+    }
+    if (bytes < 0) {
+      return Fail(line, "negative bytes", error);
+    }
+    e->bytes = bytes;
+    return true;
+  }
+
+  // Optional layer/phase attribution (the paper's framework instrumentation
+  // stamps them; raw CUPTI streams lack them and rely on markers instead).
+  bool ReadOptionalLayer(const JsonObject& record, uint64_t line, TraceEvent* e,
+                         std::string* error) {
+    if (record.Has("layer")) {
+      int64_t layer = 0;
+      if (!RequireInt(record, "layer", line, &layer, error)) {
+        return false;
+      }
+      e->layer_id = static_cast<int>(layer);
+    }
+    if (record.Has("phase")) {
+      const std::optional<Phase> phase = PhaseFromName(record.GetString("phase"));
+      if (!phase.has_value()) {
+        return Fail(line, "bad phase", error);
+      }
+      e->phase = *phase;
+    }
+    return true;
+  }
+
+  CuptiImportStats* stats_;
+  Trace trace_;
+  std::map<int64_t, CorrState> corr_;
+  int64_t process_id_ = -1;
+};
+
+}  // namespace
+
+std::optional<Trace> ImportCuptiTrace(std::istream& in, std::string* error,
+                                      CuptiImportStats* stats) {
+  CuptiImportStats scratch;
+  Importer importer(stats != nullptr ? stats : &scratch);
+  std::string line;
+  uint64_t line_number = 0;
+  bool too_long = false;
+  while (BoundedGetline(in, &line, &too_long)) {
+    ++line_number;
+    if (too_long) {
+      if (error != nullptr) {
+        *error = StrFormat("line %llu: exceeds the %zu-byte line limit",
+                           static_cast<unsigned long long>(line_number), kMaxLineBytes);
+      }
+      return std::nullopt;
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // CRLF streams
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::string parse_error;
+    const std::optional<JsonObject> record = ParseJsonObject(line, &parse_error);
+    if (!record.has_value()) {
+      if (error != nullptr) {
+        *error = StrFormat("line %llu: %s", static_cast<unsigned long long>(line_number),
+                           parse_error.c_str());
+      }
+      return std::nullopt;
+    }
+    if (!importer.Record(*record, line_number, error)) {
+      return std::nullopt;
+    }
+  }
+  return importer.Finish();
+}
+
+std::optional<Trace> ImportCuptiTraceFile(const std::string& path, std::string* error,
+                                          CuptiImportStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  return ImportCuptiTrace(in, error, stats);
+}
+
+}  // namespace daydream

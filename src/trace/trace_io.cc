@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/trace/import_chrome.h"
+#include "src/trace/import_cupti.h"
 #include "src/util/string_util.h"
 
 namespace daydream {
@@ -40,11 +42,11 @@ void WriteEvent(const TraceEvent& e, std::ostream& os) {
 // switch in the pipeline handles. `last` is the enum's maximum enumerator.
 template <typename E>
 std::optional<E> ParseEnum(const std::string& field, E last) {
-  const int value = std::stoi(field);  // throws on garbage; caught by ParseEvent
-  if (value < 0 || value > static_cast<int>(last)) {
+  const std::optional<int> value = ParseInt32(field);
+  if (!value.has_value() || *value < 0 || *value > static_cast<int>(last)) {
     return std::nullopt;
   }
-  return static_cast<E>(value);
+  return static_cast<E>(value.value());
 }
 
 std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
@@ -52,40 +54,63 @@ std::optional<TraceEvent> ParseEvent(const std::vector<std::string>& f) {
   if (f.size() != 16) {
     return std::nullopt;
   }
-  try {
-    TraceEvent e;
-    const auto kind = ParseEnum(f[1], EventKind::kCommunication);
-    const auto api = ParseEnum(f[2], ApiKind::kOther);
-    const auto memcpy_kind = ParseEnum(f[3], MemcpyKind::kDeviceToDevice);
-    const auto comm_kind = ParseEnum(f[4], CommKind::kP2p);
-    const auto phase = ParseEnum(f[12], Phase::kWeightUpdate);
-    if (!kind || !api || !memcpy_kind || !comm_kind || !phase) {
-      return std::nullopt;
-    }
-    e.kind = *kind;
-    e.api = *api;
-    e.memcpy_kind = *memcpy_kind;
-    e.comm_kind = *comm_kind;
-    e.phase = *phase;
-    e.start = std::stoll(f[5]);
-    e.duration = std::stoll(f[6]);
-    e.thread_id = std::stoi(f[7]);
-    e.stream_id = std::stoi(f[8]);
-    e.channel_id = std::stoi(f[9]);
-    e.correlation_id = std::stoll(f[10]);
-    e.layer_id = std::stoi(f[11]);
-    e.marker_begin = std::stoi(f[13]) != 0;
-    e.bytes = std::stoll(f[14]);
-    e.name = f[15];
-    // Negative times or payload sizes violate simulator invariants (progress
-    // and earliest-start bounds must be monotone): reject the record.
-    if (e.start < 0 || e.duration < 0 || e.bytes < 0) {
-      return std::nullopt;
-    }
-    return e;
-  } catch (const std::exception&) {
+  TraceEvent e;
+  const auto kind = ParseEnum(f[1], EventKind::kCommunication);
+  const auto api = ParseEnum(f[2], ApiKind::kOther);
+  const auto memcpy_kind = ParseEnum(f[3], MemcpyKind::kDeviceToDevice);
+  const auto comm_kind = ParseEnum(f[4], CommKind::kP2p);
+  const auto phase = ParseEnum(f[12], Phase::kWeightUpdate);
+  if (!kind || !api || !memcpy_kind || !comm_kind || !phase) {
     return std::nullopt;
   }
+  e.kind = *kind;
+  e.api = *api;
+  e.memcpy_kind = *memcpy_kind;
+  e.comm_kind = *comm_kind;
+  e.phase = *phase;
+  // Strict full-field numeric parsing (src/util/string_util.h): std::stoll
+  // used to accept leading whitespace and trailing garbage, so "1abc"
+  // misparsed as 1 instead of rejecting the record.
+  const auto start = ParseInt64(f[5]);
+  const auto duration = ParseInt64(f[6]);
+  const auto thread_id = ParseInt32(f[7]);
+  const auto stream_id = ParseInt32(f[8]);
+  const auto channel_id = ParseInt32(f[9]);
+  const auto correlation_id = ParseInt64(f[10]);
+  const auto layer_id = ParseInt32(f[11]);
+  const auto marker_begin = ParseInt32(f[13]);
+  const auto bytes = ParseInt64(f[14]);
+  if (!start || !duration || !thread_id || !stream_id || !channel_id || !correlation_id ||
+      !layer_id || !marker_begin || !bytes) {
+    return std::nullopt;
+  }
+  e.start = *start;
+  e.duration = *duration;
+  e.thread_id = *thread_id;
+  e.stream_id = *stream_id;
+  e.channel_id = *channel_id;
+  e.correlation_id = *correlation_id;
+  e.layer_id = *layer_id;
+  e.marker_begin = *marker_begin != 0;
+  e.bytes = *bytes;
+  e.name = f[15];
+  // Negative times or payload sizes violate simulator invariants (progress
+  // and earliest-start bounds must be monotone): reject the record.
+  if (e.start < 0 || e.duration < 0 || e.bytes < 0) {
+    return std::nullopt;
+  }
+  // Location ids: -1 is the "unset" sentinel; anything below is corrupt, and
+  // the lane the event's kind actually runs on must be set. Values like
+  // stream_id=-500 would otherwise alias the Chrome-export row bands
+  // (RowTid's 1000+/2000+ offsets) and break graph-builder lane assignment.
+  if (e.thread_id < -1 || e.stream_id < -1 || e.channel_id < -1) {
+    return std::nullopt;
+  }
+  if ((e.is_cpu() && e.thread_id < 0) || (e.is_gpu() && e.stream_id < 0) ||
+      (e.is_comm() && e.channel_id < 0)) {
+    return std::nullopt;
+  }
+  return e;
 }
 
 }  // namespace
@@ -113,11 +138,24 @@ bool WriteTraceFile(const Trace& trace, const std::string& path) {
 
 std::optional<Trace> ReadTrace(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  // Files that crossed a Windows toolchain arrive with CRLF line endings;
+  // getline keeps the '\r', which used to fail the header compare and, when
+  // only the body was CRLF, silently append '\r' to the last field (e.name).
+  auto strip_cr = [](std::string* text) {
+    if (!text->empty() && text->back() == '\r') {
+      text->pop_back();
+    }
+  };
+  if (!std::getline(is, line)) {
+    return std::nullopt;
+  }
+  strip_cr(&line);
+  if (line != kHeader) {
     return std::nullopt;
   }
   Trace trace;
   while (std::getline(is, line)) {
+    strip_cr(&line);
     if (line.empty()) {
       continue;
     }
@@ -127,18 +165,17 @@ std::optional<Trace> ReadTrace(std::istream& is) {
     } else if (f[0] == "config" && f.size() == 2) {
       trace.set_config(f[1]);
     } else if (f[0] == "grad" && f.size() == 4) {
-      try {
-        GradientInfo g;
-        g.layer_id = std::stoi(f[1]);
-        g.bytes = std::stoll(f[2]);
-        g.bucket_id = std::stoi(f[3]);
-        if (g.bytes < 0) {
-          return std::nullopt;  // negative gradient size is nonsensical
-        }
-        trace.AddGradientInfo(g);
-      } catch (const std::exception&) {
-        return std::nullopt;
+      const auto layer_id = ParseInt32(f[1]);
+      const auto bytes = ParseInt64(f[2]);
+      const auto bucket_id = ParseInt32(f[3]);
+      if (!layer_id || !bytes || !bucket_id || *bytes < 0) {
+        return std::nullopt;  // malformed or negative gradient size
       }
+      GradientInfo g;
+      g.layer_id = *layer_id;
+      g.bytes = *bytes;
+      g.bucket_id = *bucket_id;
+      trace.AddGradientInfo(g);
     } else if (f[0] == "ev") {
       std::optional<TraceEvent> e = ParseEvent(f);
       if (!e.has_value()) {
@@ -158,6 +195,53 @@ std::optional<Trace> ReadTraceFile(const std::string& path) {
     return std::nullopt;
   }
   return ReadTrace(in);
+}
+
+std::optional<TraceFormat> ParseTraceFormat(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "ddtrace") {
+    return TraceFormat::kDdtrace;
+  }
+  if (lower == "cupti") {
+    return TraceFormat::kCupti;
+  }
+  if (lower == "chrome") {
+    return TraceFormat::kChrome;
+  }
+  return std::nullopt;
+}
+
+const char* ToString(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kDdtrace:
+      return "ddtrace";
+    case TraceFormat::kCupti:
+      return "cupti";
+    case TraceFormat::kChrome:
+      return "chrome";
+  }
+  return "?";
+}
+
+std::optional<Trace> ReadTraceFileAs(const std::string& path, TraceFormat format,
+                                     std::string* error) {
+  switch (format) {
+    case TraceFormat::kDdtrace: {
+      std::optional<Trace> trace = ReadTraceFile(path);
+      if (!trace.has_value() && error != nullptr) {
+        *error = "cannot parse " + path + " as a daydream trace";
+      }
+      return trace;
+    }
+    case TraceFormat::kCupti:
+      return ImportCuptiTraceFile(path, error);
+    case TraceFormat::kChrome:
+      return ImportChromeTraceFile(path, error);
+  }
+  if (error != nullptr) {
+    *error = "unknown trace format";
+  }
+  return std::nullopt;
 }
 
 }  // namespace daydream

@@ -30,6 +30,25 @@ bool WriteTraceFile(const Trace& trace, const std::string& path);
 std::optional<Trace> ReadTrace(std::istream& is);
 std::optional<Trace> ReadTraceFile(const std::string& path);
 
+// The ingestion formats `daydream import` / `--format` accept. kDdtrace is
+// the native dump above; the other two are real-profiler formats handled by
+// the streaming importers in src/trace/import_cupti.h / import_chrome.h.
+enum class TraceFormat {
+  kDdtrace,
+  kCupti,   // CUPTI-style JSON-lines record stream
+  kChrome,  // Chrome trace-event JSON array (round-trips WriteChromeTrace)
+};
+
+// Parses "ddtrace" / "cupti" / "chrome" (case-insensitive).
+std::optional<TraceFormat> ParseTraceFormat(const std::string& name);
+const char* ToString(TraceFormat format);
+
+// Reads `path` in the given format. On failure returns nullopt with *error
+// (when given) describing the problem; the native format reports its
+// historical generic message, the importers report position + cause.
+std::optional<Trace> ReadTraceFileAs(const std::string& path, TraceFormat format,
+                                     std::string* error = nullptr);
+
 }  // namespace daydream
 
 #endif  // SRC_TRACE_TRACE_IO_H_

@@ -5,7 +5,19 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/util/string_util.h"
+
 namespace daydream {
+
+std::optional<int64_t> JsonValue::AsInt64() const {
+  if (kind != Kind::kNumber) {
+    return std::nullopt;
+  }
+  // `raw` holds the verbatim source token; ParseInt64 accepts exactly the
+  // integer subset ([+-]?digits) and range-checks, so "1e3", "1.0" and
+  // 20-digit overflows all return nullopt instead of a rounded double.
+  return ParseInt64(raw);
+}
 
 const JsonValue* JsonObject::Find(const std::string& key) const {
   auto it = fields_.find(key);
@@ -25,6 +37,14 @@ double JsonObject::GetNumber(const std::string& key, double fallback) const {
 bool JsonObject::GetBool(const std::string& key, bool fallback) const {
   const JsonValue* value = Find(key);
   return (value != nullptr && value->kind == JsonValue::Kind::kBool) ? value->boolean : fallback;
+}
+
+int64_t JsonObject::GetInt64(const std::string& key, int64_t fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    return fallback;
+  }
+  return value->AsInt64().value_or(fallback);
 }
 
 namespace {

@@ -12,6 +12,7 @@
 #ifndef SRC_UTIL_JSON_H_
 #define SRC_UTIL_JSON_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,6 +29,13 @@ struct JsonValue {
   // The untouched source token for numbers, so an echoed field (e.g. a
   // request id of 7) round-trips as "7", not "7.000000".
   std::string raw;
+
+  // Exact integer decode from the preserved source token. `number` is a
+  // double, which silently rounds int64 values past 2^53 — precisely the
+  // range of nanosecond timestamps and CUPTI correlation ids the importers
+  // carry. Returns nullopt unless the token is a plain decimal integer
+  // (no fraction, no exponent) that fits int64.
+  std::optional<int64_t> AsInt64() const;
 };
 
 class JsonObject {
@@ -40,6 +48,9 @@ class JsonObject {
   std::string GetString(const std::string& key, const std::string& fallback = "") const;
   double GetNumber(const std::string& key, double fallback = 0.0) const;
   bool GetBool(const std::string& key, bool fallback = false) const;
+  // Exact int64 getter (see JsonValue::AsInt64): the fallback also covers
+  // present-but-fractional ("1.5") and out-of-range tokens.
+  int64_t GetInt64(const std::string& key, int64_t fallback = 0) const;
 
   const std::map<std::string, JsonValue>& fields() const { return fields_; }
 

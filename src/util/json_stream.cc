@@ -1,0 +1,383 @@
+#include "src/util/json_stream.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace daydream {
+
+JsonStreamTokenizer::JsonStreamTokenizer(std::istream& in) : JsonStreamTokenizer(in, Limits()) {}
+
+JsonStreamTokenizer::JsonStreamTokenizer(std::istream& in, Limits limits)
+    : in_(in), limits_(limits) {}
+
+int JsonStreamTokenizer::GetChar() {
+  const int c = in_.rdbuf() != nullptr ? in_.rdbuf()->sbumpc() : -1;
+  if (c == std::char_traits<char>::eof()) {
+    return -1;
+  }
+  ++offset_;
+  return c;
+}
+
+int JsonStreamTokenizer::PeekChar() {
+  const int c = in_.rdbuf() != nullptr ? in_.rdbuf()->sgetc() : -1;
+  return c == std::char_traits<char>::eof() ? -1 : c;
+}
+
+void JsonStreamTokenizer::SkipSpace() {
+  int c;
+  while ((c = PeekChar()) == ' ' || c == '\t' || c == '\n' || c == '\r') {
+    GetChar();
+  }
+}
+
+void JsonStreamTokenizer::NoteBuffered(size_t bytes) {
+  const size_t total = bytes + stack_.size();
+  if (total > max_buffered_) {
+    max_buffered_ = total;
+  }
+}
+
+const JsonStreamTokenizer::Token& JsonStreamTokenizer::Fail(const std::string& message) {
+  token_.kind = TokenKind::kError;
+  token_.text = message;
+  token_.boolean = false;
+  return token_;
+}
+
+const JsonStreamTokenizer::Token& JsonStreamTokenizer::Emit(TokenKind kind, std::string text,
+                                                            bool boolean) {
+  NoteBuffered(text.size());
+  token_.kind = kind;
+  token_.text = std::move(text);
+  token_.boolean = boolean;
+  return token_;
+}
+
+// Decodes the remainder of a string after the opening '"'. Same escape rules
+// as the flat parser (src/util/json.cc); decoded size capped by the limits.
+bool JsonStreamTokenizer::LexString(std::string* out) {
+  out->clear();
+  while (true) {
+    const int raw = GetChar();
+    if (raw < 0) {
+      Fail("unterminated string");
+      return false;
+    }
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (c == '"') {
+      NoteBuffered(out->size());
+      return true;
+    }
+    if (c < 0x20) {
+      Fail("unescaped control character in string");
+      return false;
+    }
+    if (out->size() >= limits_.max_string_bytes) {
+      Fail("string exceeds the size limit");
+      return false;
+    }
+    if (c != '\\') {
+      out->push_back(static_cast<char>(c));
+      continue;
+    }
+    const int esc = GetChar();
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const int h = GetChar();
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            Fail(h < 0 ? "truncated \\u escape" : "invalid \\u escape");
+            return false;
+          }
+        }
+        // BMP-only UTF-8 encode, matching the flat parser: surrogate halves
+        // pass through as-is rather than corrupting the text.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        Fail(esc < 0 ? "truncated escape sequence"
+                     : std::string("invalid escape '\\") + static_cast<char>(esc) + "'");
+        return false;
+    }
+  }
+}
+
+bool JsonStreamTokenizer::LexNumber(std::string* out, int first) {
+  out->clear();
+  out->push_back(static_cast<char>(first));
+  int c;
+  while ((c = PeekChar()) >= 0 &&
+         (std::isdigit(c) || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')) {
+    if (out->size() >= limits_.max_number_bytes) {
+      Fail("number exceeds the size limit");
+      return false;
+    }
+    out->push_back(static_cast<char>(GetChar()));
+  }
+  // Lexing is permissive; strtod over the whole token is the validator,
+  // exactly as in the flat parser.
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(out->c_str(), &end);
+  if (end != out->c_str() + out->size() || !std::isfinite(parsed)) {
+    Fail("invalid number '" + *out + "'");
+    return false;
+  }
+  return true;
+}
+
+bool JsonStreamTokenizer::LexWord(std::string_view word, int first) {
+  if (first != word[0]) {
+    Fail("expected a value");
+    return false;
+  }
+  for (size_t i = 1; i < word.size(); ++i) {
+    if (GetChar() != word[i]) {
+      Fail("invalid literal");
+      return false;
+    }
+  }
+  return true;
+}
+
+// Reads `"key":` and emits the kKey token. The caller consumed the quote.
+const JsonStreamTokenizer::Token& JsonStreamTokenizer::EmitKey() {
+  std::string key;
+  if (!LexString(&key)) {
+    return token_;
+  }
+  SkipSpace();
+  if (GetChar() != ':') {
+    return Fail("expected ':' after key '" + key + "'");
+  }
+  state_ = State::kValueStart;
+  return Emit(TokenKind::kKey, std::move(key));
+}
+
+const JsonStreamTokenizer::Token& JsonStreamTokenizer::Next() {
+  if (token_.kind == TokenKind::kError) {
+    return token_;  // sticky
+  }
+  switch (state_) {
+    case State::kAfterValue: {
+      SkipSpace();
+      if (stack_.empty()) {
+        if (PeekChar() >= 0) {
+          return Fail("trailing characters after the document");
+        }
+        return Emit(TokenKind::kEnd);
+      }
+      const int c = GetChar();
+      if (c < 0) {
+        return Fail("unexpected end of input");
+      }
+      if (stack_.back() == Context::kObject) {
+        if (c == '}') {
+          stack_.pop_back();
+          return Emit(TokenKind::kEndObject);
+        }
+        if (c != ',') {
+          return Fail("expected ',' or '}' in object");
+        }
+        SkipSpace();
+        if (GetChar() != '"') {
+          return Fail("expected a string key");
+        }
+        return EmitKey();
+      }
+      if (c == ']') {
+        stack_.pop_back();
+        return Emit(TokenKind::kEndArray);
+      }
+      if (c != ',') {
+        return Fail("expected ',' or ']' in array");
+      }
+      break;  // fall through to the next array element
+    }
+    case State::kObjectFirst: {
+      SkipSpace();
+      const int c = GetChar();
+      if (c == '}') {
+        stack_.pop_back();
+        state_ = State::kAfterValue;
+        return Emit(TokenKind::kEndObject);
+      }
+      if (c != '"') {
+        return Fail(c < 0 ? "unexpected end of input" : "expected a string key");
+      }
+      return EmitKey();
+    }
+    case State::kArrayFirst:
+      SkipSpace();
+      if (PeekChar() == ']') {
+        GetChar();
+        stack_.pop_back();
+        state_ = State::kAfterValue;
+        return Emit(TokenKind::kEndArray);
+      }
+      break;  // fall through to the first array element
+    case State::kValueStart:
+      break;
+  }
+
+  // A value starts here.
+  SkipSpace();
+  const int c = GetChar();
+  if (c < 0) {
+    return Fail("unexpected end of input");
+  }
+  switch (c) {
+    case '{':
+      if (stack_.size() >= limits_.max_depth) {
+        return Fail("nesting exceeds the depth limit");
+      }
+      stack_.push_back(Context::kObject);
+      NoteBuffered(0);
+      state_ = State::kObjectFirst;
+      return Emit(TokenKind::kBeginObject);
+    case '[':
+      if (stack_.size() >= limits_.max_depth) {
+        return Fail("nesting exceeds the depth limit");
+      }
+      stack_.push_back(Context::kArray);
+      NoteBuffered(0);
+      state_ = State::kArrayFirst;
+      return Emit(TokenKind::kBeginArray);
+    case '"': {
+      std::string text;
+      if (!LexString(&text)) {
+        return token_;
+      }
+      state_ = State::kAfterValue;
+      return Emit(TokenKind::kString, std::move(text));
+    }
+    case 't':
+      if (!LexWord("true", c)) {
+        return token_;
+      }
+      state_ = State::kAfterValue;
+      return Emit(TokenKind::kBool, "true", true);
+    case 'f':
+      if (!LexWord("false", c)) {
+        return token_;
+      }
+      state_ = State::kAfterValue;
+      return Emit(TokenKind::kBool, "false", false);
+    case 'n':
+      if (!LexWord("null", c)) {
+        return token_;
+      }
+      state_ = State::kAfterValue;
+      return Emit(TokenKind::kNull);
+    default: {
+      if (c != '-' && !std::isdigit(c)) {
+        return Fail("expected a value");
+      }
+      std::string text;
+      if (!LexNumber(&text, c)) {
+        return token_;
+      }
+      state_ = State::kAfterValue;
+      return Emit(TokenKind::kNumber, std::move(text));
+    }
+  }
+}
+
+std::optional<int64_t> ParseDecimalUsToNs(std::string_view token) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < token.size() && (token[i] == '+' || token[i] == '-')) {
+    negative = token[i] == '-';
+    ++i;
+  }
+  const size_t digits_start = i;
+  // Accumulate negatively (|INT64_MIN| > INT64_MAX) so both signs fit.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  int64_t value = 0;  // nanoseconds so far, non-positive
+  auto push_digit = [&](char c) {
+    const int digit = c - '0';
+    if (value < (kMin + digit) / 10) {
+      return false;
+    }
+    value = value * 10 - digit;
+    return true;
+  };
+  while (i < token.size() && token[i] >= '0' && token[i] <= '9') {
+    if (!push_digit(token[i])) {
+      return std::nullopt;
+    }
+    ++i;
+  }
+  if (i == digits_start) {
+    return std::nullopt;  // no integer digits
+  }
+  int frac_digits = 0;
+  if (i < token.size() && token[i] == '.') {
+    ++i;
+    const size_t frac_start = i;
+    while (i < token.size() && token[i] >= '0' && token[i] <= '9') {
+      if (frac_digits < 3) {
+        if (!push_digit(token[i])) {
+          return std::nullopt;
+        }
+        ++frac_digits;
+      } else if (token[i] != '0') {
+        return std::nullopt;  // sub-nanosecond precision
+      }
+      ++i;
+    }
+    if (i == frac_start) {
+      return std::nullopt;  // "1." with no digits
+    }
+  }
+  if (i != token.size()) {
+    return std::nullopt;  // exponent or trailing garbage
+  }
+  // Scale microseconds to nanoseconds: three fractional digits were already
+  // folded in, pad the rest.
+  for (; frac_digits < 3; ++frac_digits) {
+    if (value < kMin / 10) {
+      return std::nullopt;
+    }
+    value *= 10;
+  }
+  if (!negative) {
+    if (value == kMin) {
+      return std::nullopt;
+    }
+    value = -value;
+  }
+  return value;
+}
+
+}  // namespace daydream

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <limits>
 
 namespace daydream {
 
@@ -65,6 +66,49 @@ std::string ToLower(std::string_view text) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i >= text.size()) {
+    return std::nullopt;  // empty or a bare sign
+  }
+  // Accumulate into a negative value: |INT64_MIN| > INT64_MAX, so the
+  // negative range covers both directions without overflowing on the way.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const int digit = c - '0';
+    if (value < (kMin + digit) / 10) {
+      return std::nullopt;  // would overflow
+    }
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == kMin) {
+      return std::nullopt;  // +9223372036854775808
+    }
+    value = -value;
+  }
+  return value;
+}
+
+std::optional<int> ParseInt32(std::string_view text) {
+  const std::optional<int64_t> value = ParseInt64(text);
+  if (!value.has_value() || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*value);
 }
 
 }  // namespace daydream

@@ -3,6 +3,8 @@
 #define SRC_UTIL_STRING_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +22,14 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 
 std::string ToLower(std::string_view text);
+
+// Strict decimal integer parsing: the whole string must be `[+-]?[0-9]+` and
+// fit the target type. Returns nullopt (never throws) on garbage like "1abc",
+// " 42", "", "+-3", "0x10" or out-of-range values — std::stoi/stoll silently
+// accept leading whitespace and trailing garbage, which is exactly how
+// corrupt trace records used to misparse instead of rejecting.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<int> ParseInt32(std::string_view text);
 
 }  // namespace daydream
 

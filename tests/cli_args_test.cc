@@ -223,8 +223,8 @@ TEST(ParsePipelineFlags, ScheduleWithoutStagesIsAnError) {
 
 
 TEST(KnownCommands, MatchUsageOrder) {
-  const std::vector<std::string> expected = {"models", "collect", "report",  "predict",
-                                             "lint",   "sweep",   "serve", "version"};
+  const std::vector<std::string> expected = {"models", "collect", "import", "report", "predict",
+                                             "lint",   "sweep",   "serve",  "version"};
   EXPECT_EQ(KnownCommands(), expected);
 }
 

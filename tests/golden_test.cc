@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/runtime/ground_truth.h"
+#include "src/trace/chrome_trace.h"
 #include "src/trace/trace_io.h"
 
 namespace daydream {
@@ -125,6 +126,35 @@ TEST(GoldenFixtures, CliOutputMatchesCommittedJson) {
         << "`.\nIf the change is intentional, regenerate with:\n"
         << "  DAYDREAM_UPDATE_GOLDEN=1 ./golden_test\nand commit the tests/golden/ diff.";
   }
+}
+
+// Trace-import acceptance: exporting the committed fixture to Chrome format
+// and importing it back (both through `daydream import` and through
+// `predict --format chrome` directly) must leave the analysis output
+// byte-identical — the Chrome round trip is lossless end to end.
+TEST(GoldenFixtures, ChromeRoundTripLeavesPredictOutputByteIdentical) {
+  MaybeRegenerate();
+  const std::optional<Trace> trace = ReadTraceFile(GoldenPath("tinymlp_i1.ddtrace"));
+  ASSERT_TRUE(trace.has_value());
+  const std::string chrome_path = ::testing::TempDir() + "golden_roundtrip.chrome.json";
+  ASSERT_TRUE(WriteChromeTraceFile(*trace, chrome_path));
+
+  const std::string expected = ReadFileOrDie(GoldenPath("tinymlp_i1_predict_amp.json"));
+
+  // Route 1: explicit conversion through `daydream import`.
+  const std::string ddtrace_path = ::testing::TempDir() + "golden_roundtrip.ddtrace";
+  RunCli("import --in " + chrome_path + " --format chrome --out " + ddtrace_path);
+  const std::string via_import = ::testing::TempDir() + "golden_roundtrip_import.json";
+  RunCli("predict --trace " + ddtrace_path + " --json " + via_import + " --what-if amp");
+  EXPECT_EQ(ReadFileOrDie(via_import), expected)
+      << "chrome export -> `daydream import` -> predict drifted from the committed output";
+
+  // Route 2: the analysis verb ingesting the Chrome file directly.
+  const std::string via_format = ::testing::TempDir() + "golden_roundtrip_format.json";
+  RunCli("predict --trace " + chrome_path + " --format chrome --json " + via_format +
+         " --what-if amp");
+  EXPECT_EQ(ReadFileOrDie(via_format), expected)
+      << "`predict --format chrome` drifted from the committed output";
 }
 
 // The sweep fixture must rank the pipeline cases alongside the standard

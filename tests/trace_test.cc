@@ -274,7 +274,9 @@ TEST(TraceIo, RejectsMalformedEvent) {
 // kind api memcpy comm start duration thread stream channel corr layer
 // phase marker bytes name.
 std::string EventLineWith(size_t index, const std::string& value) {
-  std::vector<std::string> fields = {"ev", "1", "1", "0", "0", "0",  "10", "0", "-1",
+  // Kernel event: the GPU lane (stream) is set, thread/channel are the -1
+  // sentinel — the kind-vs-lane rule ingestion enforces.
+  std::vector<std::string> fields = {"ev", "1", "1", "0", "0", "0",  "10", "-1", "0",
                                      "-1", "7", "-1", "0", "0", "64", "k"};
   fields[index] = value;
   std::string line = "daydream-trace v1\n";
@@ -335,6 +337,77 @@ TEST(TraceIo, RejectsNegativeTimesAndSizes) {
 TEST(TraceIo, RejectsNegativeGradientBytes) {
   std::stringstream ss("daydream-trace v1\ngrad\t3\t-4096\t1\n");
   EXPECT_FALSE(ReadTrace(ss).has_value());
+}
+
+// Regression: files that crossed a Windows toolchain arrive with CRLF line
+// endings. The header compare used to fail on "daydream-trace v1\r", and a
+// body-only CRLF file silently appended '\r' to every event name.
+TEST(TraceIo, AcceptsCrlfLineEndings) {
+  const Trace original = ValidTwoKernelTrace();
+  std::stringstream unix_file;
+  WriteTrace(original, unix_file);
+  std::string crlf = unix_file.str();
+  size_t at = 0;
+  while ((at = crlf.find('\n', at)) != std::string::npos) {
+    crlf.replace(at, 1, "\r\n");
+    at += 2;
+  }
+  std::stringstream ss(crlf);
+  const std::optional<Trace> trace = ReadTrace(ss);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->size(), original.size());
+  EXPECT_EQ(trace->events()[2].name, "k1");  // no trailing '\r'
+  // And the reparse round-trips byte-identically to the LF original.
+  std::stringstream again;
+  WriteTrace(*trace, again);
+  EXPECT_EQ(again.str(), unix_file.str());
+}
+
+// Regression: lane ids below the -1 sentinel used to be ingested verbatim;
+// stream_id=-500 aliased the Chrome-export row bands and broke lane
+// assignment. An event must also carry the lane its kind runs on.
+TEST(TraceIo, RejectsCorruptLaneIds) {
+  const struct {
+    size_t field;
+    const char* value;
+  } corrupt[] = {
+      {7, "-500"},  // thread_id below the sentinel
+      {8, "-2"},    // stream_id below the sentinel
+      {8, "-1"},    // GPU event with its required lane unset
+      {9, "-1000"},  // channel_id below the sentinel
+  };
+  for (const auto& c : corrupt) {
+    std::stringstream ss(EventLineWith(c.field, c.value));
+    EXPECT_FALSE(ReadTrace(ss).has_value())
+        << "field " << c.field << " = " << c.value << " must reject the file";
+  }
+  // A CPU event with no thread and a comm event with no channel also reject.
+  std::stringstream cpu(EventLineWith(1, "0"));  // RuntimeApi, thread_id=-1
+  EXPECT_FALSE(ReadTrace(cpu).has_value());
+}
+
+// Regression: numeric fields were parsed with std::stoi/stoll, which accept
+// leading whitespace and trailing garbage — "1abc" misparsed as 1 and the
+// corrupt record was ingested instead of rejected.
+TEST(TraceIo, RejectsTrailingGarbageInNumericFields) {
+  const struct {
+    size_t field;
+    const char* value;
+  } corrupt[] = {
+      {1, "1abc"},    // kind
+      {5, "100x"},    // start
+      {6, " 10"},     // duration (leading whitespace)
+      {10, "7abc"},   // correlation id
+      {14, "64kb"},   // bytes
+      {14, ""},       // empty field
+  };
+  for (const auto& c : corrupt) {
+    std::stringstream ss(EventLineWith(c.field, c.value));
+    EXPECT_FALSE(ReadTrace(ss).has_value())
+        << "field " << c.field << " = '" << c.value << "' must reject the file";
+  }
+  std::stringstream grad("daydream-trace v1\ngrad\t3\t4096abc\t1\n");
+  EXPECT_FALSE(ReadTrace(grad).has_value());
 }
 
 TEST(ChromeTrace, ProducesJsonArray) {
@@ -420,7 +493,8 @@ TEST(ChromeTrace, MarkerVersusCompleteEvents) {
   std::stringstream ss;
   WriteChromeTrace(t, ss);
   const std::string out = ss.str();
-  EXPECT_NE(out.find(R"({"name":"layer/backward/begin","ph":"i","pid":1,"tid":4,"ts":3.000,"s":"t"})"),
+  EXPECT_NE(out.find(R"({"name":"layer/backward/begin","ph":"i","pid":1,"tid":4,"ts":3.000,)"
+                     R"("s":"t","args":{"layer":2}})"),
             std::string::npos)
       << out;
   // Markers carry no "dur"; complete events do.

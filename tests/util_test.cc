@@ -171,6 +171,42 @@ TEST(StringUtil, Predicates) {
 
 TEST(StringUtil, ToLower) { EXPECT_EQ(ToLower("AbC"), "abc"); }
 
+TEST(StringUtil, ParseInt64ConsumesTheFullField) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("-0"), 0);
+  EXPECT_EQ(ParseInt64("+7"), 7);
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  // Anything short of a complete integer field is a parse failure — trace
+  // ingestion must not silently accept "1abc" the way std::stoll would.
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("+").has_value());
+  EXPECT_FALSE(ParseInt64("-").has_value());
+  EXPECT_FALSE(ParseInt64("+-3").has_value());
+  EXPECT_FALSE(ParseInt64("1abc").has_value());
+  EXPECT_FALSE(ParseInt64("100x").has_value());
+  EXPECT_FALSE(ParseInt64(" 42").has_value());
+  EXPECT_FALSE(ParseInt64("42 ").has_value());
+  EXPECT_FALSE(ParseInt64("0x10").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+}
+
+TEST(StringUtil, ParseInt64HoldsTheExactBoundaries) {
+  EXPECT_EQ(ParseInt64("9223372036854775807"), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808"), std::numeric_limits<int64_t>::min());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").has_value());
+  EXPECT_FALSE(ParseInt64("+9223372036854775808").has_value());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(StringUtil, ParseInt32EnforcesIntRange) {
+  EXPECT_EQ(ParseInt32("2147483647"), std::numeric_limits<int>::max());
+  EXPECT_EQ(ParseInt32("-2147483648"), std::numeric_limits<int>::min());
+  EXPECT_FALSE(ParseInt32("2147483648").has_value());
+  EXPECT_FALSE(ParseInt32("-2147483649").has_value());
+  EXPECT_FALSE(ParseInt32("12ab").has_value());
+}
+
 // ---- table ----
 
 TEST(Table, AlignsColumns) {
@@ -255,6 +291,32 @@ TEST(Json, TypedGettersFallBackOnWrongTypes) {
   EXPECT_EQ(object->GetString("n", "fallback"), "fallback");
   EXPECT_EQ(object->GetNumber("s", -1.0), -1.0);
   EXPECT_TRUE(object->GetBool("n", true));
+}
+
+TEST(Json, GetInt64IsExactPastDoublePrecision) {
+  const std::optional<JsonObject> object = ParseJsonObject(
+      "{\"big\": 9007199254740993, \"max\": 9223372036854775807,"
+      " \"min\": -9223372036854775808, \"frac\": 1.5, \"exp\": 1e3,"
+      " \"small\": 7, \"s\": \"12\"}");
+  ASSERT_TRUE(object.has_value());
+  // 2^53 + 1 is not representable as a double; GetNumber rounds it while
+  // GetInt64 re-parses the raw token and keeps every bit.
+  EXPECT_EQ(object->GetInt64("big"), INT64_C(9007199254740993));
+  EXPECT_NE(static_cast<int64_t>(object->GetNumber("big")), INT64_C(9007199254740993));
+  EXPECT_EQ(object->GetInt64("max"), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(object->GetInt64("min"), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(object->GetInt64("small"), 7);
+  // Non-integer numerics and non-numbers fall back.
+  EXPECT_EQ(object->GetInt64("frac", -1), -1);
+  EXPECT_EQ(object->GetInt64("exp", -1), -1);
+  EXPECT_EQ(object->GetInt64("s", -1), -1);
+  EXPECT_EQ(object->GetInt64("missing", -1), -1);
+  const JsonValue* frac = object->Find("frac");
+  ASSERT_NE(frac, nullptr);
+  EXPECT_FALSE(frac->AsInt64().has_value());
+  const JsonValue* big = object->Find("big");
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->AsInt64(), INT64_C(9007199254740993));
 }
 
 TEST(Json, DecodesEscapes) {

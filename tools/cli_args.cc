@@ -57,7 +57,7 @@ Args ParseArgs(int argc, const char* const* argv) {
 
 const std::vector<std::string>& KnownCommands() {
   static const std::vector<std::string> kCommands = {
-      "models", "collect", "report", "predict", "lint", "sweep", "serve", "version"};
+      "models", "collect", "import", "report", "predict", "lint", "sweep", "serve", "version"};
   return kCommands;
 }
 
@@ -82,17 +82,9 @@ bool OnlyContains(const std::string& text, const char* allowed) {
 }  // namespace
 
 std::optional<int> ParseInt(const std::string& text) {
-  if (text.empty() || !OnlyContains(text, "0123456789+-")) {
-    return std::nullopt;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (errno != 0 || end != text.c_str() + text.size() ||
-      value < std::numeric_limits<int>::min() || value > std::numeric_limits<int>::max()) {
-    return std::nullopt;
-  }
-  return static_cast<int>(value);
+  // The strict parser lives in src/util/string_util so trace ingest can use
+  // the same full-field semantics without depending on the CLI layer.
+  return ParseInt32(text);
 }
 
 std::optional<double> ParseDouble(const std::string& text) {

@@ -27,6 +27,8 @@
 #include "src/service/session.h"
 #include "src/service/version.h"
 #include "src/trace/chrome_trace.h"
+#include "src/trace/import_chrome.h"
+#include "src/trace/import_cupti.h"
 #include "src/trace/trace_io.h"
 #include "src/util/string_util.h"
 #include "src/util/table.h"
@@ -42,7 +44,14 @@ int Usage() {
 commands:
   models                                list the model zoo
   collect  --model <name> [--iterations N] [--out FILE] [--chrome FILE]
+  import   --in FILE --format <cupti|chrome|ddtrace> [--out FILE]
+                                        convert a profiler dump to the native
+                                        .ddtrace format (cupti: JSON-lines
+                                        activity records; chrome: trace-event
+                                        array, e.g. our own --chrome export)
   report   --trace FILE                 breakdown + critical path + per-layer table
+           [--format <ddtrace|cupti|chrome>]  (all analysis verbs accept
+                                         --format; default ddtrace)
   predict  --trace FILE --what-if <amp|fused_adam|rbn|metaflow|gist|vdnn|distributed|p3|pipeline>
            [--cluster MxG] [--gbps BW]  (distributed/p3 options)
            [--pipeline-stages N] [--microbatches M] [--schedule gpipe|1f1b]
@@ -130,15 +139,88 @@ int CmdCollect(const Args& args) {
   return validation.ok() ? 0 : 1;
 }
 
+// `daydream import`: one-shot conversion from a real-profiler dump to the
+// native format, so the rest of the toolchain (and older builds) only ever
+// sees .ddtrace. The analysis verbs can also ingest directly via --format.
+int CmdImport(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) {
+    std::cerr << "--in is required\n";
+    return 2;
+  }
+  const std::string format_text = args.Get("format");
+  const std::optional<TraceFormat> format = ParseTraceFormat(format_text);
+  if (!format.has_value()) {
+    std::cerr << "bad --format '" << format_text << "' (expected cupti, chrome or ddtrace)\n";
+    return 2;
+  }
+  std::string error;
+  std::optional<Trace> trace;
+  if (*format == TraceFormat::kCupti) {
+    CuptiImportStats stats;
+    trace = ImportCuptiTraceFile(in, &error, &stats);
+    if (trace.has_value()) {
+      std::cout << StrFormat(
+          "imported %llu records -> %llu events (%llu correlation pairs matched)\n",
+          static_cast<unsigned long long>(stats.records),
+          static_cast<unsigned long long>(stats.events),
+          static_cast<unsigned long long>(stats.matched));
+      if (stats.unmatched_gpu + stats.unmatched_launch + stats.duplicate_gpu +
+              stats.duplicate_launch >
+          0) {
+        std::cout << StrFormat(
+            "correlation repairs: %llu unmatched GPU, %llu unmatched launch, "
+            "%llu duplicate GPU, %llu duplicate launch\n",
+            static_cast<unsigned long long>(stats.unmatched_gpu),
+            static_cast<unsigned long long>(stats.unmatched_launch),
+            static_cast<unsigned long long>(stats.duplicate_gpu),
+            static_cast<unsigned long long>(stats.duplicate_launch));
+      }
+    }
+  } else if (*format == TraceFormat::kChrome) {
+    ChromeImportStats stats;
+    trace = ImportChromeTraceFile(in, &error, &stats);
+    if (trace.has_value()) {
+      std::cout << StrFormat("imported %llu events, %llu gradient rows (%llu rows skipped)\n",
+                             static_cast<unsigned long long>(stats.events),
+                             static_cast<unsigned long long>(stats.gradients),
+                             static_cast<unsigned long long>(stats.skipped_rows));
+    }
+  } else {
+    trace = ReadTraceFileAs(in, *format, &error);
+  }
+  if (!trace.has_value()) {
+    std::cerr << "cannot import " << in << ": " << error << "\n";
+    return 1;
+  }
+  const TraceValidation validation = trace->Validate();
+  std::cout << StrFormat("%zu events (%.1f ms, %s)\n", trace->size(), ToMs(trace->makespan()),
+                         validation.Summary().c_str());
+  const std::string out = args.Get("out", "imported.ddtrace");
+  if (!WriteTraceFile(*trace, out)) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << "\n";
+  return validation.ok() ? 0 : 1;
+}
+
 std::optional<Trace> LoadTrace(const Args& args) {
   const std::string path = args.Get("trace");
   if (path.empty()) {
     std::cerr << "--trace is required\n";
     return std::nullopt;
   }
-  std::optional<Trace> trace = ReadTraceFile(path);
+  const std::string format_text = args.Get("format", "ddtrace");
+  const std::optional<TraceFormat> format = ParseTraceFormat(format_text);
+  if (!format.has_value()) {
+    std::cerr << "bad --format '" << format_text << "' (expected ddtrace, cupti or chrome)\n";
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<Trace> trace = ReadTraceFileAs(path, *format, &error);
   if (!trace.has_value()) {
-    std::cerr << "cannot read trace from " << path << "\n";
+    std::cerr << "cannot read trace from " << path << ": " << error << "\n";
     return std::nullopt;
   }
   if (trace->empty()) {
@@ -474,6 +556,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "collect") {
     return CmdCollect(args);
+  }
+  if (args.command == "import") {
+    return CmdImport(args);
   }
   if (args.command == "report") {
     return CmdReport(args);
